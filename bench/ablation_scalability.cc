@@ -1,0 +1,114 @@
+// Reproduces the paper's scalability argument (Sec. I, II-C): dense
+// differentiable pooling (DIFFPOOL) "requires explicitly expressing the
+// adjacency matrix of the graph" and is "computationally expensive ...
+// in handling large-scale graphs", while HiGNN's sampled GraphSAGE +
+// K-means alternation scales linearly in the vertex count.
+//
+// This bench sweeps the graph size and times (a) one dense DIFFPOOL
+// forward pass and (b) a full HiGNN level (train a few GraphSAGE steps +
+// embed everything + K-means), then reports the growth factor per size
+// doubling: ~4x for the dense method (O(n^2)) vs ~2x for HiGNN (O(n)).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "baselines/diffpool.h"
+#include "bench_util.h"
+#include "cluster/kmeans.h"
+#include "data/synthetic.h"
+#include "sage/bipartite_sage.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace hignn;
+
+SyntheticDataset MakeWorld(int32_t users) {
+  SyntheticConfig config = SyntheticConfig::Tiny();
+  config.num_users = users;
+  config.num_items = users / 2;
+  config.mean_clicks_per_user_day = 3.0;
+  config.num_days = 4;
+  return SyntheticDataset::Generate(config).ValueOrDie();
+}
+
+double TimeHignnLevel(const SyntheticDataset& dataset) {
+  WallTimer timer;
+  const BipartiteGraph graph = dataset.BuildTrainGraph();
+  BipartiteSageConfig config;
+  config.dims = {16, 16};
+  config.fanouts = {10, 5};
+  config.train_steps = 20;
+  config.batch_size = 128;
+  auto sage = BipartiteSage::Create(
+                  config, static_cast<int32_t>(dataset.user_features().cols()),
+                  static_cast<int32_t>(dataset.item_features().cols()))
+                  .ValueOrDie();
+  HIGNN_CHECK(sage.Train(graph, dataset.user_features(),
+                         dataset.item_features())
+                  .ok());
+  auto embeddings = sage.EmbedAll(graph, dataset.user_features(),
+                                  dataset.item_features())
+                        .ValueOrDie();
+  KMeansConfig kmeans;
+  kmeans.k = std::max(4, graph.num_left() / 5);
+  kmeans.algorithm = KMeansAlgorithm::kSinglePass;
+  HIGNN_CHECK(RunKMeans(embeddings.left, kmeans).ok());
+  return timer.Seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: scalability — HiGNN vs dense DIFFPOOL",
+      "Paper claim: differentiable pooling needs the explicit adjacency "
+      "matrix (O(n^2)) and cannot scale; HiGNN stays near-linear");
+
+  TablePrinter table({"Vertices (M+N)", "DIFFPOOL fwd (s)", "dense elems",
+                      "HiGNN level (s)"});
+  std::vector<double> diffpool_times;
+  std::vector<double> hignn_times;
+  for (int32_t users : {bench::Scaled(400), bench::Scaled(800),
+                        bench::Scaled(1600), bench::Scaled(3200)}) {
+    SyntheticDataset dataset = MakeWorld(users);
+    const BipartiteGraph graph = dataset.BuildTrainGraph();
+
+    WallTimer timer;
+    auto diffpool = RunDiffPoolForward(graph, dataset.user_features(),
+                                       dataset.item_features(),
+                                       DiffPoolConfig{});
+    if (!diffpool.ok()) {
+      std::fprintf(stderr, "diffpool: %s\n",
+                   diffpool.status().ToString().c_str());
+      return 1;
+    }
+    const double diffpool_seconds = diffpool.value().seconds;
+    const double hignn_seconds = TimeHignnLevel(dataset);
+    diffpool_times.push_back(diffpool_seconds);
+    hignn_times.push_back(hignn_seconds);
+    table.AddRow({StrFormat("%d", users + users / 2),
+                  StrFormat("%.3f", diffpool_seconds),
+                  WithThousandsSep(diffpool.value().dense_elements),
+                  StrFormat("%.3f", hignn_seconds)});
+    std::fprintf(stderr, "n=%d done (diffpool %.2fs, hignn %.2fs)\n", users,
+                 diffpool_seconds, hignn_seconds);
+  }
+  table.Print(std::cout);
+
+  std::printf("\nGrowth factors per size doubling (expected ~4x dense vs "
+              "~2x sampled):\n");
+  for (size_t k = 1; k < diffpool_times.size(); ++k) {
+    std::printf("  step %zu: DIFFPOOL x%.1f, HiGNN x%.1f\n", k,
+                diffpool_times[k] / std::max(1e-9, diffpool_times[k - 1]),
+                hignn_times[k] / std::max(1e-9, hignn_times[k - 1]));
+  }
+  std::printf("\nMemory wall: a Taobao-scale graph (~5e7 vertices) would "
+              "need ~%.0e dense floats — DIFFPOOL refuses anything past "
+              "2 GiB while HiGNN streams sampled neighborhoods.\n",
+              2.5e15);
+  return 0;
+}

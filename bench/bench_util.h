@@ -1,0 +1,50 @@
+#ifndef HIGNN_BENCH_BENCH_UTIL_H_
+#define HIGNN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace hignn::bench {
+
+/// \brief Global workload multiplier for the paper-table benches.
+///
+/// The default (1.0) is sized for a single laptop core: every bench
+/// finishes in a few minutes. Set HIGNN_BENCH_SCALE=2 (or 0.25) to grow or
+/// shrink the synthetic datasets and training budgets proportionally; the
+/// qualitative shapes are stable across scales.
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("HIGNN_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double parsed = std::atof(env);
+    return parsed > 0.0 ? parsed : 1.0;
+  }();
+  return scale;
+}
+
+inline int32_t Scaled(int32_t base) {
+  const double value = base * Scale();
+  return value < 1.0 ? 1 : static_cast<int32_t>(value);
+}
+
+/// \brief "+2.76%"-style uplift rendering used by the A/B tables.
+inline std::string Uplift(double control, double treatment) {
+  if (control == 0.0) return "n/a";
+  return StrFormat("%+.2f%%", 100.0 * (treatment - control) / control);
+}
+
+inline void PrintHeader(const char* title, const char* paper_reference) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("%s\n", paper_reference);
+  std::printf("(scale=%.2f; set HIGNN_BENCH_SCALE to resize)\n",
+              Scale());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace hignn::bench
+
+#endif  // HIGNN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,271 @@
+// Reproduces Table IV (online A/B test of the CVR model) and the
+// Section V-D.4 taxonomy A/B result, on the paired serving simulator.
+//
+// Paper reference (Table IV, two test days):
+//   UV  +1.90% / +2.04%     CNT +2.76% / +2.11%
+//   CTR +0.34% / +0.66%     CVR +2.25% / +2.09%
+// Section V-D.4: taxonomy-driven recommendations give +3.8% CTR.
+//
+// Shapes to reproduce: every metric improves; CNT/CVR gains are the
+// largest, CTR gains the smallest but positive.
+//
+// Substitution: the live Taobao bucket is replaced by a common-random-
+// numbers simulator serving ranked lists to synthetic visitors whose
+// ground-truth preferences come from the generator. Control = the DIN
+// model (profile + statistics only, the pre-HiGNN production analogue);
+// treatment = the HiGNN-featured CVR model.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "cluster/kmeans.h"
+#include "eval/ab_test.h"
+#include "predict/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace hignn;
+
+// Memoizing per-pair scorer over a trained CVR model.
+class CachedModelScorer {
+ public:
+  CachedModelScorer(CvrModel* model, const CvrFeatureBuilder* features,
+                    int32_t num_items)
+      : model_(model), features_(features), num_items_(num_items) {}
+
+  double operator()(int32_t user, int32_t item) {
+    const int64_t key = static_cast<int64_t>(user) * num_items_ + item;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const LabeledSample sample{user, item, 0.0f};
+    auto prediction = model_->Predict(*features_, {sample});
+    const double score =
+        prediction.ok() ? prediction.value().front() : 0.0;
+    cache_.emplace(key, score);
+    return score;
+  }
+
+ private:
+  CvrModel* model_;
+  const CvrFeatureBuilder* features_;
+  int32_t num_items_;
+  std::unordered_map<int64_t, double> cache_;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table IV + Sec. V-D.4: Online A/B Testing (serving simulator)",
+      "Paper: UV +1.9~2.0%, CNT +2.1~2.8%, CTR +0.3~0.7%, CVR +2.1~2.3%; "
+      "taxonomy CTR +3.8%");
+
+  SyntheticConfig data_config = SyntheticConfig::Taobao1();
+  data_config.num_users = bench::Scaled(2000);
+  data_config.num_items = bench::Scaled(800);
+  auto dataset = SyntheticDataset::Generate(data_config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  CvrExperimentConfig config;
+  config.hignn.levels = 3;
+  config.hignn.sage.train_steps = bench::Scaled(300);
+  config.cvr.hidden = {128, 64, 32};
+  config.cvr.epochs = 3;
+  WallTimer timer;
+  auto experiment = CvrExperiment::Prepare(dataset.value(), config);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "prepare: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "hierarchy fitted in %.1fs\n", timer.Seconds());
+
+  // Train the control (DIN) and treatment (HiGNN) prediction models.
+  auto make_model = [&](const FeatureSpec& spec, const char* name)
+      -> std::pair<std::unique_ptr<CvrModel>,
+                   std::unique_ptr<CvrFeatureBuilder>> {
+    auto features = CvrFeatureBuilder::Create(
+        &dataset.value(),
+        spec.user_levels > 0 || spec.item_levels > 0
+            ? &experiment.value().model()
+            : nullptr,
+        spec);
+    HIGNN_CHECK(features.ok()) << features.status().ToString();
+    CvrModelConfig cvr = config.cvr;
+    cvr.seed ^= std::hash<std::string>{}(name);
+    auto model = CvrModel::Create(features.value().dim(), cvr);
+    HIGNN_CHECK(model.ok());
+    const Status trained = model.value()
+                               .Train(features.value(),
+                                      experiment.value().samples().train)
+                               .status();
+    HIGNN_CHECK(trained.ok()) << trained.ToString();
+    return {std::make_unique<CvrModel>(std::move(model).value()),
+            std::make_unique<CvrFeatureBuilder>(std::move(features).value())};
+  };
+
+  timer.Restart();
+  auto [din_model, din_features] = make_model(FeatureSpec::Din(), "DIN");
+  auto [hignn_model, hignn_features] =
+      make_model(FeatureSpec::HiGnn(3), "HiGNN");
+  std::fprintf(stderr, "CVR models trained in %.1fs\n", timer.Seconds());
+
+  AbTestConfig ab;
+  ab.visits_per_day = bench::Scaled(8000);
+  ab.num_days = 2;
+  ab.candidate_pool = 40;
+  ab.list_size = 10;
+  AbTestSimulator simulator(&dataset.value(), ab);
+
+  CachedModelScorer din_scorer(din_model.get(), din_features.get(),
+                               dataset.value().num_items());
+  CachedModelScorer hignn_scorer(hignn_model.get(), hignn_features.get(),
+                                 dataset.value().num_items());
+
+  timer.Restart();
+  auto control = simulator.Run(
+      [&din_scorer](int32_t u, int32_t i) { return din_scorer(u, i); });
+  auto treatment = simulator.Run(
+      [&hignn_scorer](int32_t u, int32_t i) { return hignn_scorer(u, i); });
+  if (!control.ok() || !treatment.ok()) {
+    std::fprintf(stderr, "simulation failed\n");
+    return 1;
+  }
+  std::fprintf(stderr, "A/B simulation done in %.1fs\n", timer.Seconds());
+
+  TablePrinter table({"Metric", "Day 1 (ctrl -> treat)", "Day 1 uplift",
+                      "Day 2 (ctrl -> treat)", "Day 2 uplift",
+                      "Paper uplift"});
+  const char* paper[4] = {"+1.90% / +2.04%", "+2.76% / +2.11%",
+                          "+0.34% / +0.66%", "+2.25% / +2.09%"};
+  auto add_metric = [&](const char* name, auto get, int paper_row) {
+    std::vector<std::string> row = {name};
+    for (int day = 0; day < 2; ++day) {
+      const double c = get(control.value()[static_cast<size_t>(day)]);
+      const double t = get(treatment.value()[static_cast<size_t>(day)]);
+      row.push_back(StrFormat("%.4g -> %.4g", c, t));
+      row.push_back(bench::Uplift(c, t));
+    }
+    row.push_back(paper[paper_row]);
+    table.AddRow(std::move(row));
+  };
+  add_metric("UV", [](const AbDayResult& d) {
+    return static_cast<double>(d.unique_visitors);
+  }, 0);
+  add_metric("CNT", [](const AbDayResult& d) {
+    return static_cast<double>(d.transactions);
+  }, 1);
+  add_metric("CTR", [](const AbDayResult& d) { return d.Ctr(); }, 2);
+  add_metric("CVR", [](const AbDayResult& d) { return d.Cvr(); }, 3);
+  table.Print(std::cout);
+
+  // ---- Section V-D.4 analogue: taxonomy-driven recommendation CTR -----------
+  // A topic-driven recommender scores (user, item) by the smoothed click
+  // rate of the (user-topic, item-topic) pair in the training log,
+  // backing off across hierarchy levels. Treatment uses HiGNN's learned
+  // taxonomy; control uses a SHOAL-like taxonomy clustered on the static
+  // features with the same cluster counts (no trained GNN).
+  const HignnModel& model = experiment.value().model();
+  const int32_t num_items = dataset.value().num_items();
+
+  using PairStats = std::unordered_map<int64_t, std::pair<double, double>>;
+  auto pair_rate = [](const PairStats& stats, int64_t key) {
+    auto it = stats.find(key);
+    const double clicks = it == stats.end() ? 0.0 : it->second.first;
+    const double affine = it == stats.end() ? 0.0 : it->second.second;
+    return (affine + 1.0) / (clicks + 20.0);  // smoothed pair CTR proxy
+  };
+  auto build_stats = [&](auto user_cluster, auto item_cluster,
+                         int32_t clusters_i) {
+    PairStats stats;
+    for (const auto& interaction : dataset.value().interactions()) {
+      if (interaction.day >= dataset.value().num_train_days()) continue;
+      const int64_t key =
+          static_cast<int64_t>(user_cluster(interaction.user)) * clusters_i +
+          item_cluster(interaction.item);
+      auto& entry = stats[key];
+      entry.first += 1.0;
+      entry.second += 1.0;  // every logged event is a click
+    }
+    return stats;
+  };
+
+  // Treatment: HiGNN level-1 topics with level-2 backoff.
+  PairStats hignn_l1 = build_stats(
+      [&](int32_t u) { return model.LeftClusterAt(u, 1); },
+      [&](int32_t i) { return model.RightClusterAt(i, 1); },
+      model.levels()[0].num_right_clusters);
+  PairStats hignn_l2 = build_stats(
+      [&](int32_t u) { return model.LeftClusterAt(u, 2); },
+      [&](int32_t i) { return model.RightClusterAt(i, 2); },
+      model.levels()[1].num_right_clusters);
+
+  // Control: single-level K-means on the raw static features.
+  KMeansConfig km;
+  km.k = model.levels()[0].num_left_clusters;
+  km.seed = 99;
+  auto user_static_clusters =
+      RunKMeans(dataset.value().user_features(), km).ValueOrDie();
+  km.k = model.levels()[0].num_right_clusters;
+  auto item_static_clusters =
+      RunKMeans(dataset.value().item_features(), km).ValueOrDie();
+  PairStats static_stats = build_stats(
+      [&](int32_t u) {
+        return user_static_clusters.assignment[static_cast<size_t>(u)];
+      },
+      [&](int32_t i) {
+        return item_static_clusters.assignment[static_cast<size_t>(i)];
+      },
+      model.levels()[0].num_right_clusters);
+
+  AbTestConfig tax_ab = ab;
+  tax_ab.seed ^= 0x7A1ULL;
+  AbTestSimulator tax_simulator(&dataset.value(), tax_ab);
+  auto static_run = tax_simulator.Run([&](int32_t u, int32_t i) {
+    const int64_t key =
+        static_cast<int64_t>(
+            user_static_clusters.assignment[static_cast<size_t>(u)]) *
+            model.levels()[0].num_right_clusters +
+        item_static_clusters.assignment[static_cast<size_t>(i)];
+    return pair_rate(static_stats, key);
+  });
+  auto hier_run = tax_simulator.Run([&](int32_t u, int32_t i) {
+    const int64_t key1 =
+        static_cast<int64_t>(model.LeftClusterAt(u, 1)) *
+            model.levels()[0].num_right_clusters +
+        model.RightClusterAt(i, 1);
+    const int64_t key2 =
+        static_cast<int64_t>(model.LeftClusterAt(u, 2)) *
+            model.levels()[1].num_right_clusters +
+        model.RightClusterAt(i, 2);
+    return 0.6 * pair_rate(hignn_l1, key1) + 0.4 * pair_rate(hignn_l2, key2);
+  });
+  (void)num_items;
+  if (!static_run.ok() || !hier_run.ok()) {
+    std::fprintf(stderr, "taxonomy simulation failed\n");
+    return 1;
+  }
+  double control_ctr = 0.0;
+  double treatment_ctr = 0.0;
+  for (int day = 0; day < 2; ++day) {
+    control_ctr += static_run.value()[static_cast<size_t>(day)].Ctr() / 2;
+    treatment_ctr += hier_run.value()[static_cast<size_t>(day)].Ctr() / 2;
+  }
+  std::printf("\nSec. V-D.4 taxonomy A/B: CTR %.4f -> %.4f (%s; paper "
+              "+3.8%%)\n",
+              control_ctr, treatment_ctr,
+              bench::Uplift(control_ctr, treatment_ctr).c_str());
+  return 0;
+}

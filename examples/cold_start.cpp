@@ -1,0 +1,108 @@
+// Cold-start scenario (the paper's Taobao #2 motivation): new-arrival
+// items have almost no interaction history, so item-statistic features are
+// unreliable and the hierarchical graph structure has to carry the
+// prediction. This example contrasts DIN (statistics only) with HiGNN on a
+// sparse new-arrivals dataset and shows where the gain comes from by
+// bucketing test items by their click history.
+//
+//   ./build/examples/example_cold_start
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "predict/experiment.h"
+
+int main() {
+  using namespace hignn;
+
+  SyntheticConfig data_config = SyntheticConfig::Taobao2();
+  data_config.num_users = 1500;
+  data_config.num_items = 900;
+  auto dataset = SyntheticDataset::Generate(data_config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const BipartiteGraph graph = dataset.value().BuildTrainGraph();
+  std::printf("cold-start graph: %d users x %d items, %lld clicks "
+              "(%.1f clicks/item on average)\n",
+              graph.num_left(), graph.num_right(),
+              static_cast<long long>(graph.num_edges()),
+              static_cast<double>(graph.num_edges()) / graph.num_right());
+
+  CvrExperimentConfig config;
+  config.hignn.levels = 3;
+  config.hignn.sage.train_steps = 250;
+  config.cvr.hidden = {128, 64, 32};
+  config.cvr.epochs = 3;
+  config.replicate_positives = false;  // keep the unbalanced records
+  auto experiment = CvrExperiment::Prepare(dataset.value(), config);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "prepare: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+
+  // Train DIN and HiGNN, keep their per-sample predictions.
+  std::map<std::string, std::vector<float>> predictions;
+  for (const auto& [name, spec] :
+       {std::pair<const char*, FeatureSpec>{"DIN", FeatureSpec::Din()},
+        {"HiGNN", FeatureSpec::HiGnn(3)}}) {
+    auto features = CvrFeatureBuilder::Create(
+        &dataset.value(),
+        spec.user_levels > 0 ? &experiment.value().model() : nullptr, spec);
+    if (!features.ok()) return 1;
+    auto model = CvrModel::Create(features.value().dim(), config.cvr);
+    if (!model.ok()) return 1;
+    if (!model.value()
+             .Train(features.value(), experiment.value().samples().train)
+             .ok()) {
+      return 1;
+    }
+    auto scores = model.value().Predict(features.value(),
+                                        experiment.value().samples().test);
+    if (!scores.ok()) return 1;
+    predictions[name] = std::move(scores).value();
+  }
+
+  // Overall and per-bucket AUC: items with thin history should show the
+  // largest HiGNN advantage.
+  const auto& test = experiment.value().samples().test;
+  std::vector<float> labels;
+  for (const auto& sample : test) labels.push_back(sample.label);
+  std::printf("\n%-28s %10s %10s\n", "bucket", "DIN AUC", "HiGNN AUC");
+  for (const auto& [bucket, bounds] :
+       std::map<std::string, std::pair<int64_t, int64_t>>{
+           {"all test samples", {0, 1'000'000}},
+           {"cold items (<8 clicks)", {0, 7}},
+           {"warm items (>=8 clicks)", {8, 1'000'000}}}) {
+    std::vector<float> din_scores;
+    std::vector<float> hignn_scores;
+    std::vector<float> bucket_labels;
+    for (size_t k = 0; k < test.size(); ++k) {
+      const int64_t clicks =
+          dataset.value()
+              .item_counters()[static_cast<size_t>(test[k].item)][0];
+      if (clicks < bounds.first || clicks > bounds.second) continue;
+      din_scores.push_back(predictions["DIN"][k]);
+      hignn_scores.push_back(predictions["HiGNN"][k]);
+      bucket_labels.push_back(labels[k]);
+    }
+    auto din_auc = ComputeAuc(din_scores, bucket_labels);
+    auto hignn_auc = ComputeAuc(hignn_scores, bucket_labels);
+    if (!din_auc.ok() || !hignn_auc.ok()) {
+      std::printf("%-28s %10s %10s\n", bucket.c_str(), "n/a", "n/a");
+      continue;
+    }
+    std::printf("%-28s %10.4f %10.4f\n", bucket.c_str(), din_auc.value(),
+                hignn_auc.value());
+  }
+  std::printf("\nExpected shape: HiGNN's margin over DIN is largest on the "
+              "cold bucket,\nwhere item statistics are uninformative "
+              "(the paper's Taobao #2 story).\n");
+  return 0;
+}

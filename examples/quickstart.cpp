@@ -1,0 +1,73 @@
+// Quickstart: generate a small synthetic e-commerce world, fit a 2-level
+// HiGNN hierarchy on its click graph, train the CVR predictor on the
+// hierarchical embeddings, and report next-day AUC.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "core/hignn.h"
+#include "data/synthetic.h"
+#include "predict/experiment.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace hignn;
+
+  // 1. A small synthetic Taobao-like dataset (ground-truth topic tree,
+  //    users with topic preferences, one week of clicks + purchases).
+  SyntheticConfig data_config = SyntheticConfig::Tiny();
+  data_config.num_users = 600;
+  data_config.num_items = 300;
+  auto dataset_result = SyntheticDataset::Generate(data_config);
+  if (!dataset_result.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 dataset_result.status().ToString().c_str());
+    return 1;
+  }
+  const SyntheticDataset& dataset = dataset_result.value();
+  std::printf("dataset: %d users, %d items, %zu interactions\n",
+              dataset.num_users(), dataset.num_items(),
+              dataset.interactions().size());
+
+  // 2. Configure HiGNN: 2 levels of bipartite GraphSAGE + K-means.
+  CvrExperimentConfig config;
+  config.hignn.levels = 2;
+  config.hignn.sage.dims = {16, 16};
+  config.hignn.sage.fanouts = {10, 5};
+  config.hignn.sage.train_steps = 60;
+  config.hignn.alpha = 5.0;
+  config.hignn.verbose = true;
+  config.cvr.hidden = {64, 32};
+  config.cvr.epochs = 2;
+  config.cvr.batch_size = 256;
+
+  WallTimer timer;
+  auto experiment = CvrExperiment::Prepare(dataset, config);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "prepare: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("hierarchy fitted in %.1fs (%d levels)\n", timer.Seconds(),
+              experiment.value().model().num_levels());
+
+  // 3. Train the supervised network on hierarchical user preference +
+  //    hierarchical item attractiveness and evaluate next-day CVR AUC.
+  for (const char* name : {"DIN", "HiGNN"}) {
+    const FeatureSpec spec = std::string(name) == "DIN"
+                                 ? FeatureSpec::Din()
+                                 : FeatureSpec::HiGnn(2);
+    auto result = experiment.value().RunVariant(name, spec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-6s  test AUC %.4f  (train loss %.4f)\n", name,
+                result.value().test_auc, result.value().train_loss);
+  }
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "baselines/diffpool.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace hignn {
+
+namespace {
+
+// Symmetrically normalized dense adjacency with self-loops:
+// A_hat = D^{-1/2} (A + I) D^{-1/2}.
+Matrix NormalizedDenseAdjacency(const BipartiteGraph& graph) {
+  const size_t m = static_cast<size_t>(graph.num_left());
+  const size_t n = static_cast<size_t>(graph.num_right());
+  const size_t total = m + n;
+  Matrix adj(total, total);
+  for (size_t v = 0; v < total; ++v) adj(v, v) = 1.0f;
+  for (int32_t u = 0; u < graph.num_left(); ++u) {
+    const auto span = graph.LeftNeighbors(u);
+    for (size_t k = 0; k < span.size; ++k) {
+      const size_t i = m + static_cast<size_t>(span.ids[k]);
+      adj(static_cast<size_t>(u), i) = span.weights[k];
+      adj(i, static_cast<size_t>(u)) = span.weights[k];
+    }
+  }
+  std::vector<float> inv_sqrt_degree(total);
+  for (size_t v = 0; v < total; ++v) {
+    double degree = 0.0;
+    for (size_t w = 0; w < total; ++w) degree += adj(v, w);
+    inv_sqrt_degree[v] = degree > 0.0
+                             ? static_cast<float>(1.0 / std::sqrt(degree))
+                             : 0.0f;
+  }
+  for (size_t v = 0; v < total; ++v) {
+    for (size_t w = 0; w < total; ++w) {
+      adj(v, w) *= inv_sqrt_degree[v] * inv_sqrt_degree[w];
+    }
+  }
+  return adj;
+}
+
+// One dense GCN layer: relu(A_hat X W).
+Matrix DenseGcn(const Matrix& adj, const Matrix& x, const Matrix& weight,
+                int64_t* flops) {
+  Matrix ax = MatMul(adj, x);
+  Matrix out = MatMul(ax, weight);
+  *flops += static_cast<int64_t>(adj.rows()) * adj.cols() * x.cols();
+  *flops += static_cast<int64_t>(ax.rows()) * ax.cols() * weight.cols();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::max(0.0f, out.data()[i]);
+  }
+  return out;
+}
+
+void RowSoftmaxInPlace(Matrix& m) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r);
+    float max_value = row[0];
+    for (size_t c = 1; c < m.cols(); ++c) max_value = std::max(max_value, row[c]);
+    double total = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      row[c] = std::exp(row[c] - max_value);
+      total += row[c];
+    }
+    const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
+    for (size_t c = 0; c < m.cols(); ++c) row[c] *= inv;
+  }
+}
+
+}  // namespace
+
+Result<DiffPoolStats> RunDiffPoolForward(const BipartiteGraph& graph,
+                                         const Matrix& left_features,
+                                         const Matrix& right_features,
+                                         const DiffPoolConfig& config) {
+  if (config.hidden_dim <= 0 || config.levels <= 0) {
+    return Status::InvalidArgument("bad diffpool config");
+  }
+  if (left_features.rows() != static_cast<size_t>(graph.num_left()) ||
+      right_features.rows() != static_cast<size_t>(graph.num_right())) {
+    return Status::InvalidArgument("feature rows != vertex counts");
+  }
+  const size_t total = static_cast<size_t>(graph.num_left()) +
+                       static_cast<size_t>(graph.num_right());
+  // Refuse allocations past ~2 GiB of dense floats — the scalability wall.
+  if (total * total > (2ULL << 30) / sizeof(float)) {
+    return Status::FailedPrecondition(
+        "graph too large for dense DIFFPOOL (adjacency would exceed 2 GiB) "
+        "- this is the limitation HiGNN avoids");
+  }
+
+  WallTimer timer;
+  DiffPoolStats stats;
+  Rng rng(config.seed);
+
+  // Lifted features: pad both sides into a shared feature space.
+  const size_t feat_dim =
+      std::max(left_features.cols(), right_features.cols()) + 1;
+  Matrix x(total, feat_dim);
+  for (int32_t u = 0; u < graph.num_left(); ++u) {
+    const float* src = left_features.row(static_cast<size_t>(u));
+    float* dst = x.row(static_cast<size_t>(u));
+    std::copy(src, src + left_features.cols(), dst);
+    dst[feat_dim - 1] = 1.0f;  // side indicator
+  }
+  for (int32_t i = 0; i < graph.num_right(); ++i) {
+    const float* src = right_features.row(static_cast<size_t>(i));
+    float* dst = x.row(static_cast<size_t>(graph.num_left()) +
+                       static_cast<size_t>(i));
+    std::copy(src, src + right_features.cols(), dst);
+    dst[feat_dim - 1] = -1.0f;
+  }
+
+  Matrix adj = NormalizedDenseAdjacency(graph);
+  stats.dense_elements =
+      static_cast<int64_t>(adj.rows()) * static_cast<int64_t>(adj.cols());
+
+  size_t vertices = total;
+  for (int32_t level = 0; level < config.levels; ++level) {
+    const size_t clusters = std::max<size_t>(
+        static_cast<size_t>(config.min_clusters),
+        static_cast<size_t>(static_cast<double>(vertices) *
+                            config.cluster_ratio));
+
+    Matrix w_embed(x.cols(), static_cast<size_t>(config.hidden_dim));
+    Matrix w_assign(x.cols(), clusters);
+    w_embed.FillNormal(rng, 1.0f / std::sqrt(static_cast<float>(x.cols())));
+    w_assign.FillNormal(rng, 1.0f / std::sqrt(static_cast<float>(x.cols())));
+
+    // Z = GCN_embed(A, X); S = softmax(GCN_assign(A, X)).
+    Matrix z = DenseGcn(adj, x, w_embed, &stats.flops_estimate);
+    Matrix s = DenseGcn(adj, x, w_assign, &stats.flops_estimate);
+    RowSoftmaxInPlace(s);
+
+    // X' = S^T Z;  A' = S^T A S.
+    Matrix pooled_x = MatMulAT(s, z);
+    stats.flops_estimate +=
+        static_cast<int64_t>(s.rows()) * s.cols() * z.cols();
+    Matrix as = MatMul(adj, s);
+    stats.flops_estimate +=
+        static_cast<int64_t>(adj.rows()) * adj.cols() * s.cols();
+    Matrix pooled_adj = MatMulAT(s, as);
+    stats.flops_estimate +=
+        static_cast<int64_t>(s.rows()) * s.cols() * as.cols();
+
+    x = std::move(pooled_x);
+    adj = std::move(pooled_adj);
+    vertices = clusters;
+  }
+  stats.pooled_features = std::move(x);
+  stats.seconds = timer.Seconds();
+  return stats;
+}
+
+}  // namespace hignn

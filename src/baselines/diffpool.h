@@ -1,0 +1,52 @@
+#ifndef HIGNN_BASELINES_DIFFPOOL_H_
+#define HIGNN_BASELINES_DIFFPOOL_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Dense DIFFPOOL (Ying et al., NeurIPS'18) reference used for the
+/// paper's scalability argument (Sec. II-C): differentiable soft pooling
+/// "requires explicitly expressing the adjacency matrix of the graph",
+/// which is O(n^2) memory and O(n^2 d) time per layer and therefore
+/// "computationally expensive ... in handling large-scale graphs".
+///
+/// The bipartite graph is lifted to a unipartite (M+N)-vertex graph, then
+/// each level runs two dense GCNs (embedding + assignment), a row-softmax
+/// S, and the pooled products X' = S^T Z, A' = S^T A S — the exact
+/// DIFFPOOL computation. Weights are randomly initialized: the
+/// scalability comparison in bench/ablation_scalability measures the
+/// forward cost, which is what separates DIFFPOOL from HiGNN's sampled,
+/// sparse alternative (training multiplies both by the same constant).
+struct DiffPoolConfig {
+  int32_t hidden_dim = 32;
+  int32_t levels = 2;
+  /// Cluster count decay per level (matches HiGNN's alpha).
+  double cluster_ratio = 0.2;
+  int32_t min_clusters = 4;
+  uint64_t seed = 7;
+};
+
+/// \brief Cost accounting of one forward pass.
+struct DiffPoolStats {
+  double seconds = 0.0;
+  int64_t dense_elements = 0;  ///< largest dense adjacency held (n^2)
+  int64_t flops_estimate = 0;  ///< dense multiply-accumulate count
+  Matrix pooled_features;      ///< final pooled representation
+};
+
+/// \brief Runs the dense DIFFPOOL forward pass over the lifted graph.
+/// Fails on configs that would allocate more than ~2 GiB of dense
+/// adjacency — which is precisely the scalability wall the paper cites.
+Result<DiffPoolStats> RunDiffPoolForward(const BipartiteGraph& graph,
+                                         const Matrix& left_features,
+                                         const Matrix& right_features,
+                                         const DiffPoolConfig& config);
+
+}  // namespace hignn
+
+#endif  // HIGNN_BASELINES_DIFFPOOL_H_

@@ -1,0 +1,156 @@
+#include "baselines/random_walk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/sampling.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hignn {
+
+namespace {
+
+inline float SigmoidF(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+// Walk vertices in a unified id space: left ids [0, M), right ids
+// [M, M+N). Walks alternate sides by construction of the bipartite graph.
+std::vector<int32_t> SampleWalk(const BipartiteGraph& graph, int32_t start,
+                                bool start_left, int32_t length,
+                                bool weighted, Rng& rng) {
+  std::vector<int32_t> walk;
+  walk.reserve(static_cast<size_t>(length));
+  int32_t current = start;
+  bool on_left = start_left;
+  const int32_t offset = graph.num_left();
+  for (int32_t step = 0; step < length; ++step) {
+    walk.push_back(on_left ? current : current + offset);
+    const auto span = on_left ? graph.LeftNeighbors(current)
+                              : graph.RightNeighbors(current);
+    if (span.size == 0) break;
+    size_t pick;
+    if (!weighted) {
+      pick = rng.UniformInt(span.size);
+    } else {
+      double total = 0.0;
+      for (size_t k = 0; k < span.size; ++k) total += span.weights[k];
+      double target = rng.Uniform() * total;
+      pick = span.size - 1;
+      for (size_t k = 0; k < span.size; ++k) {
+        target -= span.weights[k];
+        if (target <= 0.0) {
+          pick = k;
+          break;
+        }
+      }
+    }
+    current = span.ids[pick];
+    on_left = !on_left;
+  }
+  return walk;
+}
+
+}  // namespace
+
+Result<RandomWalkEmbeddings> TrainRandomWalkEmbeddings(
+    const BipartiteGraph& graph, const RandomWalkConfig& config) {
+  if (config.dim <= 0 || config.walks_per_vertex <= 0 ||
+      config.walk_length < 2 || config.window <= 0) {
+    return Status::InvalidArgument("bad random-walk config");
+  }
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("graph has no edges");
+  }
+
+  const int32_t total = graph.num_left() + graph.num_right();
+  const size_t d = static_cast<size_t>(config.dim);
+  Rng rng(config.seed);
+  Matrix input(static_cast<size_t>(total), d);
+  Matrix output(static_cast<size_t>(total), d);
+  input.FillUniform(rng, -0.5f / config.dim, 0.5f / config.dim);
+
+  // Degree^0.75 negative table over the unified id space.
+  std::vector<double> weights(static_cast<size_t>(total));
+  for (int32_t v = 0; v < graph.num_left(); ++v) {
+    weights[static_cast<size_t>(v)] =
+        std::pow(graph.LeftDegree(v) + 1.0, 0.75);
+  }
+  for (int32_t v = 0; v < graph.num_right(); ++v) {
+    weights[static_cast<size_t>(graph.num_left() + v)] =
+        std::pow(graph.RightDegree(v) + 1.0, 0.75);
+  }
+  AliasSampler negative_table(weights);
+
+  std::vector<float> grad_center(d);
+  for (int32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const float lr = config.learning_rate *
+                     (1.0f - static_cast<float>(epoch) /
+                                 static_cast<float>(config.epochs));
+    for (int32_t start = 0; start < total; ++start) {
+      const bool start_left = start < graph.num_left();
+      const int32_t vertex =
+          start_left ? start : start - graph.num_left();
+      const int32_t degree = start_left ? graph.LeftDegree(vertex)
+                                        : graph.RightDegree(vertex);
+      if (degree == 0) continue;
+      for (int32_t w = 0; w < config.walks_per_vertex; ++w) {
+        const std::vector<int32_t> walk =
+            SampleWalk(graph, vertex, start_left, config.walk_length,
+                       config.weighted_walks, rng);
+        const int32_t len = static_cast<int32_t>(walk.size());
+        for (int32_t pos = 0; pos < len; ++pos) {
+          const int32_t center = walk[static_cast<size_t>(pos)];
+          float* v_center = input.row(static_cast<size_t>(center));
+          for (int32_t off = -config.window; off <= config.window; ++off) {
+            if (off == 0) continue;
+            const int32_t ctx_pos = pos + off;
+            if (ctx_pos < 0 || ctx_pos >= len) continue;
+            const int32_t context = walk[static_cast<size_t>(ctx_pos)];
+            std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+            for (int32_t n = 0; n <= config.negatives; ++n) {
+              int32_t target;
+              float label;
+              if (n == 0) {
+                target = context;
+                label = 1.0f;
+              } else {
+                target = static_cast<int32_t>(negative_table.Sample(rng));
+                if (target == context) continue;
+                label = 0.0f;
+              }
+              float* v_out = output.row(static_cast<size_t>(target));
+              float dot = 0.0f;
+              for (size_t c = 0; c < d; ++c) dot += v_center[c] * v_out[c];
+              const float g = (SigmoidF(dot) - label) * lr;
+              for (size_t c = 0; c < d; ++c) {
+                grad_center[c] += g * v_out[c];
+                v_out[c] -= g * v_center[c];
+              }
+            }
+            for (size_t c = 0; c < d; ++c) v_center[c] -= grad_center[c];
+          }
+        }
+      }
+    }
+  }
+
+  RandomWalkEmbeddings embeddings;
+  embeddings.left = Matrix(static_cast<size_t>(graph.num_left()), d);
+  embeddings.right = Matrix(static_cast<size_t>(graph.num_right()), d);
+  for (int32_t v = 0; v < graph.num_left(); ++v) {
+    const float* src = input.row(static_cast<size_t>(v));
+    std::copy(src, src + d, embeddings.left.row(static_cast<size_t>(v)));
+  }
+  for (int32_t v = 0; v < graph.num_right(); ++v) {
+    const float* src =
+        input.row(static_cast<size_t>(graph.num_left() + v));
+    std::copy(src, src + d, embeddings.right.row(static_cast<size_t>(v)));
+  }
+  return embeddings;
+}
+
+}  // namespace hignn

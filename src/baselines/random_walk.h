@@ -1,0 +1,45 @@
+#ifndef HIGNN_BASELINES_RANDOM_WALK_H_
+#define HIGNN_BASELINES_RANDOM_WALK_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief HOP-Rec-style random-walk embeddings (Yang et al., RecSys'18 —
+/// the graph-based CF baseline the paper's related work discusses):
+/// truncated random walks on the bipartite graph generate multi-hop
+/// (vertex, context) pairs, embedded by skip-gram with negative sampling.
+///
+/// Unlike GraphSAGE this is transductive (a free vector per vertex, no
+/// feature function), linear, and cannot use vertex attributes — the
+/// weaknesses the paper's GNN approach addresses. Provided as an extra
+/// baseline for embedding-quality comparisons.
+struct RandomWalkConfig {
+  int32_t dim = 32;
+  int32_t walks_per_vertex = 8;
+  int32_t walk_length = 8;     ///< vertices per walk (alternating sides)
+  int32_t window = 3;          ///< skip-gram window within a walk
+  int32_t negatives = 4;
+  int32_t epochs = 2;
+  float learning_rate = 0.025f;
+  bool weighted_walks = true;  ///< step proportionally to edge weight
+  uint64_t seed = 71;
+};
+
+/// \brief Per-side embedding tables learned from the walks.
+struct RandomWalkEmbeddings {
+  Matrix left;   ///< (num_left x dim)
+  Matrix right;  ///< (num_right x dim)
+};
+
+/// \brief Trains HOP-Rec-style embeddings on the bipartite graph.
+Result<RandomWalkEmbeddings> TrainRandomWalkEmbeddings(
+    const BipartiteGraph& graph, const RandomWalkConfig& config);
+
+}  // namespace hignn
+
+#endif  // HIGNN_BASELINES_RANDOM_WALK_H_

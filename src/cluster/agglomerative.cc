@@ -1,0 +1,146 @@
+#include "cluster/agglomerative.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hignn {
+
+Result<AgglomerativeClustering> AgglomerativeClustering::Fit(
+    const Matrix& points) {
+  const int32_t n = static_cast<int32_t>(points.rows());
+  if (n == 0) return Status::InvalidArgument("no points");
+  if (n == 1) return AgglomerativeClustering(1, {});
+
+  // Ward distance between singletons: ||xi - xj||^2 / 2.
+  const size_t nn = static_cast<size_t>(n);
+  std::vector<double> dist(nn * nn, 0.0);
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = i + 1; j < n; ++j) {
+      const double d = RowSquaredDistance(points, static_cast<size_t>(i),
+                                          points, static_cast<size_t>(j)) /
+                       2.0;
+      dist[static_cast<size_t>(i) * nn + j] = d;
+      dist[static_cast<size_t>(j) * nn + i] = d;
+    }
+  }
+
+  std::vector<bool> active(nn, true);
+  std::vector<int64_t> size(nn, 1);
+  // Slot -> current cluster id (merged clusters get ids n, n+1, ...).
+  std::vector<int32_t> cluster_id(nn);
+  std::iota(cluster_id.begin(), cluster_id.end(), 0);
+
+  std::vector<Merge> merges;
+  merges.reserve(nn - 1);
+
+  auto nearest = [&](int32_t slot) {
+    int32_t best = -1;
+    double best_dist = std::numeric_limits<double>::max();
+    const double* row = dist.data() + static_cast<size_t>(slot) * nn;
+    for (int32_t k = 0; k < n; ++k) {
+      if (k == slot || !active[static_cast<size_t>(k)]) continue;
+      if (row[k] < best_dist) {
+        best_dist = row[k];
+        best = k;
+      }
+    }
+    return std::pair<int32_t, double>(best, best_dist);
+  };
+
+  // Nearest-neighbor chain (valid for reducible linkages such as Ward).
+  std::vector<int32_t> chain;
+  chain.reserve(nn);
+  int32_t remaining = n;
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (int32_t s = 0; s < n; ++s) {
+        if (active[static_cast<size_t>(s)]) {
+          chain.push_back(s);
+          break;
+        }
+      }
+    }
+    for (;;) {
+      const int32_t top = chain.back();
+      auto [next, d] = nearest(top);
+      HIGNN_CHECK_GE(next, 0);
+      if (chain.size() >= 2 && next == chain[chain.size() - 2]) {
+        // Reciprocal pair: merge `top` and `next`.
+        chain.pop_back();
+        chain.pop_back();
+        const int32_t a = std::min(top, next);
+        const int32_t b = std::max(top, next);
+        merges.push_back(Merge{cluster_id[static_cast<size_t>(a)],
+                               cluster_id[static_cast<size_t>(b)], d});
+        // Lance-Williams Ward update into slot a.
+        const double sa = static_cast<double>(size[static_cast<size_t>(a)]);
+        const double sb = static_cast<double>(size[static_cast<size_t>(b)]);
+        for (int32_t k = 0; k < n; ++k) {
+          if (!active[static_cast<size_t>(k)] || k == a || k == b) continue;
+          const double sk = static_cast<double>(size[static_cast<size_t>(k)]);
+          const double dak = dist[static_cast<size_t>(a) * nn + k];
+          const double dbk = dist[static_cast<size_t>(b) * nn + k];
+          const double dab = dist[static_cast<size_t>(a) * nn + b];
+          const double updated =
+              ((sa + sk) * dak + (sb + sk) * dbk - sk * dab) /
+              (sa + sb + sk);
+          dist[static_cast<size_t>(a) * nn + k] = updated;
+          dist[static_cast<size_t>(k) * nn + a] = updated;
+        }
+        active[static_cast<size_t>(b)] = false;
+        size[static_cast<size_t>(a)] += size[static_cast<size_t>(b)];
+        cluster_id[static_cast<size_t>(a)] =
+            n + static_cast<int32_t>(merges.size()) - 1;
+        --remaining;
+        break;
+      }
+      chain.push_back(next);
+    }
+  }
+  return AgglomerativeClustering(n, std::move(merges));
+}
+
+Result<std::vector<int32_t>> AgglomerativeClustering::Cut(int32_t k) const {
+  if (k < 1 || k > num_points_) {
+    return Status::InvalidArgument("k out of range for dendrogram cut");
+  }
+  // Union-find over the first n-k merges.
+  const int32_t total = 2 * num_points_ - 1;
+  std::vector<int32_t> parent(static_cast<size_t>(total));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int32_t(int32_t)> find = [&](int32_t x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  const int32_t merges_to_apply = num_points_ - k;
+  for (int32_t m = 0; m < merges_to_apply; ++m) {
+    const Merge& merge = merges_[static_cast<size_t>(m)];
+    const int32_t target = num_points_ + m;
+    parent[static_cast<size_t>(find(merge.a))] = target;
+    parent[static_cast<size_t>(find(merge.b))] = target;
+  }
+
+  std::vector<int32_t> labels(static_cast<size_t>(num_points_));
+  std::vector<int32_t> dense(static_cast<size_t>(total), -1);
+  int32_t next_label = 0;
+  for (int32_t i = 0; i < num_points_; ++i) {
+    const int32_t root = find(i);
+    if (dense[static_cast<size_t>(root)] < 0) {
+      dense[static_cast<size_t>(root)] = next_label++;
+    }
+    labels[static_cast<size_t>(i)] = dense[static_cast<size_t>(root)];
+  }
+  HIGNN_CHECK_EQ(next_label, k);
+  return labels;
+}
+
+}  // namespace hignn

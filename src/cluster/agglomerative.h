@@ -1,0 +1,51 @@
+#ifndef HIGNN_CLUSTER_AGGLOMERATIVE_H_
+#define HIGNN_CLUSTER_AGGLOMERATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Hierarchical agglomerative clustering (Ward linkage) via the
+/// nearest-neighbor-chain algorithm — O(n^2) time and memory.
+///
+/// This is the clustering engine of the SHOAL baseline (Section V-D):
+/// SHOAL "performs parallel hierarchical agglomerative clustering" on
+/// static embeddings rather than training a GNN. The full merge tree is
+/// computed once; any cut (number of clusters) can then be extracted.
+class AgglomerativeClustering {
+ public:
+  /// \brief One merge step: clusters `a` and `b` become cluster n + step.
+  struct Merge {
+    int32_t a;
+    int32_t b;
+    double distance;  ///< Ward cost of the merge
+  };
+
+  /// \brief Builds the full dendrogram over the rows of `points`.
+  /// Requires at least one row; O(n^2) memory (distance matrix).
+  static Result<AgglomerativeClustering> Fit(const Matrix& points);
+
+  /// \brief Flat clustering with exactly `k` clusters (1 <= k <= n).
+  /// Returned labels are dense in [0, k).
+  Result<std::vector<int32_t>> Cut(int32_t k) const;
+
+  /// \brief The n-1 merges in execution order.
+  const std::vector<Merge>& merges() const { return merges_; }
+
+  int32_t num_points() const { return num_points_; }
+
+ private:
+  AgglomerativeClustering(int32_t num_points, std::vector<Merge> merges)
+      : num_points_(num_points), merges_(std::move(merges)) {}
+
+  int32_t num_points_;
+  std::vector<Merge> merges_;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_CLUSTER_AGGLOMERATIVE_H_

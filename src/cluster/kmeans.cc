@@ -1,0 +1,356 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hignn {
+
+namespace {
+
+double SquaredDistance(const float* a, const float* b, size_t d) {
+  double total = 0.0;
+  for (size_t c = 0; c < d; ++c) {
+    const double diff = static_cast<double>(a[c]) - b[c];
+    total += diff * diff;
+  }
+  return total;
+}
+
+// Nearest center index and squared distance for one point.
+std::pair<int32_t, double> NearestCenter(const Matrix& centers,
+                                         const float* point, size_t d) {
+  int32_t best = 0;
+  double best_dist = std::numeric_limits<double>::max();
+  for (size_t c = 0; c < centers.rows(); ++c) {
+    const double dist = SquaredDistance(centers.row(c), point, d);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = static_cast<int32_t>(c);
+    }
+  }
+  return {best, best_dist};
+}
+
+Matrix InitCenters(const Matrix& points, int32_t k, bool kmeanspp, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  Matrix centers(static_cast<size_t>(k), d);
+
+  if (!kmeanspp) {
+    // Distinct random rows via partial shuffle of indices.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    rng.Shuffle(idx);
+    for (int32_t c = 0; c < k; ++c) {
+      const float* src = points.row(idx[static_cast<size_t>(c)]);
+      float* dst = centers.row(static_cast<size_t>(c));
+      std::copy(src, src + d, dst);
+    }
+    return centers;
+  }
+
+  // k-means++: first center uniform, then D^2 weighting.
+  {
+    const size_t first = rng.UniformInt(n);
+    const float* src = points.row(first);
+    std::copy(src, src + d, centers.row(0));
+  }
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  for (int32_t c = 1; c < k; ++c) {
+    const float* latest = centers.row(static_cast<size_t>(c - 1));
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double dist = SquaredDistance(points.row(i), latest, d);
+      min_dist[i] = std::min(min_dist[i], dist);
+      total += min_dist[i];
+    }
+    size_t pick = n - 1;
+    if (total > 0.0) {
+      double target = rng.Uniform() * total;
+      for (size_t i = 0; i < n; ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = rng.UniformInt(n);  // All points identical.
+    }
+    const float* src = points.row(pick);
+    std::copy(src, src + d, centers.row(static_cast<size_t>(c)));
+  }
+  return centers;
+}
+
+// Reassigns every point; returns inertia.
+double AssignAll(const Matrix& points, const Matrix& centers,
+                 std::vector<int32_t>& assignment) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  double inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    auto [best, dist] = NearestCenter(centers, points.row(i), d);
+    assignment[i] = best;
+    inertia += dist;
+  }
+  return inertia;
+}
+
+// Repairs empty clusters by stealing the farthest point from the most
+// populated cluster, keeping every cluster id used (downstream coarsening
+// tolerates empty clusters but quality suffers).
+void RepairEmptyClusters(const Matrix& points, Matrix& centers,
+                         std::vector<int32_t>& assignment, int32_t k) {
+  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  for (int32_t a : assignment) ++counts[static_cast<size_t>(a)];
+  for (int32_t c = 0; c < k; ++c) {
+    if (counts[static_cast<size_t>(c)] > 0) continue;
+    // Farthest point from its own center, in the largest cluster.
+    int32_t donor = static_cast<int32_t>(std::distance(
+        counts.begin(), std::max_element(counts.begin(), counts.end())));
+    double best_dist = -1.0;
+    size_t best_point = 0;
+    for (size_t i = 0; i < points.rows(); ++i) {
+      if (assignment[i] != donor) continue;
+      const double dist = SquaredDistance(
+          points.row(i), centers.row(static_cast<size_t>(donor)),
+          points.cols());
+      if (dist > best_dist) {
+        best_dist = dist;
+        best_point = i;
+      }
+    }
+    if (best_dist < 0.0) continue;  // Degenerate: nothing to steal.
+    assignment[best_point] = c;
+    const float* src = points.row(best_point);
+    std::copy(src, src + points.cols(), centers.row(static_cast<size_t>(c)));
+    --counts[static_cast<size_t>(donor)];
+    ++counts[static_cast<size_t>(c)];
+  }
+}
+
+KMeansResult RunLloyd(const Matrix& points, const KMeansConfig& config,
+                      int32_t k, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  KMeansResult result;
+  result.centers = InitCenters(points, k, config.kmeanspp_init, rng);
+  result.assignment.assign(n, 0);
+
+  Matrix sums(static_cast<size_t>(k), d);
+  std::vector<int64_t> counts(static_cast<size_t>(k));
+  for (int32_t iter = 0; iter < config.max_iters; ++iter) {
+    result.iterations = iter + 1;
+    result.inertia = AssignAll(points, result.centers, result.assignment);
+
+    sums.Fill(0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t a = result.assignment[i];
+      float* dst = sums.row(static_cast<size_t>(a));
+      const float* src = points.row(i);
+      for (size_t c = 0; c < d; ++c) dst[c] += src[c];
+      ++counts[static_cast<size_t>(a)];
+    }
+    double shift = 0.0;
+    for (int32_t c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+      float* center = result.centers.row(static_cast<size_t>(c));
+      const float* sum = sums.row(static_cast<size_t>(c));
+      for (size_t col = 0; col < d; ++col) {
+        const float updated = sum[col] * inv;
+        const double delta = static_cast<double>(updated) - center[col];
+        shift += delta * delta;
+        center[col] = updated;
+      }
+    }
+    if (shift < config.tol) break;
+  }
+  result.inertia = AssignAll(points, result.centers, result.assignment);
+  RepairEmptyClusters(points, result.centers, result.assignment, k);
+  return result;
+}
+
+KMeansResult RunMiniBatch(const Matrix& points, const KMeansConfig& config,
+                          int32_t k, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  KMeansResult result;
+  result.centers = InitCenters(points, k, config.kmeanspp_init, rng);
+
+  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  for (int32_t step = 0; step < config.minibatch_steps; ++step) {
+    result.iterations = step + 1;
+    const size_t batch =
+        std::min<size_t>(static_cast<size_t>(config.batch_size), n);
+    for (size_t b = 0; b < batch; ++b) {
+      const size_t i = rng.UniformInt(n);
+      auto [best, dist] = NearestCenter(result.centers, points.row(i), d);
+      (void)dist;
+      ++counts[static_cast<size_t>(best)];
+      const float eta = 1.0f / static_cast<float>(counts[static_cast<size_t>(best)]);
+      float* center = result.centers.row(static_cast<size_t>(best));
+      const float* src = points.row(i);
+      for (size_t c = 0; c < d; ++c) {
+        center[c] += eta * (src[c] - center[c]);
+      }
+    }
+  }
+  result.assignment.assign(n, 0);
+  result.inertia = AssignAll(points, result.centers, result.assignment);
+  RepairEmptyClusters(points, result.centers, result.assignment, k);
+  return result;
+}
+
+// Single streaming pass: each point updates its nearest center with a
+// 1/count learning rate — O(n*k), the complexity quoted in Sec. III-D.
+KMeansResult RunSinglePass(const Matrix& points, const KMeansConfig& config,
+                           int32_t k, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  KMeansResult result;
+  result.centers = InitCenters(points, k, config.kmeanspp_init, rng);
+  result.iterations = 1;
+
+  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  // Stream the points in a random order to reduce order bias.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  for (size_t i : order) {
+    auto [best, dist] = NearestCenter(result.centers, points.row(i), d);
+    (void)dist;
+    ++counts[static_cast<size_t>(best)];
+    const float eta = 1.0f / static_cast<float>(counts[static_cast<size_t>(best)]);
+    float* center = result.centers.row(static_cast<size_t>(best));
+    const float* src = points.row(i);
+    for (size_t c = 0; c < d; ++c) center[c] += eta * (src[c] - center[c]);
+  }
+  result.assignment.assign(n, 0);
+  result.inertia = AssignAll(points, result.centers, result.assignment);
+  RepairEmptyClusters(points, result.centers, result.assignment, k);
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(const Matrix& points,
+                               const KMeansConfig& config) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    return Status::InvalidArgument("RunKMeans: empty point matrix");
+  }
+  if (config.k <= 0) {
+    return Status::InvalidArgument("RunKMeans: k must be positive");
+  }
+  const int32_t k =
+      std::min<int32_t>(config.k, static_cast<int32_t>(points.rows()));
+  Rng rng(config.seed);
+  switch (config.algorithm) {
+    case KMeansAlgorithm::kLloyd:
+      return RunLloyd(points, config, k, rng);
+    case KMeansAlgorithm::kMiniBatch:
+      return RunMiniBatch(points, config, k, rng);
+    case KMeansAlgorithm::kSinglePass:
+      return RunSinglePass(points, config, k, rng);
+  }
+  return Status::Internal("unknown kmeans algorithm");
+}
+
+double CalinskiHarabaszIndex(const Matrix& points,
+                             const std::vector<int32_t>& assignment,
+                             int32_t k) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  if (k < 2 || static_cast<size_t>(k) >= n || assignment.size() != n) {
+    return 0.0;
+  }
+
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = points.row(i);
+    for (size_t c = 0; c < d; ++c) mean[c] += row[c];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+
+  std::vector<std::vector<double>> centers(
+      static_cast<size_t>(k), std::vector<double>(d, 0.0));
+  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t a = assignment[i];
+    HIGNN_CHECK_GE(a, 0);
+    HIGNN_CHECK_LT(a, k);
+    const float* row = points.row(i);
+    for (size_t c = 0; c < d; ++c) centers[static_cast<size_t>(a)][c] += row[c];
+    ++counts[static_cast<size_t>(a)];
+  }
+  int32_t non_empty = 0;
+  for (int32_t c = 0; c < k; ++c) {
+    if (counts[static_cast<size_t>(c)] == 0) continue;
+    ++non_empty;
+    for (size_t col = 0; col < d; ++col) {
+      centers[static_cast<size_t>(c)][col] /=
+          static_cast<double>(counts[static_cast<size_t>(c)]);
+    }
+  }
+  if (non_empty < 2) return 0.0;
+
+  double between = 0.0;  // D_B(k): sum_c n_c * ||mu_c - mu||^2
+  for (int32_t c = 0; c < k; ++c) {
+    if (counts[static_cast<size_t>(c)] == 0) continue;
+    double dist = 0.0;
+    for (size_t col = 0; col < d; ++col) {
+      const double diff = centers[static_cast<size_t>(c)][col] - mean[col];
+      dist += diff * diff;
+    }
+    between += static_cast<double>(counts[static_cast<size_t>(c)]) * dist;
+  }
+
+  double within = 0.0;  // D_W(k): sum_i ||x_i - mu_{a(i)}||^2
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t a = assignment[i];
+    const float* row = points.row(i);
+    for (size_t col = 0; col < d; ++col) {
+      const double diff =
+          static_cast<double>(row[col]) - centers[static_cast<size_t>(a)][col];
+      within += diff * diff;
+    }
+  }
+  if (within <= 0.0) return std::numeric_limits<double>::infinity();
+  return (between / within) * (static_cast<double>(n - k) /
+                               static_cast<double>(k - 1));
+}
+
+Result<KMeansResult> SelectKByCalinskiHarabasz(
+    const Matrix& points, const std::vector<int32_t>& candidates,
+    const KMeansConfig& base_config, int32_t* best_k) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate k values");
+  }
+  double best_ch = -1.0;
+  Result<KMeansResult> best = Status::Internal("no candidate succeeded");
+  int32_t chosen = candidates.front();
+  for (int32_t k : candidates) {
+    KMeansConfig config = base_config;
+    config.k = k;
+    auto result = RunKMeans(points, config);
+    if (!result.ok()) continue;
+    const double ch =
+        CalinskiHarabaszIndex(points, result.value().assignment, k);
+    if (ch > best_ch) {
+      best_ch = ch;
+      chosen = k;
+      best = std::move(result);
+    }
+  }
+  if (!best.ok()) return best.status();
+  if (best_k != nullptr) *best_k = chosen;
+  return best;
+}
+
+}  // namespace hignn

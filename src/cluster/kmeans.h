@@ -1,0 +1,68 @@
+#ifndef HIGNN_CLUSTER_KMEANS_H_
+#define HIGNN_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Which K-means variant to run.
+///
+/// The paper's complexity analysis (Sec. III-D) relies on the single-pass
+/// estimator "which estimates the cluster centers with a single pass over
+/// all data and is appropriate for large-scale clustering" — O(M*Ku).
+/// Lloyd and mini-batch are provided for quality comparison and ablation.
+enum class KMeansAlgorithm {
+  kLloyd,       ///< classic batch EM until convergence / max_iters
+  kMiniBatch,   ///< Sculley-style mini-batch updates
+  kSinglePass,  ///< one streaming pass with online center updates
+};
+
+/// \brief K-means configuration.
+struct KMeansConfig {
+  int32_t k = 8;
+  KMeansAlgorithm algorithm = KMeansAlgorithm::kLloyd;
+  int32_t max_iters = 25;         ///< Lloyd iterations
+  double tol = 1e-4;              ///< Lloyd: stop when center shift < tol
+  int32_t batch_size = 256;       ///< mini-batch size
+  int32_t minibatch_steps = 100;  ///< mini-batch update steps
+  uint64_t seed = 42;
+  bool kmeanspp_init = true;      ///< k-means++ seeding (else random rows)
+};
+
+/// \brief Clustering result.
+struct KMeansResult {
+  Matrix centers;                    ///< (k x d)
+  std::vector<int32_t> assignment;   ///< per-point center index
+  double inertia = 0.0;              ///< sum of squared point-center dists
+  int32_t iterations = 0;            ///< iterations actually run
+};
+
+/// \brief Clusters the rows of `points` (n x d).
+///
+/// Guarantees every returned assignment is in [0, k). If n < k the
+/// effective k is reduced to n. Empty input is an error.
+Result<KMeansResult> RunKMeans(const Matrix& points, const KMeansConfig& config);
+
+/// \brief Calinski-Harabasz index (Eq. 13): between-cluster variance over
+/// within-cluster variance, scaled by (N-k)/(k-1). Larger is better.
+/// Requires 2 <= k < n and at least two non-empty clusters; returns 0
+/// otherwise.
+double CalinskiHarabaszIndex(const Matrix& points,
+                             const std::vector<int32_t>& assignment,
+                             int32_t k);
+
+/// \brief Picks k from `candidates` maximizing the CH index (Sec. V-C.1),
+/// running K-means per candidate. Returns the best KMeansResult and sets
+/// `*best_k`.
+Result<KMeansResult> SelectKByCalinskiHarabasz(
+    const Matrix& points, const std::vector<int32_t>& candidates,
+    const KMeansConfig& base_config, int32_t* best_k);
+
+}  // namespace hignn
+
+#endif  // HIGNN_CLUSTER_KMEANS_H_

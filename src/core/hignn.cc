@@ -1,0 +1,237 @@
+#include "core/hignn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/coarsen.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace hignn {
+
+namespace {
+
+// Cluster count for a side with `n` vertices under the fixed alpha decay.
+int32_t DecayedK(int32_t n, double alpha, int32_t min_clusters) {
+  const int32_t k = static_cast<int32_t>(
+      std::llround(static_cast<double>(n) / alpha));
+  return std::max(min_clusters, std::min(k, n));
+}
+
+// CH-driven k selection (taxonomy mode): candidates bracket n/alpha.
+Result<KMeansResult> ClusterSide(const Matrix& embeddings, int32_t n,
+                                 const HignnConfig& config, uint64_t seed,
+                                 int32_t* chosen_k) {
+  KMeansConfig kmeans = config.kmeans;
+  kmeans.seed = seed;
+  if (!config.select_k_by_ch) {
+    kmeans.k = DecayedK(n, config.alpha, config.min_clusters);
+    *chosen_k = kmeans.k;
+    return RunKMeans(embeddings, kmeans);
+  }
+  const int32_t base = DecayedK(n, config.alpha, config.min_clusters);
+  std::vector<int32_t> candidates;
+  for (double scale : {0.5, 0.75, 1.0, 1.5, 2.0}) {
+    const int32_t k = std::max(
+        config.min_clusters,
+        std::min(n, static_cast<int32_t>(std::llround(base * scale))));
+    if (std::find(candidates.begin(), candidates.end(), k) ==
+        candidates.end()) {
+      candidates.push_back(k);
+    }
+  }
+  return SelectKByCalinskiHarabasz(embeddings, candidates, kmeans, chosen_k);
+}
+
+}  // namespace
+
+int32_t HignnModel::level_dim() const {
+  HIGNN_CHECK(!levels_.empty());
+  return static_cast<int32_t>(levels_.front().left_embeddings.cols());
+}
+
+int32_t HignnModel::LeftClusterAt(int32_t u, int32_t level) const {
+  HIGNN_CHECK_GE(level, 1);
+  HIGNN_CHECK_LE(level, num_levels());
+  int32_t vertex = u;
+  for (int32_t l = 1; l <= level; ++l) {
+    const auto& assignment = levels_[static_cast<size_t>(l - 1)].left_assignment;
+    HIGNN_CHECK_LT(static_cast<size_t>(vertex), assignment.size());
+    vertex = assignment[static_cast<size_t>(vertex)];
+  }
+  return vertex;
+}
+
+int32_t HignnModel::RightClusterAt(int32_t i, int32_t level) const {
+  HIGNN_CHECK_GE(level, 1);
+  HIGNN_CHECK_LE(level, num_levels());
+  int32_t vertex = i;
+  for (int32_t l = 1; l <= level; ++l) {
+    const auto& assignment =
+        levels_[static_cast<size_t>(l - 1)].right_assignment;
+    HIGNN_CHECK_LT(static_cast<size_t>(vertex), assignment.size());
+    vertex = assignment[static_cast<size_t>(vertex)];
+  }
+  return vertex;
+}
+
+std::vector<float> HignnModel::HierarchicalLeft(int32_t u) const {
+  const size_t d = static_cast<size_t>(level_dim());
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(hierarchical_dim()));
+  int32_t vertex = u;
+  for (int32_t l = 1; l <= num_levels(); ++l) {
+    const HignnLevel& level = levels_[static_cast<size_t>(l - 1)];
+    const float* row =
+        level.left_embeddings.row(static_cast<size_t>(vertex));
+    out.insert(out.end(), row, row + d);
+    vertex = level.left_assignment[static_cast<size_t>(vertex)];
+  }
+  return out;
+}
+
+std::vector<float> HignnModel::HierarchicalRight(int32_t i) const {
+  const size_t d = static_cast<size_t>(level_dim());
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(hierarchical_dim()));
+  int32_t vertex = i;
+  for (int32_t l = 1; l <= num_levels(); ++l) {
+    const HignnLevel& level = levels_[static_cast<size_t>(l - 1)];
+    const float* row =
+        level.right_embeddings.row(static_cast<size_t>(vertex));
+    out.insert(out.end(), row, row + d);
+    vertex = level.right_assignment[static_cast<size_t>(vertex)];
+  }
+  return out;
+}
+
+namespace {
+
+Matrix StackHierarchical(const HignnModel& model, bool left,
+                         int32_t max_level) {
+  const int32_t levels =
+      max_level <= 0 ? model.num_levels()
+                     : std::min(max_level, model.num_levels());
+  HIGNN_CHECK_GE(levels, 1);
+  const size_t d = static_cast<size_t>(model.level_dim());
+  const size_t n = left ? model.levels().front().graph.num_left()
+                        : model.levels().front().graph.num_right();
+  Matrix out(n, static_cast<size_t>(levels) * d);
+  for (size_t v = 0; v < n; ++v) {
+    int32_t vertex = static_cast<int32_t>(v);
+    float* dst = out.row(v);
+    for (int32_t l = 1; l <= levels; ++l) {
+      const HignnLevel& level = model.levels()[static_cast<size_t>(l - 1)];
+      const Matrix& embeddings =
+          left ? level.left_embeddings : level.right_embeddings;
+      const auto& assignment =
+          left ? level.left_assignment : level.right_assignment;
+      const float* src = embeddings.row(static_cast<size_t>(vertex));
+      std::copy(src, src + d, dst + static_cast<size_t>(l - 1) * d);
+      vertex = assignment[static_cast<size_t>(vertex)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix HignnModel::AllHierarchicalLeft(int32_t max_level) const {
+  return StackHierarchical(*this, /*left=*/true, max_level);
+}
+
+Matrix HignnModel::AllHierarchicalRight(int32_t max_level) const {
+  return StackHierarchical(*this, /*left=*/false, max_level);
+}
+
+Result<HignnModel> Hignn::Fit(const BipartiteGraph& graph,
+                              const Matrix& left_features,
+                              const Matrix& right_features,
+                              const HignnConfig& config) {
+  if (config.levels < 1) {
+    return Status::InvalidArgument("HiGNN needs at least one level");
+  }
+  if (graph.num_left() == 0 || graph.num_right() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (graph.num_edges() == 0) {
+    return Status::InvalidArgument("graph has no edges");
+  }
+
+  HignnModel model;
+  BipartiteGraph current_graph = graph;
+  Matrix current_left = left_features;
+  Matrix current_right = right_features;
+
+  for (int32_t l = 1; l <= config.levels; ++l) {
+    WallTimer timer;
+    // --- (Z_u^l, Z_i^l) <- BG(G^{l-1}, X^{l-1}) [Alg. 1 line 4] ----------
+    BipartiteSageConfig sage_config = config.sage;
+    sage_config.seed = config.seed + static_cast<uint64_t>(l) * 7919;
+    HIGNN_ASSIGN_OR_RETURN(
+        BipartiteSage sage,
+        BipartiteSage::Create(sage_config,
+                              static_cast<int32_t>(current_left.cols()),
+                              static_cast<int32_t>(current_right.cols())));
+    HIGNN_ASSIGN_OR_RETURN(double loss,
+                           sage.Train(current_graph, current_left,
+                                      current_right));
+    HIGNN_ASSIGN_OR_RETURN(
+        SageEmbeddings embeddings,
+        sage.EmbedAll(current_graph, current_left, current_right));
+
+    // --- C_u^l, C_i^l <- K(Z^l) [Alg. 1 line 5] ---------------------------
+    int32_t left_k = 0;
+    int32_t right_k = 0;
+    HIGNN_ASSIGN_OR_RETURN(
+        KMeansResult left_clusters,
+        ClusterSide(embeddings.left, current_graph.num_left(), config,
+                    config.seed + static_cast<uint64_t>(l) * 104729 + 1,
+                    &left_k));
+    HIGNN_ASSIGN_OR_RETURN(
+        KMeansResult right_clusters,
+        ClusterSide(embeddings.right, current_graph.num_right(), config,
+                    config.seed + static_cast<uint64_t>(l) * 104729 + 2,
+                    &right_k));
+
+    HignnLevel level;
+    level.graph = current_graph;
+    level.left_embeddings = embeddings.left;
+    level.right_embeddings = embeddings.right;
+    level.left_assignment = left_clusters.assignment;
+    level.right_assignment = right_clusters.assignment;
+    level.num_left_clusters = left_k;
+    level.num_right_clusters = right_k;
+    level.train_loss = loss;
+
+    if (config.verbose) {
+      HIGNN_LOG(kInfo) << StrFormat(
+          "HiGNN level %d: |U|=%d |I|=%d |E|=%lld loss=%.4f Ku=%d Ki=%d "
+          "(%.1fs)",
+          l, current_graph.num_left(), current_graph.num_right(),
+          static_cast<long long>(current_graph.num_edges()), loss, left_k,
+          right_k, timer.Seconds());
+    }
+
+    // --- (G^l, X^l) <- F(C_u, C_i, G^{l-1}) [Alg. 1 line 6] ---------------
+    if (l < config.levels) {
+      HIGNN_ASSIGN_OR_RETURN(
+          CoarsenedGraph coarse,
+          CoarsenBipartiteGraph(current_graph, embeddings.left,
+                                embeddings.right, left_clusters.assignment,
+                                left_k, right_clusters.assignment, right_k));
+      current_graph = std::move(coarse.graph);
+      current_left = std::move(coarse.left_features);
+      current_right = std::move(coarse.right_features);
+      if (current_graph.num_edges() == 0) {
+        return Status::Internal(
+            StrFormat("coarsened graph at level %d has no edges", l));
+      }
+    }
+    model.levels_.push_back(std::move(level));
+  }
+  return model;
+}
+
+}  // namespace hignn

@@ -1,0 +1,120 @@
+#ifndef HIGNN_CORE_HIGNN_H_
+#define HIGNN_CORE_HIGNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "graph/bipartite_graph.h"
+#include "nn/matrix.h"
+#include "sage/bipartite_sage.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Configuration for the full HiGNN stack (Algorithm 1).
+struct HignnConfig {
+  /// L: number of GNN/cluster levels. L = 0 degenerates to "no graph"
+  /// (the DIN baseline); L = 1 is the flat GE baseline.
+  int32_t levels = 3;
+
+  /// Per-level bipartite GraphSAGE settings. dims.back() is the level
+  /// embedding size d (paper: 32).
+  BipartiteSageConfig sage;
+
+  /// K-decay: the cluster count at level l is (vertex count at l-1) / alpha
+  /// (paper: K_l = K_{l-1}/alpha, alpha = 5 works best).
+  double alpha = 5.0;
+
+  /// Lower bound on cluster counts so deep levels stay meaningful.
+  int32_t min_clusters = 4;
+
+  /// K-means settings; `k` is overridden per level/side.
+  KMeansConfig kmeans;
+
+  /// Unsupervised taxonomy mode (Sec. V-C.1): choose each level's k by
+  /// maximizing the Calinski-Harabasz index over candidates around
+  /// n/alpha instead of the fixed decay.
+  bool select_k_by_ch = false;
+
+  uint64_t seed = 1234;
+  bool verbose = false;
+};
+
+/// \brief Artifacts of one HiGNN level l (1-based).
+///
+/// `graph` is the input graph G^{l-1} the level's GraphSAGE trained on;
+/// the embeddings are Z^l (one row per G^{l-1} vertex); the assignments
+/// define the coarsening into G^l.
+struct HignnLevel {
+  BipartiteGraph graph;
+  Matrix left_embeddings;
+  Matrix right_embeddings;
+  std::vector<int32_t> left_assignment;
+  std::vector<int32_t> right_assignment;
+  int32_t num_left_clusters = 0;
+  int32_t num_right_clusters = 0;
+  double train_loss = 0.0;
+};
+
+/// \brief Trained hierarchical model: the per-level embeddings and cluster
+/// chains of Algorithm 1's output (G, Z_u, Z_i).
+class HignnModel {
+ public:
+  HignnModel() = default;
+
+  /// \brief Reassembles a model from per-level artifacts (used by the
+  /// serialization layer and by tests).
+  static HignnModel FromLevels(std::vector<HignnLevel> levels) {
+    HignnModel model;
+    model.levels_ = std::move(levels);
+    return model;
+  }
+
+  const std::vector<HignnLevel>& levels() const { return levels_; }
+  int32_t num_levels() const { return static_cast<int32_t>(levels_.size()); }
+
+  /// \brief Embedding size of each level.
+  int32_t level_dim() const;
+
+  /// \brief Size of the concatenated hierarchical embedding (L * d).
+  int32_t hierarchical_dim() const { return num_levels() * level_dim(); }
+
+  /// \brief Cluster (super-vertex of G^level) containing original left
+  /// vertex `u`; `level` in [1, L]. Level l vertex ids chain through the
+  /// per-level K-means assignments.
+  int32_t LeftClusterAt(int32_t u, int32_t level) const;
+  int32_t RightClusterAt(int32_t i, int32_t level) const;
+
+  /// \brief z^H_u = CONCAT(z^1_u, ..., z^L_u) (Sec. IV-A): the level-l
+  /// block is the embedding of u's cluster chain at that level.
+  std::vector<float> HierarchicalLeft(int32_t u) const;
+  std::vector<float> HierarchicalRight(int32_t i) const;
+
+  /// \brief Hierarchical embeddings for every original vertex, restricted
+  /// to levels [1, max_level]; max_level <= 0 means all levels. Rows are
+  /// (max_level * d) wide. Used to build the CGNN / GE / HUP / HIA
+  /// baselines from one trained hierarchy.
+  Matrix AllHierarchicalLeft(int32_t max_level = 0) const;
+  Matrix AllHierarchicalRight(int32_t max_level = 0) const;
+
+ private:
+  friend class Hignn;
+  std::vector<HignnLevel> levels_;
+};
+
+/// \brief HiGNN driver: stacks bipartite GraphSAGE and deterministic
+/// K-means clustering alternately (Algorithm 1).
+class Hignn {
+ public:
+  /// \brief Runs Algorithm 1 on the input graph and features. Requires
+  /// `config.levels >= 1`; for the L = 0 case skip HiGNN entirely.
+  static Result<HignnModel> Fit(const BipartiteGraph& graph,
+                                const Matrix& left_features,
+                                const Matrix& right_features,
+                                const HignnConfig& config);
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_CORE_HIGNN_H_

@@ -1,0 +1,215 @@
+#include "core/serialization.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace hignn {
+
+namespace {
+
+void WriteMatrixPayload(BinaryWriter& writer, const Matrix& matrix) {
+  writer.WriteU64(matrix.rows());
+  writer.WriteU64(matrix.cols());
+  writer.WriteFloats(matrix.data(), matrix.size());
+}
+
+Result<Matrix> ReadMatrixPayload(BinaryReader& reader) {
+  HIGNN_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
+  HIGNN_ASSIGN_OR_RETURN(uint64_t cols, reader.ReadU64());
+  if (rows > (1ULL << 31) || cols > (1ULL << 31)) {
+    return Status::IOError("unreasonable matrix shape");
+  }
+  Matrix matrix(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  HIGNN_RETURN_IF_ERROR(reader.ReadFloats(matrix.data(), matrix.size()));
+  return matrix;
+}
+
+void WriteGraphPayload(BinaryWriter& writer, const BipartiteGraph& graph) {
+  writer.WriteI32(graph.num_left());
+  writer.WriteI32(graph.num_right());
+  writer.WriteI64(graph.num_edges());
+  for (int64_t k = 0; k < graph.num_edges(); ++k) {
+    const WeightedEdge edge = graph.EdgeAt(k);
+    writer.WriteI32(edge.u);
+    writer.WriteI32(edge.i);
+    writer.WriteF32(edge.weight);
+  }
+}
+
+Result<BipartiteGraph> ReadGraphPayload(BinaryReader& reader) {
+  HIGNN_ASSIGN_OR_RETURN(int32_t num_left, reader.ReadI32());
+  HIGNN_ASSIGN_OR_RETURN(int32_t num_right, reader.ReadI32());
+  HIGNN_ASSIGN_OR_RETURN(int64_t num_edges, reader.ReadI64());
+  if (num_left < 0 || num_right < 0 || num_edges < 0) {
+    return Status::IOError("negative graph dimensions");
+  }
+  BipartiteGraphBuilder builder(num_left, num_right);
+  for (int64_t k = 0; k < num_edges; ++k) {
+    HIGNN_ASSIGN_OR_RETURN(int32_t u, reader.ReadI32());
+    HIGNN_ASSIGN_OR_RETURN(int32_t i, reader.ReadI32());
+    HIGNN_ASSIGN_OR_RETURN(float weight, reader.ReadF32());
+    HIGNN_RETURN_IF_ERROR(builder.AddEdge(u, i, weight));
+  }
+  return builder.Build();
+}
+
+void WriteAssignment(BinaryWriter& writer,
+                     const std::vector<int32_t>& assignment) {
+  writer.WriteI32s(assignment.data(), assignment.size());
+}
+
+Result<std::vector<int32_t>> ReadAssignment(BinaryReader& reader,
+                                            size_t expected) {
+  std::vector<int32_t> assignment(expected);
+  HIGNN_RETURN_IF_ERROR(reader.ReadI32s(assignment.data(), expected));
+  return assignment;
+}
+
+}  // namespace
+
+Status SaveMatrix(const Matrix& matrix, const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IOError("cannot open " + path);
+  writer.WriteHeader(kTagMatrix);
+  WriteMatrixPayload(writer, matrix);
+  return writer.Close();
+}
+
+Result<Matrix> LoadMatrix(const std::string& path) {
+  BinaryReader reader(path);
+  HIGNN_RETURN_IF_ERROR(reader.ReadHeader(kTagMatrix));
+  return ReadMatrixPayload(reader);
+}
+
+Status SaveBipartiteGraph(const BipartiteGraph& graph,
+                          const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IOError("cannot open " + path);
+  writer.WriteHeader(kTagBipartiteGraph);
+  WriteGraphPayload(writer, graph);
+  return writer.Close();
+}
+
+Result<BipartiteGraph> LoadBipartiteGraph(const std::string& path) {
+  BinaryReader reader(path);
+  HIGNN_RETURN_IF_ERROR(reader.ReadHeader(kTagBipartiteGraph));
+  return ReadGraphPayload(reader);
+}
+
+Status SaveHignnModel(const HignnModel& model, const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IOError("cannot open " + path);
+  writer.WriteHeader(kTagHignnModel);
+  writer.WriteI32(model.num_levels());
+  for (const HignnLevel& level : model.levels()) {
+    WriteGraphPayload(writer, level.graph);
+    WriteMatrixPayload(writer, level.left_embeddings);
+    WriteMatrixPayload(writer, level.right_embeddings);
+    WriteAssignment(writer, level.left_assignment);
+    WriteAssignment(writer, level.right_assignment);
+    writer.WriteI32(level.num_left_clusters);
+    writer.WriteI32(level.num_right_clusters);
+    writer.WriteF64(level.train_loss);
+  }
+  return writer.Close();
+}
+
+Result<HignnModel> LoadHignnModel(const std::string& path) {
+  BinaryReader reader(path);
+  HIGNN_RETURN_IF_ERROR(reader.ReadHeader(kTagHignnModel));
+  HIGNN_ASSIGN_OR_RETURN(int32_t num_levels, reader.ReadI32());
+  if (num_levels < 0 || num_levels > 64) {
+    return Status::IOError("unreasonable level count");
+  }
+  std::vector<HignnLevel> levels;
+  levels.reserve(static_cast<size_t>(num_levels));
+  for (int32_t l = 0; l < num_levels; ++l) {
+    HignnLevel level;
+    HIGNN_ASSIGN_OR_RETURN(level.graph, ReadGraphPayload(reader));
+    HIGNN_ASSIGN_OR_RETURN(level.left_embeddings, ReadMatrixPayload(reader));
+    HIGNN_ASSIGN_OR_RETURN(level.right_embeddings, ReadMatrixPayload(reader));
+    HIGNN_ASSIGN_OR_RETURN(
+        level.left_assignment,
+        ReadAssignment(reader, static_cast<size_t>(level.graph.num_left())));
+    HIGNN_ASSIGN_OR_RETURN(
+        level.right_assignment,
+        ReadAssignment(reader, static_cast<size_t>(level.graph.num_right())));
+    HIGNN_ASSIGN_OR_RETURN(level.num_left_clusters, reader.ReadI32());
+    HIGNN_ASSIGN_OR_RETURN(level.num_right_clusters, reader.ReadI32());
+    HIGNN_ASSIGN_OR_RETURN(level.train_loss, reader.ReadF64());
+    levels.push_back(std::move(level));
+  }
+  return HignnModel::FromLevels(std::move(levels));
+}
+
+Result<BipartiteGraph> LoadBipartiteGraphTsv(const std::string& path,
+                                             int32_t num_left,
+                                             int32_t num_right) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  struct ParsedEdge {
+    int32_t u;
+    int32_t i;
+    float weight;
+  };
+  std::vector<ParsedEdge> edges;
+  int32_t max_left = -1;
+  int32_t max_right = -1;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto fields = SplitWhitespace(trimmed);
+    if (fields.size() < 2 || fields.size() > 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: expected 2 or 3 fields", path.c_str(),
+                    line_number));
+    }
+    ParsedEdge edge;
+    try {
+      edge.u = std::stoi(fields[0]);
+      edge.i = std::stoi(fields[1]);
+      edge.weight = fields.size() == 3 ? std::stof(fields[2]) : 1.0f;
+    } catch (const std::exception&) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: malformed number", path.c_str(), line_number));
+    }
+    if (edge.u < 0 || edge.i < 0) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: negative id", path.c_str(), line_number));
+    }
+    max_left = std::max(max_left, edge.u);
+    max_right = std::max(max_right, edge.i);
+    edges.push_back(edge);
+  }
+  const int32_t left = num_left >= 0 ? num_left : max_left + 1;
+  const int32_t right = num_right >= 0 ? num_right : max_right + 1;
+  BipartiteGraphBuilder builder(left, right);
+  for (const ParsedEdge& edge : edges) {
+    HIGNN_RETURN_IF_ERROR(builder.AddEdge(edge.u, edge.i, edge.weight));
+  }
+  return builder.Build();
+}
+
+Status SaveBipartiteGraphTsv(const BipartiteGraph& graph,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "# left_id\tright_id\tweight\n";
+  for (int64_t k = 0; k < graph.num_edges(); ++k) {
+    const WeightedEdge edge = graph.EdgeAt(k);
+    out << edge.u << '\t' << edge.i << '\t' << edge.weight << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+}  // namespace hignn

@@ -1,0 +1,47 @@
+#ifndef HIGNN_CORE_SERIALIZATION_H_
+#define HIGNN_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/hignn.h"
+#include "graph/bipartite_graph.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Persistence for the library's main artifacts, in the versioned
+/// binary container of util/io.h. Typical use: fit the hierarchy once
+/// (the expensive step), save it, and serve / experiment from the cached
+/// model.
+///
+/// ```cpp
+/// HIGNN_RETURN_IF_ERROR(SaveHignnModel(model, "hierarchy.hgnn"));
+/// HIGNN_ASSIGN_OR_RETURN(HignnModel model, LoadHignnModel("hierarchy.hgnn"));
+/// ```
+
+Status SaveMatrix(const Matrix& matrix, const std::string& path);
+Result<Matrix> LoadMatrix(const std::string& path);
+
+Status SaveBipartiteGraph(const BipartiteGraph& graph,
+                          const std::string& path);
+Result<BipartiteGraph> LoadBipartiteGraph(const std::string& path);
+
+Status SaveHignnModel(const HignnModel& model, const std::string& path);
+Result<HignnModel> LoadHignnModel(const std::string& path);
+
+/// \brief Loads a bipartite graph from a text edge list: one
+/// "left_id<TAB>right_id[<TAB>weight]" line per edge (weight defaults to
+/// 1; '#'-prefixed lines are comments). Ids are dense non-negative
+/// integers; vertex counts are inferred as max id + 1 unless given.
+Result<BipartiteGraph> LoadBipartiteGraphTsv(const std::string& path,
+                                             int32_t num_left = -1,
+                                             int32_t num_right = -1);
+
+/// \brief Writes the edge list in the same TSV format.
+Status SaveBipartiteGraphTsv(const BipartiteGraph& graph,
+                             const std::string& path);
+
+}  // namespace hignn
+
+#endif  // HIGNN_CORE_SERIALIZATION_H_

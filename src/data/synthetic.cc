@@ -1,0 +1,389 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace hignn {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double Cosine(const float* a, const float* b, size_t d) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t c = 0; c < d; ++c) {
+    dot += static_cast<double>(a[c]) * b[c];
+    na += static_cast<double>(a[c]) * a[c];
+    nb += static_cast<double>(b[c]) * b[c];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace
+
+SyntheticConfig SyntheticConfig::Taobao1() {
+  SyntheticConfig config;
+  config.num_users = 4000;
+  config.num_items = 1600;
+  config.num_days = 8;
+  config.mean_clicks_per_user_day = 3.5;
+  config.topic_affinity_bias = 0.6;
+  config.prefs_per_user = 2;
+  config.user_noise = 0.6;
+  config.item_noise = 0.6;
+  config.purchase_bias = -6.0;
+  config.purchase_scale = 9.0;
+  config.tree.depth = 3;
+  config.tree.branching = 4;
+  config.tree.latent_dim = 16;
+  config.tree.seed = 31;
+  config.seed = 101;
+  return config;
+}
+
+SyntheticConfig SyntheticConfig::Taobao2() {
+  // Cold-start analogue: new-arrival items, far fewer interactions per
+  // item, lower base CVR, original (unbalanced) records.
+  SyntheticConfig config;
+  config.num_users = 3000;
+  config.num_items = 1800;
+  config.num_days = 8;
+  config.mean_clicks_per_user_day = 1.2;
+  config.topic_affinity_bias = 0.6;
+  config.prefs_per_user = 2;
+  config.user_noise = 0.6;
+  config.item_noise = 0.6;
+  config.purchase_bias = -7.0;
+  config.purchase_scale = 9.0;
+  config.tree.depth = 3;
+  config.tree.branching = 4;
+  config.tree.latent_dim = 16;
+  config.tree.seed = 37;
+  config.seed = 202;
+  return config;
+}
+
+SyntheticConfig SyntheticConfig::Tiny() {
+  SyntheticConfig config;
+  config.num_users = 200;
+  config.num_items = 100;
+  config.num_days = 4;
+  config.mean_clicks_per_user_day = 2.0;
+  config.prefs_per_user = 2;
+  config.tree.depth = 2;
+  config.tree.branching = 3;
+  config.tree.latent_dim = 8;
+  config.tree.seed = 5;
+  config.seed = 7;
+  return config;
+}
+
+Result<SyntheticDataset> SyntheticDataset::Generate(
+    const SyntheticConfig& config) {
+  if (config.num_users <= 0 || config.num_items <= 0) {
+    return Status::InvalidArgument("user/item counts must be positive");
+  }
+  if (config.num_days < 2) {
+    return Status::InvalidArgument(
+        "need at least 2 days (train days + 1 test day)");
+  }
+  if (config.prefs_per_user < 1) {
+    return Status::InvalidArgument("prefs_per_user must be >= 1");
+  }
+
+  SyntheticDataset dataset;
+  dataset.config_ = config;
+  HIGNN_ASSIGN_OR_RETURN(dataset.tree_, TopicTree::Generate(config.tree));
+  const TopicTree& tree = dataset.tree_;
+  const size_t latent_dim = static_cast<size_t>(tree.latent_dim());
+
+  Rng rng(config.seed);
+
+  // ---- Items ---------------------------------------------------------------
+  dataset.items_.resize(static_cast<size_t>(config.num_items));
+  dataset.item_latent_ = Matrix(static_cast<size_t>(config.num_items),
+                                latent_dim);
+  std::vector<double> popularity(static_cast<size_t>(config.num_items));
+  {
+    // Zipf popularity over a shuffled rank order.
+    std::vector<size_t> ranks(static_cast<size_t>(config.num_items));
+    for (size_t i = 0; i < ranks.size(); ++i) ranks[i] = i;
+    rng.Shuffle(ranks);
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      popularity[i] =
+          1.0 / std::pow(static_cast<double>(ranks[i]) + 1.0,
+                         config.zipf_exponent);
+    }
+  }
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    ItemMeta& meta = dataset.items_[static_cast<size_t>(i)];
+    meta.leaf_topic = tree.SampleLeaf(rng);
+    meta.popularity = static_cast<float>(popularity[static_cast<size_t>(i)]);
+    meta.price = static_cast<float>(std::exp(rng.Normal(3.0, 0.8)));
+    const auto& leaf_latent = tree.node(meta.leaf_topic).latent;
+    float* row = dataset.item_latent_.row(static_cast<size_t>(i));
+    for (size_t d = 0; d < latent_dim; ++d) {
+      row[d] = leaf_latent[d] +
+               static_cast<float>(rng.Normal(0.0, config.item_noise));
+    }
+  }
+
+  // Per-leaf item pools for topic-biased click sampling.
+  std::vector<std::vector<int32_t>> leaf_items(tree.nodes().size());
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    leaf_items[static_cast<size_t>(dataset.items_[static_cast<size_t>(i)]
+                                       .leaf_topic)]
+        .push_back(i);
+  }
+  std::vector<std::unique_ptr<AliasSampler>> leaf_samplers(
+      tree.nodes().size());
+  for (size_t leaf = 0; leaf < leaf_items.size(); ++leaf) {
+    if (leaf_items[leaf].empty()) continue;
+    std::vector<double> weights;
+    weights.reserve(leaf_items[leaf].size());
+    for (int32_t item : leaf_items[leaf]) {
+      weights.push_back(popularity[static_cast<size_t>(item)]);
+    }
+    leaf_samplers[leaf] = std::make_unique<AliasSampler>(weights);
+  }
+  AliasSampler global_sampler(popularity);
+
+  // ---- Users ---------------------------------------------------------------
+  dataset.profiles_.resize(static_cast<size_t>(config.num_users));
+  dataset.user_prefs_.resize(static_cast<size_t>(config.num_users));
+  dataset.user_latent_ = Matrix(static_cast<size_t>(config.num_users),
+                                latent_dim);
+  const auto& leaves = tree.leaves();
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    UserProfile& profile = dataset.profiles_[static_cast<size_t>(u)];
+    profile.gender = static_cast<int8_t>(rng.UniformInt(2));
+    profile.age_bucket = static_cast<int8_t>(rng.UniformInt(4));
+    profile.purchasing_power = static_cast<int8_t>(rng.UniformInt(3));
+
+    // Distinct preferred leaves, exponential weights normalized to 1.
+    auto& prefs = dataset.user_prefs_[static_cast<size_t>(u)];
+    const int32_t num_prefs = std::min<int32_t>(
+        config.prefs_per_user, static_cast<int32_t>(leaves.size()));
+    while (static_cast<int32_t>(prefs.size()) < num_prefs) {
+      const int32_t leaf = leaves[rng.UniformInt(leaves.size())];
+      bool seen = false;
+      for (const auto& [existing, w] : prefs) {
+        (void)w;
+        if (existing == leaf) seen = true;
+      }
+      if (!seen) prefs.emplace_back(leaf, 0.0f);
+    }
+    double total = 0.0;
+    for (auto& [leaf, weight] : prefs) {
+      (void)leaf;
+      weight = static_cast<float>(-std::log(1.0 - rng.Uniform() + 1e-12));
+      total += weight;
+    }
+    for (auto& [leaf, weight] : prefs) {
+      (void)leaf;
+      weight = static_cast<float>(weight / total);
+    }
+
+    float* row = dataset.user_latent_.row(static_cast<size_t>(u));
+    for (const auto& [leaf, weight] : prefs) {
+      const auto& leaf_latent = tree.node(leaf).latent;
+      for (size_t d = 0; d < latent_dim; ++d) {
+        row[d] += weight * leaf_latent[d];
+      }
+    }
+    for (size_t d = 0; d < latent_dim; ++d) {
+      row[d] += static_cast<float>(rng.Normal(0.0, config.user_noise));
+    }
+  }
+
+  // ---- Observable features ---------------------------------------------------
+  // Weak demographic signals plus a noisy random projection of the latent
+  // (a stand-in for "interests correlate with demographics"); the
+  // collaborative structure itself must be learned from the graph.
+  constexpr size_t kProjDim = 4;
+  Matrix projection(latent_dim, kProjDim);
+  projection.FillNormal(rng, 1.0f / std::sqrt(static_cast<float>(latent_dim)));
+
+  const size_t user_feat_dim = 2 + 4 + 3 + kProjDim;
+  dataset.user_features_ =
+      Matrix(static_cast<size_t>(config.num_users), user_feat_dim);
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    const UserProfile& profile = dataset.profiles_[static_cast<size_t>(u)];
+    float* row = dataset.user_features_.row(static_cast<size_t>(u));
+    row[profile.gender] = 1.0f;
+    row[2 + profile.age_bucket] = 1.0f;
+    row[6 + profile.purchasing_power] = 1.0f;
+    const float* latent = dataset.user_latent_.row(static_cast<size_t>(u));
+    for (size_t p = 0; p < kProjDim; ++p) {
+      double proj = 0.0;
+      for (size_t d = 0; d < latent_dim; ++d) proj += latent[d] * projection(d, p);
+      row[9 + p] = static_cast<float>(proj + rng.Normal(0.0, 1.0));
+    }
+  }
+
+  const size_t branching = static_cast<size_t>(config.tree.branching);
+  const size_t item_feat_dim = branching + 2 + kProjDim;
+  dataset.item_features_ =
+      Matrix(static_cast<size_t>(config.num_items), item_feat_dim);
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    const ItemMeta& meta = dataset.items_[static_cast<size_t>(i)];
+    float* row = dataset.item_features_.row(static_cast<size_t>(i));
+    // Top-level category one-hot: the level-1 ancestor of the item's leaf.
+    const int32_t top = tree.AncestorAtLevel(meta.leaf_topic, 1);
+    // Level-1 node ids are 1..branching (root is 0, BFS order).
+    const size_t top_index = static_cast<size_t>(top - 1) % branching;
+    row[top_index] = 1.0f;
+    row[branching] = std::log1p(meta.price) / 6.0f;
+    row[branching + 1] = std::log1p(meta.popularity * 100.0f);
+    const float* latent = dataset.item_latent_.row(static_cast<size_t>(i));
+    for (size_t p = 0; p < kProjDim; ++p) {
+      double proj = 0.0;
+      for (size_t d = 0; d < latent_dim; ++d) proj += latent[d] * projection(d, p);
+      row[branching + 2 + p] = static_cast<float>(proj + rng.Normal(0.0, 1.0));
+    }
+  }
+
+  // ---- Interactions ------------------------------------------------------------
+  dataset.item_counters_.assign(static_cast<size_t>(config.num_items),
+                                {0, 0});
+  dataset.user_counters_.assign(static_cast<size_t>(config.num_users),
+                                {0, 0});
+  const int16_t train_days = static_cast<int16_t>(config.num_days - 1);
+  for (int16_t day = 0; day < config.num_days; ++day) {
+    for (int32_t u = 0; u < config.num_users; ++u) {
+      const int clicks = rng.Poisson(config.mean_clicks_per_user_day);
+      const auto& prefs = dataset.user_prefs_[static_cast<size_t>(u)];
+      for (int c = 0; c < clicks; ++c) {
+        int32_t item = -1;
+        if (rng.Bernoulli(config.topic_affinity_bias)) {
+          // Preferred leaf, chosen by preference weight.
+          double target = rng.Uniform();
+          int32_t leaf = prefs.back().first;
+          for (const auto& [candidate, weight] : prefs) {
+            target -= weight;
+            if (target <= 0.0) {
+              leaf = candidate;
+              break;
+            }
+          }
+          if (leaf_samplers[static_cast<size_t>(leaf)] != nullptr) {
+            const size_t pick =
+                leaf_samplers[static_cast<size_t>(leaf)]->Sample(rng);
+            item = leaf_items[static_cast<size_t>(leaf)][pick];
+          }
+        }
+        if (item < 0) {
+          item = static_cast<int32_t>(global_sampler.Sample(rng));
+        }
+
+        const double prob = dataset.PurchaseProbabilityInternal(
+            u, item, dataset.profiles_[static_cast<size_t>(u)]);
+        const bool purchased = rng.Bernoulli(prob);
+        dataset.interactions_.push_back(Interaction{u, item, day, purchased});
+        if (day < train_days) {
+          auto& ic = dataset.item_counters_[static_cast<size_t>(item)];
+          auto& uc = dataset.user_counters_[static_cast<size_t>(u)];
+          ++ic[0];
+          ++uc[0];
+          if (purchased) {
+            ++ic[1];
+            ++uc[1];
+          }
+        }
+      }
+    }
+  }
+  return dataset;
+}
+
+double SyntheticDataset::TrueAffinity(int32_t user, int32_t item) const {
+  HIGNN_CHECK_GE(user, 0);
+  HIGNN_CHECK_LT(user, config_.num_users);
+  HIGNN_CHECK_GE(item, 0);
+  HIGNN_CHECK_LT(item, config_.num_items);
+  return Cosine(user_latent_.row(static_cast<size_t>(user)),
+                item_latent_.row(static_cast<size_t>(item)),
+                user_latent_.cols());
+}
+
+double SyntheticDataset::PurchaseProbabilityInternal(
+    int32_t user, int32_t item, const UserProfile& profile) const {
+  const double affinity = TrueAffinity(user, item);
+  // Hierarchical topic conversion biases: the item's leaf and the user's
+  // preference-weighted topics both shift the purchase logit, so every
+  // level of the planted hierarchy carries conversion signal.
+  const double item_bias =
+      tree_.node(items_[static_cast<size_t>(item)].leaf_topic)
+          .conversion_bias;
+  double user_bias = 0.0;
+  for (const auto& [leaf, weight] : user_prefs_[static_cast<size_t>(user)]) {
+    user_bias += weight * tree_.node(leaf).conversion_bias;
+  }
+  const double logit =
+      config_.purchase_bias + config_.purchase_scale * affinity +
+      config_.power_scale * (profile.purchasing_power - 1) +
+      config_.topic_bias_scale * (item_bias + 0.5 * user_bias);
+  return Sigmoid(logit);
+}
+
+double SyntheticDataset::PurchaseProbability(int32_t user,
+                                             int32_t item) const {
+  return PurchaseProbabilityInternal(
+      user, item, profiles_[static_cast<size_t>(user)]);
+}
+
+BipartiteGraph SyntheticDataset::BuildTrainGraph() const {
+  BipartiteGraphBuilder builder(config_.num_users, config_.num_items);
+  const int16_t train_days = static_cast<int16_t>(config_.num_days - 1);
+  for (const auto& interaction : interactions_) {
+    if (interaction.day >= train_days) continue;
+    const Status status =
+        builder.AddEdge(interaction.user, interaction.item, 1.0f);
+    HIGNN_CHECK(status.ok()) << status.ToString();
+  }
+  return builder.Build();
+}
+
+SampleSet BuildSamples(const SyntheticDataset& dataset,
+                       bool replicate_positives, uint64_t seed) {
+  SampleSet samples;
+  const int16_t train_days =
+      static_cast<int16_t>(dataset.config().num_days - 1);
+  std::vector<size_t> positive_indices;
+  for (const auto& interaction : dataset.interactions()) {
+    LabeledSample sample{interaction.user, interaction.item,
+                         interaction.purchased ? 1.0f : 0.0f};
+    if (interaction.day < train_days) {
+      if (interaction.purchased) {
+        positive_indices.push_back(samples.train.size());
+        ++samples.train_positives;
+      } else {
+        ++samples.train_negatives;
+      }
+      samples.train.push_back(sample);
+    } else {
+      samples.test.push_back(sample);
+    }
+  }
+
+  if (replicate_positives && !positive_indices.empty()) {
+    // Replicate positives until positives ~= negatives / 3 (paper's 1:3).
+    Rng rng(seed);
+    const int64_t target = samples.train_negatives / 3;
+    while (samples.train_positives < target) {
+      const size_t pick =
+          positive_indices[rng.UniformInt(positive_indices.size())];
+      samples.train.push_back(samples.train[pick]);
+      ++samples.train_positives;
+    }
+  }
+  return samples;
+}
+
+}  // namespace hignn

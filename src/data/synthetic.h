@@ -1,0 +1,168 @@
+#ifndef HIGNN_DATA_SYNTHETIC_H_
+#define HIGNN_DATA_SYNTHETIC_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/topic_tree.h"
+#include "graph/bipartite_graph.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Observable demographic profile of a synthetic user (the "user
+/// profile (gender, purchasing power, etc.)" input of Fig. 2).
+struct UserProfile {
+  int8_t gender = 0;            ///< {0, 1}
+  int8_t age_bucket = 0;        ///< {0..3}
+  int8_t purchasing_power = 0;  ///< {0..2}; raises purchase probability
+};
+
+/// \brief Observable metadata of a synthetic item.
+struct ItemMeta {
+  int32_t leaf_topic = -1;  ///< ground-truth leaf of the topic tree
+  float price = 0.0f;
+  float popularity = 0.0f;  ///< Zipf-like attractiveness weight
+};
+
+/// \brief One aggregated user-item click record.
+struct Interaction {
+  int32_t user = 0;
+  int32_t item = 0;
+  int16_t day = 0;       ///< 0-based; the last day is the test day
+  bool purchased = false;
+};
+
+/// \brief Generator knobs. Presets mirror the paper's datasets at
+/// laptop scale: Taobao1 (dense-ish CVR data), Taobao2 (cold-start new
+/// arrivals, much sparser), Tiny (unit tests).
+struct SyntheticConfig {
+  int32_t num_users = 2000;
+  int32_t num_items = 800;
+  int32_t num_days = 8;                  ///< first num_days-1 train, last tests
+  double mean_clicks_per_user_day = 2.0;
+  double topic_affinity_bias = 0.8;      ///< P(click drawn from a preferred leaf)
+  int32_t prefs_per_user = 2;            ///< preferred leaves per user
+  double user_noise = 0.25;              ///< latent jitter around preference mix
+  double item_noise = 0.25;              ///< latent jitter around leaf
+  double purchase_bias = -1.6;           ///< base purchase logit
+  double purchase_scale = 2.2;           ///< affinity -> purchase logit slope
+  double power_scale = 0.35;             ///< purchasing power -> logit bonus
+  /// Strength of the hierarchical per-topic conversion biases: the item's
+  /// leaf bias plus the preference-weighted bias of the user's topics
+  /// enter the purchase logit. Gives one-sided hierarchies (HUP/HIA)
+  /// genuine predictive signal, mirroring the production setting where
+  /// whole categories convert at different rates.
+  double topic_bias_scale = 1.0;
+  double zipf_exponent = 0.8;            ///< item popularity skew
+  TopicTree::Config tree;
+  uint64_t seed = 1;
+
+  static SyntheticConfig Taobao1();
+  static SyntheticConfig Taobao2();
+  static SyntheticConfig Tiny();
+};
+
+/// \brief Fully generated synthetic e-commerce world.
+///
+/// Observable quantities (interactions, profiles, metadata, features) feed
+/// the models; the latent matrices are ground truth reserved for the
+/// online-serving simulator and for taxonomy scoring.
+class SyntheticDataset {
+ public:
+  static Result<SyntheticDataset> Generate(const SyntheticConfig& config);
+
+  const SyntheticConfig& config() const { return config_; }
+  const TopicTree& tree() const { return tree_; }
+  int32_t num_users() const { return config_.num_users; }
+  int32_t num_items() const { return config_.num_items; }
+  int32_t num_train_days() const { return config_.num_days - 1; }
+
+  const std::vector<Interaction>& interactions() const { return interactions_; }
+  const std::vector<UserProfile>& profiles() const { return profiles_; }
+  const std::vector<ItemMeta>& items() const { return items_; }
+
+  /// \brief Preferred (leaf, weight) pairs per user.
+  const std::vector<std::vector<std::pair<int32_t, float>>>& user_prefs()
+      const {
+    return user_prefs_;
+  }
+
+  /// \brief Observable GNN input features (weak demographic/metadata
+  /// signals; the collaborative structure lives in the graph).
+  const Matrix& user_features() const { return user_features_; }
+  const Matrix& item_features() const { return item_features_; }
+
+  /// \brief Ground-truth latents — evaluation/simulation only.
+  const Matrix& user_latent() const { return user_latent_; }
+  const Matrix& item_latent() const { return item_latent_; }
+
+  /// \brief Cosine affinity of the ground-truth latents, the generator's
+  /// notion of how much user u likes item i.
+  double TrueAffinity(int32_t user, int32_t item) const;
+
+  /// \brief Generator's purchase probability for (user, item) — the same
+  /// formula interactions were sampled from; used by the A/B simulator.
+  double PurchaseProbability(int32_t user, int32_t item) const;
+
+  /// \brief Click graph over the training days (weights = click counts).
+  BipartiteGraph BuildTrainGraph() const;
+
+  /// \brief Train-day click/purchase counters (the "item statistic" input
+  /// of Fig. 2). Index 0: clicks, 1: purchases.
+  const std::vector<std::array<int64_t, 2>>& item_counters() const {
+    return item_counters_;
+  }
+  const std::vector<std::array<int64_t, 2>>& user_counters() const {
+    return user_counters_;
+  }
+
+ private:
+  SyntheticDataset() = default;
+
+  double PurchaseProbabilityInternal(int32_t user, int32_t item,
+                                     const UserProfile& profile) const;
+
+  SyntheticConfig config_;
+  TopicTree tree_;
+  std::vector<Interaction> interactions_;
+  std::vector<UserProfile> profiles_;
+  std::vector<ItemMeta> items_;
+  std::vector<std::vector<std::pair<int32_t, float>>> user_prefs_;
+  Matrix user_features_;
+  Matrix item_features_;
+  Matrix user_latent_;
+  Matrix item_latent_;
+  std::vector<std::array<int64_t, 2>> item_counters_;
+  std::vector<std::array<int64_t, 2>> user_counters_;
+};
+
+/// \brief One supervised CVR sample: a train/test-day click with its
+/// purchase label (purchase = positive, click-without-purchase = negative).
+struct LabeledSample {
+  int32_t user = 0;
+  int32_t item = 0;
+  float label = 0.0f;
+};
+
+/// \brief Train/test split with sample statistics (Table II).
+struct SampleSet {
+  std::vector<LabeledSample> train;
+  std::vector<LabeledSample> test;
+  int64_t train_positives = 0;  ///< after any replication
+  int64_t train_negatives = 0;
+};
+
+/// \brief Builds day-split samples. When `replicate_positives` is set the
+/// paper's replicate-sampling strategy duplicates positives until the
+/// positive:negative ratio reaches ~1:3 (Taobao #1 protocol); otherwise
+/// the original records are kept (Taobao #2 cold-start protocol).
+SampleSet BuildSamples(const SyntheticDataset& dataset,
+                       bool replicate_positives, uint64_t seed);
+
+}  // namespace hignn
+
+#endif  // HIGNN_DATA_SYNTHETIC_H_

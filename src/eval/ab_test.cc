@@ -1,0 +1,148 @@
+#include "eval/ab_test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hignn {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// Deterministic per-event uniform in [0,1): both A/B arms draw the same
+// value for the same (day, visit, item, salt) event.
+double HashUniform(uint64_t seed, uint64_t day, uint64_t visit, uint64_t item,
+                   uint64_t salt) {
+  uint64_t x = seed ^ (day * 0x9E3779B97F4A7C15ULL) ^
+               (visit * 0xC2B2AE3D27D4EB4FULL) ^
+               (item * 0x165667B19E3779F9ULL) ^ (salt * 0xD6E8FEB86659FD93ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+AbTestSimulator::AbTestSimulator(const SyntheticDataset* dataset,
+                                 const AbTestConfig& config)
+    : dataset_(dataset), config_(config) {
+  HIGNN_CHECK(dataset_ != nullptr);
+  popularity_.reserve(dataset_->items().size());
+  float max_pop = 1e-9f;
+  for (const auto& item : dataset_->items()) {
+    max_pop = std::max(max_pop, item.popularity);
+  }
+  for (const auto& item : dataset_->items()) {
+    popularity_.push_back(item.popularity / max_pop);
+  }
+}
+
+Result<std::vector<AbDayResult>> AbTestSimulator::Run(
+    const Scorer& scorer) const {
+  if (!scorer) return Status::InvalidArgument("null scorer");
+  if (config_.visits_per_day <= 0 || config_.num_days <= 0 ||
+      config_.list_size <= 0 || config_.candidate_pool <= 0) {
+    return Status::InvalidArgument("A/B config values must be positive");
+  }
+
+  const int32_t num_users = dataset_->num_users();
+  const int32_t num_items = dataset_->num_items();
+
+  // Shared candidate machinery: popularity alias table seeded identically
+  // for both arms (CRN design).
+  AliasSampler popularity_sampler(
+      std::vector<double>(popularity_.begin(), popularity_.end()));
+
+  std::vector<AbDayResult> days;
+  for (int32_t day = 0; day < config_.num_days; ++day) {
+    AbDayResult result;
+    result.visits = config_.visits_per_day;
+    std::unordered_set<int32_t> clicked_visitors;
+
+    for (int32_t visit = 0; visit < config_.visits_per_day; ++visit) {
+      // Visitor and candidate pool: derived from the shared seed so both
+      // arms serve the identical visit.
+      Rng visit_rng(config_.seed ^
+                    (static_cast<uint64_t>(day) << 32) ^
+                    static_cast<uint64_t>(visit));
+      const int32_t user =
+          static_cast<int32_t>(visit_rng.UniformInt(num_users));
+
+      std::vector<int32_t> candidates;
+      candidates.reserve(static_cast<size_t>(config_.candidate_pool));
+      std::unordered_set<int32_t> seen;
+      while (static_cast<int32_t>(candidates.size()) <
+             std::min(config_.candidate_pool, num_items)) {
+        const int32_t item =
+            static_cast<int32_t>(popularity_sampler.Sample(visit_rng));
+        if (seen.insert(item).second) candidates.push_back(item);
+      }
+
+      // Rank: blended popularity + model score (min-max scaled per pool).
+      std::vector<double> model_scores(candidates.size());
+      double lo = 1e300;
+      double hi = -1e300;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        model_scores[c] = scorer(user, candidates[c]);
+        lo = std::min(lo, model_scores[c]);
+        hi = std::max(hi, model_scores[c]);
+      }
+      const double span = hi > lo ? hi - lo : 1.0;
+      std::vector<size_t> order(candidates.size());
+      for (size_t c = 0; c < order.size(); ++c) order[c] = c;
+      std::vector<double> blended(candidates.size());
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        const double model01 = (model_scores[c] - lo) / span;
+        blended[c] =
+            (1.0 - config_.model_blend) *
+                popularity_[static_cast<size_t>(candidates[c])] +
+            config_.model_blend * model01;
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&blended](size_t a, size_t b) {
+                         return blended[a] > blended[b];
+                       });
+
+      // Cascade user model with paired randomness.
+      const int32_t shown =
+          std::min<int32_t>(config_.list_size,
+                            static_cast<int32_t>(candidates.size()));
+      result.impressions += shown;
+      double examine_prob = 1.0;
+      for (int32_t pos = 0; pos < shown; ++pos) {
+        const int32_t item = candidates[order[static_cast<size_t>(pos)]];
+        const uint64_t item_key = static_cast<uint64_t>(item);
+        if (HashUniform(config_.seed, day, visit, item_key, 1) >=
+            examine_prob) {
+          examine_prob *= config_.position_decay;
+          continue;
+        }
+        examine_prob *= config_.position_decay;
+        const double p_click =
+            Sigmoid(config_.click_bias +
+                    config_.click_scale * dataset_->TrueAffinity(user, item));
+        if (HashUniform(config_.seed, day, visit, item_key, 2) < p_click) {
+          ++result.clicks;
+          clicked_visitors.insert(user);
+          const double p_buy = dataset_->PurchaseProbability(user, item);
+          if (HashUniform(config_.seed, day, visit, item_key, 3) < p_buy) {
+            ++result.transactions;
+          }
+        }
+      }
+    }
+    result.unique_visitors =
+        static_cast<int64_t>(clicked_visitors.size());
+    days.push_back(result);
+  }
+  return days;
+}
+
+}  // namespace hignn

@@ -1,0 +1,109 @@
+#include "graph/coarsen.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hignn {
+
+namespace {
+
+// Mean embedding per cluster; empty clusters stay zero.
+Matrix ClusterMeans(const Matrix& embeddings,
+                    const std::vector<int32_t>& assignment,
+                    int32_t num_clusters) {
+  Matrix means(static_cast<size_t>(num_clusters), embeddings.cols());
+  std::vector<int64_t> counts(static_cast<size_t>(num_clusters), 0);
+  for (size_t v = 0; v < assignment.size(); ++v) {
+    const int32_t c = assignment[v];
+    float* dst = means.row(static_cast<size_t>(c));
+    const float* src = embeddings.row(v);
+    for (size_t d = 0; d < embeddings.cols(); ++d) dst[d] += src[d];
+    ++counts[static_cast<size_t>(c)];
+  }
+  for (int32_t c = 0; c < num_clusters; ++c) {
+    if (counts[static_cast<size_t>(c)] == 0) continue;
+    const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+    float* dst = means.row(static_cast<size_t>(c));
+    for (size_t d = 0; d < means.cols(); ++d) dst[d] *= inv;
+  }
+  return means;
+}
+
+Status ValidateAssignment(const std::vector<int32_t>& assignment,
+                          size_t expected_size, int32_t num_clusters,
+                          const char* side) {
+  if (assignment.size() != expected_size) {
+    return Status::InvalidArgument(
+        StrFormat("%s assignment size %zu != vertex count %zu", side,
+                  assignment.size(), expected_size));
+  }
+  for (int32_t c : assignment) {
+    if (c < 0 || c >= num_clusters) {
+      return Status::InvalidArgument(
+          StrFormat("%s assignment id %d out of range [0, %d)", side, c,
+                    num_clusters));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CoarsenedGraph> CoarsenBipartiteGraph(
+    const BipartiteGraph& graph, const Matrix& left_embeddings,
+    const Matrix& right_embeddings, std::vector<int32_t> left_assignment,
+    int32_t num_left_clusters, std::vector<int32_t> right_assignment,
+    int32_t num_right_clusters) {
+  if (num_left_clusters <= 0 || num_right_clusters <= 0) {
+    return Status::InvalidArgument("cluster counts must be positive");
+  }
+  HIGNN_RETURN_IF_ERROR(ValidateAssignment(
+      left_assignment, static_cast<size_t>(graph.num_left()),
+      num_left_clusters, "left"));
+  HIGNN_RETURN_IF_ERROR(ValidateAssignment(
+      right_assignment, static_cast<size_t>(graph.num_right()),
+      num_right_clusters, "right"));
+  if (left_embeddings.rows() != static_cast<size_t>(graph.num_left()) ||
+      right_embeddings.rows() != static_cast<size_t>(graph.num_right())) {
+    return Status::InvalidArgument("embedding row count != vertex count");
+  }
+
+  CoarsenedGraph out;
+  out.num_left_clusters = num_left_clusters;
+  out.num_right_clusters = num_right_clusters;
+  out.left_features = ClusterMeans(left_embeddings, left_assignment,
+                                   num_left_clusters);
+  out.right_features = ClusterMeans(right_embeddings, right_assignment,
+                                    num_right_clusters);
+
+  // Accumulate S(C_u, C_i) = sum of fine weights (Eq. 6) with a hash map
+  // keyed by the packed cluster pair.
+  std::unordered_map<int64_t, double> coarse_weights;
+  coarse_weights.reserve(static_cast<size_t>(graph.num_edges()) / 4 + 16);
+  for (int32_t u = 0; u < graph.num_left(); ++u) {
+    const int32_t cu = left_assignment[static_cast<size_t>(u)];
+    const auto span = graph.LeftNeighbors(u);
+    for (size_t k = 0; k < span.size; ++k) {
+      const int32_t ci = right_assignment[static_cast<size_t>(span.ids[k])];
+      const int64_t key =
+          static_cast<int64_t>(cu) * num_right_clusters + ci;
+      coarse_weights[key] += span.weights[k];
+    }
+  }
+
+  BipartiteGraphBuilder builder(num_left_clusters, num_right_clusters);
+  for (const auto& [key, weight] : coarse_weights) {
+    const int32_t cu = static_cast<int32_t>(key / num_right_clusters);
+    const int32_t ci = static_cast<int32_t>(key % num_right_clusters);
+    HIGNN_RETURN_IF_ERROR(
+        builder.AddEdge(cu, ci, static_cast<float>(weight)));
+  }
+  out.graph = builder.Build();
+  out.left_assignment = std::move(left_assignment);
+  out.right_assignment = std::move(right_assignment);
+  return out;
+}
+
+}  // namespace hignn

@@ -1,0 +1,35 @@
+#include "nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hignn {
+
+GradCheckResult CheckGradient(
+    const std::function<double(const Matrix&)>& loss_fn, const Matrix& point,
+    const Matrix& analytic_grad, double epsilon, double tol) {
+  GradCheckResult result;
+  Matrix probe = point;
+  for (size_t i = 0; i < probe.size(); ++i) {
+    const float original = probe.data()[i];
+    probe.data()[i] = original + static_cast<float>(epsilon);
+    const double plus = loss_fn(probe);
+    probe.data()[i] = original - static_cast<float>(epsilon);
+    const double minus = loss_fn(probe);
+    probe.data()[i] = original;
+
+    const double numeric = (plus - minus) / (2.0 * epsilon);
+    const double analytic = analytic_grad.data()[i];
+    const double abs_err = std::fabs(numeric - analytic);
+    const double scale =
+        std::max({std::fabs(numeric), std::fabs(analytic), 1e-8});
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / scale);
+  }
+  // Accept if either the absolute or the relative error is small: float32
+  // forward passes limit achievable precision.
+  result.passed = result.max_abs_error < tol || result.max_rel_error < tol;
+  return result;
+}
+
+}  // namespace hignn

@@ -1,0 +1,29 @@
+#ifndef HIGNN_NN_GRAD_CHECK_H_
+#define HIGNN_NN_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "nn/matrix.h"
+
+namespace hignn {
+
+/// \brief Result of a finite-difference gradient check.
+struct GradCheckResult {
+  double max_abs_error = 0.0;   ///< max |analytic - numeric| over elements
+  double max_rel_error = 0.0;   ///< relative to max(|a|,|n|,1e-8)
+  bool passed = false;
+};
+
+/// \brief Verifies an analytic gradient against central finite differences.
+///
+/// `loss_fn` must evaluate the scalar loss as a function of the matrix
+/// contents of `point` (the function may capture and rebuild a Tape).
+/// `analytic_grad` is the gradient produced by Tape::Backward at `point`.
+/// Used by the nn test suite to validate every tape op end-to-end.
+GradCheckResult CheckGradient(
+    const std::function<double(const Matrix&)>& loss_fn, const Matrix& point,
+    const Matrix& analytic_grad, double epsilon = 1e-3, double tol = 2e-2);
+
+}  // namespace hignn
+
+#endif  // HIGNN_NN_GRAD_CHECK_H_

@@ -1,0 +1,190 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace hignn {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  HIGNN_CHECK_EQ(data_.size(), rows_ * cols_);
+}
+
+void Matrix::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void Matrix::FillNormal(Rng& rng, float stddev) {
+  for (float& x : data_) x = static_cast<float>(rng.Normal(0.0, stddev));
+}
+
+void Matrix::FillUniform(Rng& rng, float lo, float hi) {
+  for (float& x : data_) x = static_cast<float>(rng.Uniform(lo, hi));
+}
+
+void Matrix::Add(const Matrix& other) {
+  HIGNN_CHECK_EQ(rows_, other.rows_);
+  HIGNN_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Axpy(float alpha, const Matrix& other) {
+  HIGNN_CHECK_EQ(rows_, other.rows_);
+  HIGNN_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Matrix::Scale(float alpha) {
+  for (float& x : data_) x *= alpha;
+}
+
+void Matrix::SetRow(size_t r, const std::vector<float>& src) {
+  HIGNN_CHECK_LT(r, rows_);
+  HIGNN_CHECK_EQ(src.size(), cols_);
+  float* dst = row(r);
+  for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+}
+
+std::vector<float> Matrix::GetRow(size_t r) const {
+  HIGNN_CHECK_LT(r, rows_);
+  const float* src = row(r);
+  return std::vector<float>(src, src + cols_);
+}
+
+double Matrix::Sum() const {
+  double total = 0.0;
+  for (float x : data_) total += x;
+  return total;
+}
+
+double Matrix::SquaredNorm() const {
+  double total = 0.0;
+  for (float x : data_) total += static_cast<double>(x) * x;
+  return total;
+}
+
+float Matrix::MaxAbs() const {
+  float best = 0.0f;
+  for (float x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
+  std::ostringstream ss;
+  ss << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  for (size_t r = 0; r < std::min(rows_, max_rows); ++r) {
+    if (r > 0) ss << ", ";
+    ss << "[";
+    for (size_t c = 0; c < std::min(cols_, max_cols); ++c) {
+      if (c > 0) ss << ", ";
+      ss << (*this)(r, c);
+    }
+    if (cols_ > max_cols) ss << ", ...";
+    ss << "]";
+  }
+  if (rows_ > max_rows) ss << ", ...";
+  ss << "]";
+  return ss.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  HIGNN_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulBT(const Matrix& a, const Matrix& b) {
+  HIGNN_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < a.cols(); ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix MatMulAT(const Matrix& a, const Matrix& b) {
+  HIGNN_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (size_t p = 0; p < a.rows(); ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.row(i);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  }
+  return out;
+}
+
+Matrix AddMatrices(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out.Add(b);
+  return out;
+}
+
+double RowSquaredDistance(const Matrix& a, size_t ra, const Matrix& b,
+                          size_t rb) {
+  HIGNN_CHECK_EQ(a.cols(), b.cols());
+  const float* x = a.row(ra);
+  const float* y = b.row(rb);
+  double total = 0.0;
+  for (size_t c = 0; c < a.cols(); ++c) {
+    const double d = static_cast<double>(x[c]) - y[c];
+    total += d * d;
+  }
+  return total;
+}
+
+double RowDot(const Matrix& a, size_t ra, const Matrix& b, size_t rb) {
+  HIGNN_CHECK_EQ(a.cols(), b.cols());
+  const float* x = a.row(ra);
+  const float* y = b.row(rb);
+  double total = 0.0;
+  for (size_t c = 0; c < a.cols(); ++c) {
+    total += static_cast<double>(x[c]) * y[c];
+  }
+  return total;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, float tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace hignn

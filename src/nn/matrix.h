@@ -1,0 +1,126 @@
+#ifndef HIGNN_NN_MATRIX_H_
+#define HIGNN_NN_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hignn {
+
+/// \brief Dense row-major float32 matrix — the numeric workhorse under the
+/// autograd tape, GraphSAGE, K-means and word2vec.
+///
+/// Deliberately minimal: contiguous storage, explicit shapes, checked
+/// accessors, and the handful of BLAS-like kernels the models need. All
+/// kernels are single-threaded; batch-level parallelism lives above.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// \brief Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// \brief From explicit data (size must equal rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<float> data);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(size_t r, size_t c) {
+    HIGNN_CHECK_LT(r, rows_);
+    HIGNN_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(size_t r, size_t c) const {
+    HIGNN_CHECK_LT(r, rows_);
+    HIGNN_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(size_t r) { return data_.data() + r * cols_; }
+  const float* row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// \brief Sets every element to `value`.
+  void Fill(float value);
+
+  /// \brief Fills with N(0, stddev) draws.
+  void FillNormal(Rng& rng, float stddev = 1.0f);
+
+  /// \brief Fills with U(lo, hi) draws.
+  void FillUniform(Rng& rng, float lo, float hi);
+
+  /// \brief this += other (same shape).
+  void Add(const Matrix& other);
+
+  /// \brief this += alpha * other (same shape).
+  void Axpy(float alpha, const Matrix& other);
+
+  /// \brief this *= alpha.
+  void Scale(float alpha);
+
+  /// \brief Copies `src` into row r.
+  void SetRow(size_t r, const std::vector<float>& src);
+
+  /// \brief Copies row r out.
+  std::vector<float> GetRow(size_t r) const;
+
+  /// \brief Sum of all elements.
+  double Sum() const;
+
+  /// \brief Frobenius norm squared.
+  double SquaredNorm() const;
+
+  /// \brief Largest |element|.
+  float MaxAbs() const;
+
+  /// \brief Debug rendering, e.g. "Matrix(2x3)[[1, 2, 3], [4, 5, 6]]".
+  std::string ToString(size_t max_rows = 8, size_t max_cols = 8) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// \brief out = a * b. Shapes: (m x k) * (k x n) -> (m x n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// \brief out = a * b^T. Shapes: (m x k) * (n x k) -> (m x n).
+Matrix MatMulBT(const Matrix& a, const Matrix& b);
+
+/// \brief out = a^T * b. Shapes: (k x m) * (k x n) -> (m x n).
+Matrix MatMulAT(const Matrix& a, const Matrix& b);
+
+/// \brief Transposed copy.
+Matrix Transpose(const Matrix& a);
+
+/// \brief Elementwise sum (same shape).
+Matrix AddMatrices(const Matrix& a, const Matrix& b);
+
+/// \brief Squared Euclidean distance between row `ra` of a and row `rb`
+/// of b (equal column counts required).
+double RowSquaredDistance(const Matrix& a, size_t ra, const Matrix& b,
+                          size_t rb);
+
+/// \brief Dot product between row `ra` of a and row `rb` of b.
+double RowDot(const Matrix& a, size_t ra, const Matrix& b, size_t rb);
+
+/// \brief True if shapes match and elements differ by at most `tol`.
+bool AllClose(const Matrix& a, const Matrix& b, float tol = 1e-5f);
+
+}  // namespace hignn
+
+#endif  // HIGNN_NN_MATRIX_H_

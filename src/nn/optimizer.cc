@@ -1,0 +1,62 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace hignn {
+
+void Optimizer::Step(const std::vector<Parameter*>& params) {
+  if (clip_norm_ > 0.0f) {
+    double total = 0.0;
+    for (const Parameter* p : params) total += p->grad.SquaredNorm();
+    const double norm = std::sqrt(total);
+    if (norm > clip_norm_) {
+      const float scale = static_cast<float>(clip_norm_ / norm);
+      for (Parameter* p : params) p->grad.Scale(scale);
+    }
+  }
+  for (Parameter* p : params) {
+    if (weight_decay_ > 0.0f) p->grad.Axpy(weight_decay_, p->value);
+    ApplyUpdate(*p);
+    p->grad.Fill(0.0f);
+  }
+}
+
+void Sgd::ApplyUpdate(Parameter& param) {
+  if (momentum_ == 0.0f) {
+    param.value.Axpy(-lr_, param.grad);
+    return;
+  }
+  Matrix& vel = velocity_[&param];
+  if (vel.rows() != param.value.rows() || vel.cols() != param.value.cols()) {
+    vel = Matrix(param.value.rows(), param.value.cols());
+  }
+  vel.Scale(momentum_);
+  vel.Axpy(1.0f, param.grad);
+  param.value.Axpy(-lr_, vel);
+}
+
+void Adam::ApplyUpdate(Parameter& param) {
+  Slot& slot = slots_[&param];
+  if (slot.m.rows() != param.value.rows() ||
+      slot.m.cols() != param.value.cols()) {
+    slot.m = Matrix(param.value.rows(), param.value.cols());
+    slot.v = Matrix(param.value.rows(), param.value.cols());
+    slot.step = 0;
+  }
+  ++slot.step;
+  const float b1t = 1.0f - std::pow(beta1_, static_cast<float>(slot.step));
+  const float b2t = 1.0f - std::pow(beta2_, static_cast<float>(slot.step));
+  float* m = slot.m.data();
+  float* v = slot.v.data();
+  const float* g = param.grad.data();
+  float* w = param.value.data();
+  for (size_t i = 0; i < param.value.size(); ++i) {
+    m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+    v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+    const float mhat = m[i] / b1t;
+    const float vhat = v[i] / b2t;
+    w[i] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+  }
+}
+
+}  // namespace hignn

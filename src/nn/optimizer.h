@@ -1,0 +1,81 @@
+#ifndef HIGNN_NN_OPTIMIZER_H_
+#define HIGNN_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace hignn {
+
+/// \brief Base class for gradient-descent optimizers.
+///
+/// Usage per minibatch: zero grads happen inside Step() after applying, so
+/// the training loop is simply forward → Backward → AccumulateGrads →
+/// Step(params).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// \brief Applies one update using Parameter::grad, then zeroes grads.
+  void Step(const std::vector<Parameter*>& params);
+
+  /// \brief Optional global gradient-norm clipping (0 disables).
+  void set_clip_norm(float clip_norm) { clip_norm_ = clip_norm; }
+
+  /// \brief L2 weight decay coefficient (paper regularizes with L2-norm).
+  void set_weight_decay(float weight_decay) { weight_decay_ = weight_decay; }
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(float lr) : lr_(lr) {}
+
+  virtual void ApplyUpdate(Parameter& param) = 0;
+
+  float lr_;
+  float clip_norm_ = 0.0f;
+  float weight_decay_ = 0.0f;
+};
+
+/// \brief Plain stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f)
+      : Optimizer(lr), momentum_(momentum) {}
+
+ protected:
+  void ApplyUpdate(Parameter& param) override;
+
+ private:
+  float momentum_;
+  std::unordered_map<const Parameter*, Matrix> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f)
+      : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+ protected:
+  void ApplyUpdate(Parameter& param) override;
+
+ private:
+  struct Slot {
+    Matrix m;
+    Matrix v;
+    long step = 0;
+  };
+
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  std::unordered_map<const Parameter*, Slot> slots_;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_NN_OPTIMIZER_H_

@@ -1,0 +1,127 @@
+#include "predict/cvr_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "nn/optimizer.h"
+#include "nn/tape.h"
+#include "util/logging.h"
+
+namespace hignn {
+
+Result<CvrModel> CvrModel::Create(int32_t input_dim,
+                                  const CvrModelConfig& config) {
+  if (input_dim <= 0) {
+    return Status::InvalidArgument("input_dim must be positive");
+  }
+  if (config.hidden.empty()) {
+    return Status::InvalidArgument("need at least one hidden layer");
+  }
+  for (int32_t h : config.hidden) {
+    if (h <= 0) return Status::InvalidArgument("hidden sizes must be positive");
+  }
+  if (config.batch_size <= 0 || config.epochs <= 0) {
+    return Status::InvalidArgument("batch_size and epochs must be positive");
+  }
+  return CvrModel(input_dim, config);
+}
+
+CvrModel::CvrModel(int32_t input_dim, const CvrModelConfig& config)
+    : config_(config),
+      input_dim_(input_dim),
+      mlp_([&config, input_dim] {
+        std::vector<size_t> dims;
+        dims.push_back(static_cast<size_t>(input_dim));
+        for (int32_t h : config.hidden) dims.push_back(static_cast<size_t>(h));
+        dims.push_back(1);
+        Rng rng(config.seed);
+        // Leaky ReLU hidden layers, linear output (sigmoid fused into the
+        // loss / applied at prediction time).
+        return Mlp("cvr", dims, Activation::kLeakyRelu, Activation::kNone,
+                   rng);
+      }()) {}
+
+Result<double> CvrModel::Train(const CvrFeatureBuilder& features,
+                               const std::vector<LabeledSample>& samples) {
+  if (samples.empty()) return Status::InvalidArgument("no training samples");
+  if (features.dim() != input_dim_) {
+    return Status::InvalidArgument("feature dim != model input dim");
+  }
+
+  Rng rng(config_.seed ^ 0x5EEDULL);
+  Adam optimizer(config_.learning_rate);
+  optimizer.set_weight_decay(config_.weight_decay);
+
+  std::vector<size_t> order(samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double last_epoch_loss = 0.0;
+  for (int32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    size_t epoch_size = order.size();
+    if (config_.max_train_samples > 0) {
+      epoch_size = std::min<size_t>(
+          epoch_size, static_cast<size_t>(config_.max_train_samples));
+    }
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    std::vector<LabeledSample> batch;
+    for (size_t begin = 0; begin < epoch_size;
+         begin += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          epoch_size, begin + static_cast<size_t>(config_.batch_size));
+      batch.clear();
+      std::vector<float> labels;
+      labels.reserve(end - begin);
+      for (size_t k = begin; k < end; ++k) {
+        batch.push_back(samples[order[k]]);
+        labels.push_back(samples[order[k]].label);
+      }
+      Tape tape;
+      VarId x = tape.Input(features.BuildAll(batch));
+      VarId logits = mlp_.Forward(tape, x, /*train=*/true);
+      VarId loss = tape.BceWithLogits(logits, std::move(labels));
+      epoch_loss += tape.value(loss)(0, 0);
+      ++batches;
+      tape.Backward(loss);
+      mlp_.AccumulateGrads(tape);
+      optimizer.Step(mlp_.Params());
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches)
+                                  : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+Result<std::vector<float>> CvrModel::Predict(
+    const CvrFeatureBuilder& features,
+    const std::vector<LabeledSample>& samples) {
+  if (features.dim() != input_dim_) {
+    return Status::InvalidArgument("feature dim != model input dim");
+  }
+  std::vector<float> out;
+  out.reserve(samples.size());
+  const size_t chunk = 4096;
+  for (size_t begin = 0; begin < samples.size(); begin += chunk) {
+    const size_t end = std::min(samples.size(), begin + chunk);
+    Tape tape;
+    VarId x = tape.Input(features.BuildBatch(samples, begin, end));
+    VarId probs = tape.Sigmoid(mlp_.Forward(tape, x, /*train=*/false));
+    const Matrix& values = tape.value(probs);
+    for (size_t r = 0; r < values.rows(); ++r) out.push_back(values(r, 0));
+  }
+  return out;
+}
+
+Result<double> CvrModel::EvaluateAuc(const CvrFeatureBuilder& features,
+                                     const std::vector<LabeledSample>& samples) {
+  HIGNN_ASSIGN_OR_RETURN(std::vector<float> scores,
+                         Predict(features, samples));
+  std::vector<float> labels;
+  labels.reserve(samples.size());
+  for (const auto& sample : samples) labels.push_back(sample.label);
+  return ComputeAuc(scores, labels);
+}
+
+}  // namespace hignn

@@ -1,0 +1,61 @@
+#ifndef HIGNN_PREDICT_CVR_MODEL_H_
+#define HIGNN_PREDICT_CVR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.h"
+#include "predict/features.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Hyper-parameters for the supervised prediction network of
+/// Section IV-A (Fig. 2). Paper settings: fully connected layers
+/// 256-128-64, learning rate 1e-3, batch 1024, Leaky ReLU hidden
+/// activations, L2 regularization, log loss (Eq. 7).
+struct CvrModelConfig {
+  std::vector<int32_t> hidden = {256, 128, 64};
+  float learning_rate = 1e-3f;
+  int32_t batch_size = 1024;
+  int32_t epochs = 2;
+  float weight_decay = 1e-6f;
+  /// Random subsample cap on training records per epoch (0 = use all);
+  /// lets the benchmark harness bound wall-clock on a laptop.
+  int64_t max_train_samples = 0;
+  uint64_t seed = 2024;
+};
+
+/// \brief The supervised deep network with HiGNN features: an MLP over the
+/// CvrFeatureBuilder rows, trained with the log loss of Eq. 7.
+class CvrModel {
+ public:
+  static Result<CvrModel> Create(int32_t input_dim,
+                                 const CvrModelConfig& config);
+
+  /// \brief Trains on `samples` using `features`; returns the final
+  /// epoch's mean training loss.
+  Result<double> Train(const CvrFeatureBuilder& features,
+                       const std::vector<LabeledSample>& samples);
+
+  /// \brief Predicted purchase probabilities, aligned with `samples`.
+  Result<std::vector<float>> Predict(const CvrFeatureBuilder& features,
+                                     const std::vector<LabeledSample>& samples);
+
+  /// \brief AUC of Predict() against the sample labels.
+  Result<double> EvaluateAuc(const CvrFeatureBuilder& features,
+                             const std::vector<LabeledSample>& samples);
+
+  int32_t input_dim() const { return input_dim_; }
+
+ private:
+  CvrModel(int32_t input_dim, const CvrModelConfig& config);
+
+  CvrModelConfig config_;
+  int32_t input_dim_;
+  Mlp mlp_;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_PREDICT_CVR_MODEL_H_

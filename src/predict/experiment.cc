@@ -1,0 +1,58 @@
+#include "predict/experiment.h"
+
+#include "util/logging.h"
+
+namespace hignn {
+
+Result<CvrExperiment> CvrExperiment::Prepare(
+    const SyntheticDataset& dataset, const CvrExperimentConfig& config) {
+  CvrExperiment experiment(&dataset, config);
+  experiment.samples_ =
+      BuildSamples(dataset, config.replicate_positives, config.seed);
+  if (experiment.samples_.train.empty() ||
+      experiment.samples_.test.empty()) {
+    return Status::FailedPrecondition("dataset produced empty train/test");
+  }
+
+  const BipartiteGraph graph = dataset.BuildTrainGraph();
+  HIGNN_ASSIGN_OR_RETURN(
+      experiment.model_,
+      Hignn::Fit(graph, dataset.user_features(), dataset.item_features(),
+                 config.hignn));
+  return experiment;
+}
+
+Result<VariantResult> CvrExperiment::RunVariant(const std::string& name,
+                                                const FeatureSpec& spec) const {
+  const HignnModel* model =
+      (spec.user_levels > 0 || spec.item_levels > 0) ? &model_ : nullptr;
+  HIGNN_ASSIGN_OR_RETURN(CvrFeatureBuilder features,
+                         CvrFeatureBuilder::Create(dataset_, model, spec));
+  CvrModelConfig cvr = config_.cvr;
+  // Distinct init per variant so ties don't come from shared randomness.
+  cvr.seed = config_.cvr.seed ^ std::hash<std::string>{}(name);
+  HIGNN_ASSIGN_OR_RETURN(CvrModel model_instance,
+                         CvrModel::Create(features.dim(), cvr));
+
+  VariantResult result;
+  result.name = name;
+  HIGNN_ASSIGN_OR_RETURN(result.train_loss,
+                         model_instance.Train(features, samples_.train));
+  HIGNN_ASSIGN_OR_RETURN(result.test_auc,
+                         model_instance.EvaluateAuc(features, samples_.test));
+  return result;
+}
+
+std::vector<std::pair<std::string, FeatureSpec>> CvrExperiment::PaperVariants(
+    int32_t levels) {
+  return {
+      {"CGNN", FeatureSpec::Cgnn()},
+      {"DIN", FeatureSpec::Din()},
+      {"GE", FeatureSpec::Ge()},
+      {"HUP-only", FeatureSpec::HupOnly(levels)},
+      {"HIA-only", FeatureSpec::HiaOnly(levels)},
+      {"HiGNN", FeatureSpec::HiGnn(levels)},
+  };
+}
+
+}  // namespace hignn

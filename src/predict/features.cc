@@ -1,0 +1,137 @@
+#include "predict/features.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hignn {
+
+namespace {
+
+constexpr int32_t kProfileDim = 2 + 4 + 3;  // gender, age, power one-hots
+constexpr int32_t kUserStatDim = 3;         // log clicks, log buys, rate
+constexpr int32_t kItemStatDim = 5;  // log clicks, log buys, rate, pop, price
+
+}  // namespace
+
+Result<CvrFeatureBuilder> CvrFeatureBuilder::Create(
+    const SyntheticDataset* dataset, const HignnModel* model,
+    const FeatureSpec& spec) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset must not be null");
+  }
+  if (spec.user_levels < 0 || spec.item_levels < 0) {
+    return Status::InvalidArgument("levels must be non-negative");
+  }
+  const bool needs_model = spec.user_levels > 0 || spec.item_levels > 0;
+  if (needs_model && model == nullptr) {
+    return Status::InvalidArgument(
+        "hierarchical feature levels requested but no HignnModel given");
+  }
+  if (model != nullptr) {
+    if (spec.user_levels > model->num_levels() ||
+        spec.item_levels > model->num_levels()) {
+      return Status::InvalidArgument(
+          StrFormat("spec requests %d/%d levels but model has %d",
+                    spec.user_levels, spec.item_levels, model->num_levels()));
+    }
+  }
+  return CvrFeatureBuilder(dataset, needs_model ? model : nullptr, spec);
+}
+
+CvrFeatureBuilder::CvrFeatureBuilder(const SyntheticDataset* dataset,
+                                     const HignnModel* model,
+                                     const FeatureSpec& spec)
+    : dataset_(dataset), model_(model), spec_(spec) {
+  int32_t dim = 0;
+  if (spec_.user_levels > 0) {
+    user_hier_ = model_->AllHierarchicalLeft(spec_.user_levels);
+    dim += static_cast<int32_t>(user_hier_.cols());
+  }
+  if (spec_.item_levels > 0) {
+    item_hier_ = model_->AllHierarchicalRight(spec_.item_levels);
+    dim += static_cast<int32_t>(item_hier_.cols());
+  }
+  if (spec_.use_match_features) {
+    match_levels_ = std::min(spec_.user_levels, spec_.item_levels);
+    dim += match_levels_;
+  }
+  if (spec_.use_profile) dim += kProfileDim + kUserStatDim;
+  if (spec_.use_item_stats) dim += kItemStatDim;
+  dim_ = dim;
+  HIGNN_CHECK_GT(dim_, 0);
+}
+
+void CvrFeatureBuilder::FillRow(const LabeledSample& sample,
+                                float* row) const {
+  size_t offset = 0;
+  if (spec_.user_levels > 0) {
+    const float* src = user_hier_.row(static_cast<size_t>(sample.user));
+    std::copy(src, src + user_hier_.cols(), row + offset);
+    offset += user_hier_.cols();
+  }
+  if (spec_.item_levels > 0) {
+    const float* src = item_hier_.row(static_cast<size_t>(sample.item));
+    std::copy(src, src + item_hier_.cols(), row + offset);
+    offset += item_hier_.cols();
+  }
+  if (match_levels_ > 0) {
+    const size_t d = static_cast<size_t>(model_->level_dim());
+    const float* zu = user_hier_.row(static_cast<size_t>(sample.user));
+    const float* zi = item_hier_.row(static_cast<size_t>(sample.item));
+    for (int32_t l = 0; l < match_levels_; ++l) {
+      double dot = 0.0;
+      const float* ul = zu + static_cast<size_t>(l) * d;
+      const float* il = zi + static_cast<size_t>(l) * d;
+      for (size_t c = 0; c < d; ++c) dot += static_cast<double>(ul[c]) * il[c];
+      row[offset + static_cast<size_t>(l)] = static_cast<float>(dot);
+    }
+    offset += static_cast<size_t>(match_levels_);
+  }
+  if (spec_.use_profile) {
+    const UserProfile& profile =
+        dataset_->profiles()[static_cast<size_t>(sample.user)];
+    row[offset + profile.gender] = 1.0f;
+    row[offset + 2 + profile.age_bucket] = 1.0f;
+    row[offset + 6 + profile.purchasing_power] = 1.0f;
+    offset += kProfileDim;
+    const auto& counters =
+        dataset_->user_counters()[static_cast<size_t>(sample.user)];
+    row[offset] = std::log1p(static_cast<float>(counters[0]));
+    row[offset + 1] = std::log1p(static_cast<float>(counters[1]));
+    row[offset + 2] =
+        counters[0] > 0
+            ? static_cast<float>(counters[1]) / static_cast<float>(counters[0])
+            : 0.0f;
+    offset += kUserStatDim;
+  }
+  if (spec_.use_item_stats) {
+    const auto& counters =
+        dataset_->item_counters()[static_cast<size_t>(sample.item)];
+    const ItemMeta& meta = dataset_->items()[static_cast<size_t>(sample.item)];
+    row[offset] = std::log1p(static_cast<float>(counters[0]));
+    row[offset + 1] = std::log1p(static_cast<float>(counters[1]));
+    row[offset + 2] =
+        counters[0] > 0
+            ? static_cast<float>(counters[1]) / static_cast<float>(counters[0])
+            : 0.0f;
+    row[offset + 3] = std::log1p(meta.popularity * 100.0f);
+    row[offset + 4] = std::log1p(meta.price) / 6.0f;
+    offset += kItemStatDim;
+  }
+  HIGNN_CHECK_EQ(offset, static_cast<size_t>(dim_));
+}
+
+Matrix CvrFeatureBuilder::BuildBatch(const std::vector<LabeledSample>& samples,
+                                     size_t begin, size_t end) const {
+  HIGNN_CHECK_LE(begin, end);
+  HIGNN_CHECK_LE(end, samples.size());
+  Matrix out(end - begin, static_cast<size_t>(dim_));
+  for (size_t k = begin; k < end; ++k) {
+    FillRow(samples[k], out.row(k - begin));
+  }
+  return out;
+}
+
+}  // namespace hignn

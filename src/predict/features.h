@@ -1,0 +1,92 @@
+#ifndef HIGNN_PREDICT_FEATURES_H_
+#define HIGNN_PREDICT_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hignn.h"
+#include "data/synthetic.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Which blocks enter the prediction network's input (Fig. 2).
+///
+/// The paper's baselines are exactly ablations of this spec:
+///   HiGNN     {L, L}   hierarchical user preference + item attractiveness
+///   HUP-only  {L, 0}   user hierarchy only
+///   HIA-only  {0, L}   item hierarchy only
+///   GE        {1, 1}   flat (single-level) graph embeddings
+///   CGNN      {2, 0}   two user levels (community + individual), no item
+///   DIN       {0, 0}   no graph features at all
+/// All variants keep the user profile and item statistic blocks.
+struct FeatureSpec {
+  int32_t user_levels = 0;  ///< hierarchy levels of z^H_u to include
+  int32_t item_levels = 0;  ///< hierarchy levels of z^H_i to include
+  bool use_profile = true;
+  bool use_item_stats = true;
+  /// Appends per-level dot products <z^l_u, z^l_i> for the levels both
+  /// sides share. MLPs learn multiplicative interactions from raw
+  /// concatenation very slowly; handing the network the matching scores
+  /// directly lets it exploit the embedding geometry (same spirit as
+  /// NCF's GMF path). On by default; no effect unless both user and item
+  /// blocks are present.
+  bool use_match_features = true;
+
+  static FeatureSpec HiGnn(int32_t levels) {
+    return {levels, levels, true, true, true};
+  }
+  static FeatureSpec HupOnly(int32_t levels) {
+    return {levels, 0, true, true, true};
+  }
+  static FeatureSpec HiaOnly(int32_t levels) {
+    return {0, levels, true, true, true};
+  }
+  static FeatureSpec Ge() { return {1, 1, true, true, true}; }
+  static FeatureSpec Cgnn() { return {2, 0, true, true, true}; }
+  static FeatureSpec Din() { return {0, 0, true, true, true}; }
+};
+
+/// \brief Assembles per-sample input rows for the CVR network: the chosen
+/// hierarchical embedding blocks plus user-profile one-hots and item
+/// statistics.
+class CvrFeatureBuilder {
+ public:
+  /// \param model  trained hierarchy; may be null iff both user_levels and
+  ///   item_levels are 0 (the DIN baseline).
+  static Result<CvrFeatureBuilder> Create(const SyntheticDataset* dataset,
+                                          const HignnModel* model,
+                                          const FeatureSpec& spec);
+
+  int32_t dim() const { return dim_; }
+  const FeatureSpec& spec() const { return spec_; }
+
+  /// \brief One (num_samples x dim) matrix for a batch of samples.
+  Matrix BuildBatch(const std::vector<LabeledSample>& samples,
+                    size_t begin, size_t end) const;
+
+  /// \brief Convenience over the full span.
+  Matrix BuildAll(const std::vector<LabeledSample>& samples) const {
+    return BuildBatch(samples, 0, samples.size());
+  }
+
+ private:
+  CvrFeatureBuilder(const SyntheticDataset* dataset, const HignnModel* model,
+                    const FeatureSpec& spec);
+
+  void FillRow(const LabeledSample& sample, float* row) const;
+
+  const SyntheticDataset* dataset_;
+  const HignnModel* model_;
+  FeatureSpec spec_;
+  Matrix user_hier_;  ///< cached hierarchical embeddings (may be empty)
+  Matrix item_hier_;
+  int32_t match_levels_ = 0;
+  int32_t dim_ = 0;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_PREDICT_FEATURES_H_

@@ -1,0 +1,111 @@
+#include "predict/recommender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace hignn {
+
+TopKRecommender::TopKRecommender(CvrModel* model,
+                                 const CvrFeatureBuilder* features,
+                                 int32_t num_items)
+    : model_(model), features_(features), num_items_(num_items) {
+  HIGNN_CHECK(model_ != nullptr);
+  HIGNN_CHECK(features_ != nullptr);
+  HIGNN_CHECK_GT(num_items_, 0);
+}
+
+Result<std::vector<Recommendation>> TopKRecommender::Recommend(
+    int32_t user, int32_t k, const std::vector<int32_t>* exclude) const {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (user < 0) return Status::InvalidArgument("negative user id");
+
+  std::unordered_set<int32_t> excluded;
+  if (exclude != nullptr) excluded.insert(exclude->begin(), exclude->end());
+
+  std::vector<LabeledSample> candidates;
+  candidates.reserve(static_cast<size_t>(num_items_));
+  for (int32_t item = 0; item < num_items_; ++item) {
+    if (excluded.count(item)) continue;
+    candidates.push_back(LabeledSample{user, item, 0.0f});
+  }
+  if (candidates.empty()) return std::vector<Recommendation>{};
+
+  HIGNN_ASSIGN_OR_RETURN(std::vector<float> scores,
+                         model_->Predict(*features_, candidates));
+
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t top = std::min<size_t>(static_cast<size_t>(k), order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(top),
+                    order.end(), [&scores](size_t a, size_t b) {
+                      return scores[a] > scores[b];
+                    });
+  std::vector<Recommendation> out;
+  out.reserve(top);
+  for (size_t i = 0; i < top; ++i) {
+    out.push_back(
+        Recommendation{candidates[order[i]].item, scores[order[i]]});
+  }
+  return out;
+}
+
+Result<TopKMetrics> EvaluateTopK(const TopKRecommender& recommender,
+                                 const SampleSet& samples, int32_t k,
+                                 int64_t max_users) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+
+  // Ground truth: per-user purchased items on the test day.
+  std::map<int32_t, std::set<int32_t>> purchases;
+  for (const LabeledSample& sample : samples.test) {
+    if (sample.label > 0.5f) purchases[sample.user].insert(sample.item);
+  }
+  if (purchases.empty()) {
+    return Status::FailedPrecondition("no test purchases to evaluate");
+  }
+
+  TopKMetrics metrics;
+  for (const auto& [user, items] : purchases) {
+    if (max_users > 0 && metrics.users_evaluated >= max_users) break;
+    HIGNN_ASSIGN_OR_RETURN(std::vector<Recommendation> top,
+                           recommender.Recommend(user, k));
+    int64_t hits = 0;
+    double dcg = 0.0;
+    double first_hit_rank = 0.0;
+    for (size_t rank = 0; rank < top.size(); ++rank) {
+      if (!items.count(top[rank].item)) continue;
+      ++hits;
+      dcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+      if (first_hit_rank == 0.0) {
+        first_hit_rank = static_cast<double>(rank) + 1.0;
+      }
+    }
+    double ideal = 0.0;
+    const size_t ideal_hits = std::min<size_t>(
+        top.size(), items.size());
+    for (size_t rank = 0; rank < ideal_hits; ++rank) {
+      ideal += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+    }
+    metrics.hit_rate += hits > 0 ? 1.0 : 0.0;
+    metrics.precision += static_cast<double>(hits) / static_cast<double>(k);
+    metrics.recall +=
+        static_cast<double>(hits) / static_cast<double>(items.size());
+    metrics.ndcg += ideal > 0.0 ? dcg / ideal : 0.0;
+    metrics.mrr += first_hit_rank > 0.0 ? 1.0 / first_hit_rank : 0.0;
+    ++metrics.users_evaluated;
+  }
+  HIGNN_CHECK_GT(metrics.users_evaluated, 0);
+  const double n = static_cast<double>(metrics.users_evaluated);
+  metrics.hit_rate /= n;
+  metrics.precision /= n;
+  metrics.recall /= n;
+  metrics.ndcg /= n;
+  metrics.mrr /= n;
+  return metrics;
+}
+
+}  // namespace hignn

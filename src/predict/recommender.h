@@ -1,0 +1,64 @@
+#ifndef HIGNN_PREDICT_RECOMMENDER_H_
+#define HIGNN_PREDICT_RECOMMENDER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "predict/cvr_model.h"
+#include "predict/features.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief One ranked recommendation.
+struct Recommendation {
+  int32_t item = -1;
+  float score = 0.0f;  ///< predicted purchase probability
+};
+
+/// \brief Top-K recommendation serving on a trained CVR model — the
+/// "personalized recommendation list" task the paper's introduction
+/// motivates. Scores every candidate item for a user in one batched
+/// forward pass and returns the K best.
+class TopKRecommender {
+ public:
+  /// \param model, features  a trained CvrModel and the matching feature
+  ///   builder; both must outlive the recommender. The model pointer is
+  ///   non-const because forward passes record tape handles internally.
+  TopKRecommender(CvrModel* model, const CvrFeatureBuilder* features,
+                  int32_t num_items);
+
+  /// \brief Returns the top-k items for `user`, optionally excluding a
+  /// set of items (e.g. already-purchased ones). Scores descending.
+  Result<std::vector<Recommendation>> Recommend(
+      int32_t user, int32_t k,
+      const std::vector<int32_t>* exclude = nullptr) const;
+
+ private:
+  CvrModel* model_;
+  const CvrFeatureBuilder* features_;
+  int32_t num_items_;
+};
+
+/// \brief Offline top-K ranking quality over the test day.
+struct TopKMetrics {
+  double hit_rate = 0.0;    ///< users with >= 1 purchased item in top-K
+  double precision = 0.0;   ///< mean fraction of top-K that was purchased
+  double recall = 0.0;      ///< mean fraction of purchases covered
+  double ndcg = 0.0;        ///< mean NDCG@K (binary relevance)
+  double mrr = 0.0;         ///< mean reciprocal rank of the first hit
+  int64_t users_evaluated = 0;
+};
+
+/// \brief Evaluates a recommender against the test-day purchases of
+/// `samples` (users with no test purchase are skipped). `max_users`
+/// caps the evaluation cost (0 = all purchasing users).
+Result<TopKMetrics> EvaluateTopK(const TopKRecommender& recommender,
+                                 const SampleSet& samples, int32_t k,
+                                 int64_t max_users = 0);
+
+}  // namespace hignn
+
+#endif  // HIGNN_PREDICT_RECOMMENDER_H_

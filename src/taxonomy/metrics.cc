@@ -1,0 +1,156 @@
+#include "taxonomy/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hignn {
+
+double NormalizedMutualInformation(const std::vector<int32_t>& a,
+                                   const std::vector<int32_t>& b) {
+  HIGNN_CHECK_EQ(a.size(), b.size());
+  const double n = static_cast<double>(a.size());
+  if (a.empty()) return 0.0;
+
+  std::unordered_map<int32_t, double> pa;
+  std::unordered_map<int32_t, double> pb;
+  std::unordered_map<int64_t, double> pab;
+  for (size_t i = 0; i < a.size(); ++i) {
+    pa[a[i]] += 1.0;
+    pb[b[i]] += 1.0;
+    pab[(static_cast<int64_t>(a[i]) << 32) ^
+        static_cast<uint32_t>(b[i])] += 1.0;
+  }
+  double ha = 0.0;
+  for (auto& [label, count] : pa) {
+    (void)label;
+    const double p = count / n;
+    ha -= p * std::log(p);
+  }
+  double hb = 0.0;
+  for (auto& [label, count] : pb) {
+    (void)label;
+    const double p = count / n;
+    hb -= p * std::log(p);
+  }
+  double mi = 0.0;
+  for (auto& [key, count] : pab) {
+    const int32_t la = static_cast<int32_t>(key >> 32);
+    const int32_t lb = static_cast<int32_t>(key & 0xFFFFFFFF);
+    const double pxy = count / n;
+    const double px = pa[la] / n;
+    const double py = pb[lb] / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  const double denom = std::sqrt(ha * hb);
+  return denom > 0.0 ? mi / denom : 0.0;
+}
+
+Result<TaxonomyQuality> EvaluateTaxonomy(const QueryDataset& dataset,
+                                         const Taxonomy& taxonomy,
+                                         const TaxonomyEvalConfig& config) {
+  if (taxonomy.num_levels() < 1) {
+    return Status::InvalidArgument("taxonomy has no levels");
+  }
+  const TopicTree& tree = dataset.tree();
+  const auto& item_leaf = dataset.item_leaf();
+  if (taxonomy.levels.front().item_assignment.size() != item_leaf.size()) {
+    return Status::InvalidArgument("taxonomy does not match dataset items");
+  }
+
+  TaxonomyQuality quality;
+  quality.average_levels = taxonomy.num_levels();
+
+  Rng rng(config.seed);
+
+  // Topic inventories per level, with two eligibility sets: grading
+  // (expert protocol, larger topics only) and diversity (all discovered
+  // topics).
+  struct TopicRef {
+    int32_t level;
+    int32_t topic;
+  };
+  std::vector<TopicRef> eligible;
+  std::vector<TopicRef> discovered;
+  std::vector<std::vector<std::vector<int32_t>>> members_by_level;
+  for (int32_t l = 0; l < taxonomy.num_levels(); ++l) {
+    members_by_level.push_back(taxonomy.TopicItems(l));
+    for (int32_t t = 0;
+         t < taxonomy.levels[static_cast<size_t>(l)].num_topics; ++t) {
+      const int32_t size = static_cast<int32_t>(
+          members_by_level.back()[static_cast<size_t>(t)].size());
+      if (size >= config.min_topic_items) eligible.push_back(TopicRef{l, t});
+      if (size >= config.diversity_min_items) {
+        discovered.push_back(TopicRef{l, t});
+      }
+    }
+  }
+  if (eligible.empty()) {
+    return Status::FailedPrecondition("no topic has enough items to grade");
+  }
+
+  // ---- Diversity over ALL discovered topics ---------------------------------
+  {
+    int64_t qualified = 0;
+    for (const TopicRef& ref : discovered) {
+      std::unordered_set<int32_t> categories;
+      for (int32_t item :
+           members_by_level[static_cast<size_t>(ref.level)]
+                           [static_cast<size_t>(ref.topic)]) {
+        categories.insert(
+            dataset.item_category()[static_cast<size_t>(item)]);
+      }
+      if (static_cast<int32_t>(categories.size()) > 2) ++qualified;
+    }
+    quality.diversity = static_cast<double>(qualified) /
+                        static_cast<double>(discovered.size());
+  }
+
+  // ---- Accuracy over sampled topics (expert protocol) -----------------------
+  {
+    std::vector<size_t> order(eligible.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(order);
+    const size_t take = std::min<size_t>(
+        order.size(), static_cast<size_t>(config.sample_topics));
+
+    double total_purity = 0.0;
+    for (size_t s = 0; s < take; ++s) {
+      const TopicRef& ref = eligible[order[s]];
+      // Match taxonomy granularity to the planted tree: finest level
+      // corresponds to leaves, each coarser level walks one up.
+      const int32_t matched_tree_level =
+          std::max(1, tree.depth() - ref.level);
+      auto members = members_by_level[static_cast<size_t>(ref.level)]
+                                     [static_cast<size_t>(ref.topic)];
+      rng.Shuffle(members);
+      if (static_cast<int32_t>(members.size()) > config.items_per_topic) {
+        members.resize(static_cast<size_t>(config.items_per_topic));
+      }
+      std::unordered_map<int32_t, int32_t> votes;
+      for (int32_t item : members) {
+        ++votes[tree.AncestorAtLevel(
+            item_leaf[static_cast<size_t>(item)], matched_tree_level)];
+      }
+      int32_t majority = 0;
+      for (const auto& [label, count] : votes) {
+        (void)label;
+        majority = std::max(majority, count);
+      }
+      total_purity += static_cast<double>(majority) /
+                      static_cast<double>(members.size());
+    }
+    quality.accuracy = total_purity / static_cast<double>(take);
+  }
+
+  // ---- NMI of the finest level against planted leaves ------------------------
+  quality.finest_nmi = NormalizedMutualInformation(
+      taxonomy.levels.front().item_assignment, item_leaf);
+  return quality;
+}
+
+}  // namespace hignn

@@ -1,0 +1,54 @@
+#ifndef HIGNN_TAXONOMY_PIPELINE_H_
+#define HIGNN_TAXONOMY_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hignn.h"
+#include "data/query_dataset.h"
+#include "taxonomy/taxonomy.h"
+#include "text/word2vec.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief End-to-end taxonomy construction settings (Section V).
+struct TaxonomyPipelineConfig {
+  Word2VecConfig word2vec;
+  HignnConfig hignn;          ///< shared_weights is forced on (Sec. V-B)
+  bool match_descriptions = true;
+  uint64_t seed = 909;
+
+  TaxonomyPipelineConfig() {
+    // Paper's taxonomy settings: L = 4, d = 32, CH-driven cluster counts.
+    hignn.levels = 4;
+    hignn.select_k_by_ch = true;
+    hignn.sage.shared_weights = true;
+  }
+};
+
+/// \brief Output of one taxonomy construction run.
+struct TaxonomyRun {
+  Taxonomy taxonomy;
+  Word2Vec word2vec;          ///< the shared-space embeddings used
+  std::vector<int32_t> level_topics;  ///< topics per level (for baselines)
+  double wall_seconds = 0.0;
+};
+
+/// \brief Full HiGNN taxonomy pipeline: trains word2vec on the corpus,
+/// embeds queries and item titles into one space (Sec. V-B), runs the
+/// shared-weight HiGNN of Algorithm 1 with CH-selected cluster counts,
+/// extracts the taxonomy, and (optionally) names every topic.
+Result<TaxonomyRun> RunHignnTaxonomy(const QueryDataset& dataset,
+                                     const TaxonomyPipelineConfig& config);
+
+/// \brief SHOAL baseline pipeline: same word2vec space and same per-level
+/// topic counts, but agglomerative clustering on the static embeddings
+/// instead of trained GNN embeddings.
+Result<TaxonomyRun> RunShoalTaxonomy(const QueryDataset& dataset,
+                                     const TaxonomyPipelineConfig& config,
+                                     const std::vector<int32_t>& level_topics);
+
+}  // namespace hignn
+
+#endif  // HIGNN_TAXONOMY_PIPELINE_H_

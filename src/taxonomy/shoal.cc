@@ -1,0 +1,110 @@
+#include "taxonomy/shoal.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "cluster/agglomerative.h"
+#include "util/logging.h"
+
+namespace hignn {
+
+Result<Taxonomy> BuildTaxonomyShoal(const QueryDataset& dataset,
+                                    const Word2Vec& word2vec,
+                                    const std::vector<int32_t>& level_topics) {
+  if (level_topics.empty()) {
+    return Status::InvalidArgument("need at least one level");
+  }
+  for (size_t l = 1; l < level_topics.size(); ++l) {
+    if (level_topics[l] > level_topics[l - 1]) {
+      return Status::InvalidArgument(
+          "level topic counts must be non-increasing (coarser upward)");
+    }
+  }
+  const int32_t num_items = dataset.num_items();
+  const int32_t num_queries = dataset.num_queries();
+
+  // Static item embeddings: mean word2vec of the title tokens.
+  Matrix item_embeddings(static_cast<size_t>(num_items),
+                         static_cast<size_t>(word2vec.dim()));
+  for (int32_t i = 0; i < num_items; ++i) {
+    item_embeddings.SetRow(
+        static_cast<size_t>(i),
+        word2vec.EmbedBag(dataset.item_tokens()[static_cast<size_t>(i)]));
+  }
+
+  HIGNN_ASSIGN_OR_RETURN(AgglomerativeClustering dendrogram,
+                         AgglomerativeClustering::Fit(item_embeddings));
+
+  Taxonomy taxonomy;
+  for (int32_t k : level_topics) {
+    const int32_t clamped = std::min<int32_t>(k, num_items);
+    HIGNN_ASSIGN_OR_RETURN(std::vector<int32_t> assignment,
+                           dendrogram.Cut(clamped));
+
+    TaxonomyLevel level;
+    level.num_topics = clamped;
+    level.item_assignment = std::move(assignment);
+
+    // Topic centroids for the no-click query fallback.
+    Matrix centroids(static_cast<size_t>(clamped),
+                     static_cast<size_t>(word2vec.dim()));
+    std::vector<int64_t> counts(static_cast<size_t>(clamped), 0);
+    for (int32_t i = 0; i < num_items; ++i) {
+      const int32_t t = level.item_assignment[static_cast<size_t>(i)];
+      float* dst = centroids.row(static_cast<size_t>(t));
+      const float* src = item_embeddings.row(static_cast<size_t>(i));
+      for (size_t c = 0; c < centroids.cols(); ++c) dst[c] += src[c];
+      ++counts[static_cast<size_t>(t)];
+    }
+    for (int32_t t = 0; t < clamped; ++t) {
+      if (counts[static_cast<size_t>(t)] == 0) continue;
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(t)]);
+      float* dst = centroids.row(static_cast<size_t>(t));
+      for (size_t c = 0; c < centroids.cols(); ++c) dst[c] *= inv;
+    }
+
+    // Queries: click-weight majority topic, else nearest centroid.
+    std::vector<std::unordered_map<int32_t, float>> votes(
+        static_cast<size_t>(num_queries));
+    for (const auto& edge : dataset.edges()) {
+      const int32_t t = level.item_assignment[static_cast<size_t>(edge.i)];
+      votes[static_cast<size_t>(edge.u)][t] += edge.weight;
+    }
+    level.query_assignment.resize(static_cast<size_t>(num_queries));
+    for (int32_t q = 0; q < num_queries; ++q) {
+      const auto& vote = votes[static_cast<size_t>(q)];
+      if (!vote.empty()) {
+        int32_t best = -1;
+        float best_weight = -1.0f;
+        for (const auto& [t, w] : vote) {
+          if (w > best_weight) {
+            best_weight = w;
+            best = t;
+          }
+        }
+        level.query_assignment[static_cast<size_t>(q)] = best;
+        continue;
+      }
+      const std::vector<float> embedding =
+          word2vec.EmbedBag(dataset.query_tokens()[static_cast<size_t>(q)]);
+      Matrix probe(1, embedding.size());
+      probe.SetRow(0, embedding);
+      int32_t best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (int32_t t = 0; t < clamped; ++t) {
+        const double dist = RowSquaredDistance(probe, 0, centroids,
+                                               static_cast<size_t>(t));
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = t;
+        }
+      }
+      level.query_assignment[static_cast<size_t>(q)] = best;
+    }
+    taxonomy.levels.push_back(std::move(level));
+  }
+  return taxonomy;
+}
+
+}  // namespace hignn

@@ -1,0 +1,31 @@
+#ifndef HIGNN_TAXONOMY_SHOAL_H_
+#define HIGNN_TAXONOMY_SHOAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/query_dataset.h"
+#include "taxonomy/taxonomy.h"
+#include "text/word2vec.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief SHOAL baseline (Li et al., VLDB'19; Alibaba's deployed taxonomy
+/// at the time of the paper): hierarchical agglomerative (Ward) clustering
+/// on *static* query/item embeddings — no trainable GNN, so the non-linear
+/// query-item interactions are never learned (Sec. V-D).
+///
+/// Item embeddings are mean word2vec bags of the title tokens; the
+/// dendrogram is cut at the same per-level cluster counts as the HiGNN
+/// taxonomy for a fair comparison (the paper matches cluster numbers too).
+/// Queries are assigned to the topic that receives the majority of their
+/// click weight (falling back to the nearest topic centroid for queries
+/// with no clicks).
+Result<Taxonomy> BuildTaxonomyShoal(const QueryDataset& dataset,
+                                    const Word2Vec& word2vec,
+                                    const std::vector<int32_t>& level_topics);
+
+}  // namespace hignn
+
+#endif  // HIGNN_TAXONOMY_SHOAL_H_

@@ -1,0 +1,65 @@
+#include "text/bm25.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hignn {
+
+int32_t Bm25Index::AddDocument(const std::vector<int32_t>& tokens) {
+  HIGNN_CHECK(!finalized_);
+  Doc doc;
+  doc.length = static_cast<int64_t>(tokens.size());
+  for (int32_t t : tokens) ++doc.term_freq[t];
+  for (const auto& [token, freq] : doc.term_freq) {
+    (void)freq;
+    ++doc_freq_[token];
+  }
+  docs_.push_back(std::move(doc));
+  return static_cast<int32_t>(docs_.size()) - 1;
+}
+
+void Bm25Index::Finalize() {
+  HIGNN_CHECK(!finalized_);
+  finalized_ = true;
+  if (docs_.empty()) {
+    avg_doc_length_ = 0.0;
+    return;
+  }
+  int64_t total = 0;
+  for (const auto& doc : docs_) total += doc.length;
+  avg_doc_length_ = static_cast<double>(total) /
+                    static_cast<double>(docs_.size());
+}
+
+double Bm25Index::Score(const std::vector<int32_t>& query_tokens,
+                        int32_t doc_id) const {
+  HIGNN_CHECK(finalized_);
+  HIGNN_CHECK_GE(doc_id, 0);
+  HIGNN_CHECK_LT(static_cast<size_t>(doc_id), docs_.size());
+  const Doc& doc = docs_[static_cast<size_t>(doc_id)];
+  const double n = static_cast<double>(docs_.size());
+
+  double score = 0.0;
+  for (int32_t token : query_tokens) {
+    auto tf_it = doc.term_freq.find(token);
+    if (tf_it == doc.term_freq.end()) continue;
+    const auto df_it = doc_freq_.find(token);
+    const double df = df_it == doc_freq_.end()
+                          ? 0.0
+                          : static_cast<double>(df_it->second);
+    // Plus-one smoothed IDF (non-negative).
+    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    const double tf = static_cast<double>(tf_it->second);
+    const double denom =
+        tf + k1_ * (1.0 - b_ +
+                    b_ * (avg_doc_length_ > 0.0
+                              ? static_cast<double>(doc.length) /
+                                    avg_doc_length_
+                              : 0.0));
+    score += idf * tf * (k1_ + 1.0) / denom;
+  }
+  return score;
+}
+
+}  // namespace hignn

@@ -1,0 +1,49 @@
+#ifndef HIGNN_TEXT_BM25_H_
+#define HIGNN_TEXT_BM25_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace hignn {
+
+/// \brief Okapi BM25 relevance scorer over token-id documents.
+///
+/// Used by the topic-description matcher (Eq. 16): the concentration of a
+/// query for a topic is derived from the BM25 relevance rel(q, D_k) of the
+/// query against the concatenated titles of the topic's items.
+class Bm25Index {
+ public:
+  /// \param k1, b  the standard BM25 saturation / length-normalization
+  ///   parameters.
+  explicit Bm25Index(float k1 = 1.2f, float b = 0.75f) : k1_(k1), b_(b) {}
+
+  /// \brief Adds a document (bag of token ids); returns its index.
+  int32_t AddDocument(const std::vector<int32_t>& tokens);
+
+  /// \brief Finalizes IDF statistics; must be called after the last
+  /// AddDocument and before Score.
+  void Finalize();
+
+  /// \brief BM25 score of `query_tokens` against document `doc`.
+  double Score(const std::vector<int32_t>& query_tokens, int32_t doc) const;
+
+  int32_t num_documents() const { return static_cast<int32_t>(docs_.size()); }
+
+ private:
+  struct Doc {
+    std::unordered_map<int32_t, int32_t> term_freq;
+    int64_t length = 0;
+  };
+
+  float k1_;
+  float b_;
+  std::vector<Doc> docs_;
+  std::unordered_map<int32_t, int32_t> doc_freq_;  // token -> #docs containing
+  double avg_doc_length_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_TEXT_BM25_H_

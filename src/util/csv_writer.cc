@@ -1,0 +1,47 @@
+#include "util/csv_writer.h"
+
+#include "util/string_util.h"
+
+namespace hignn {
+
+CsvWriter::CsvWriter(const std::string& path)
+    : out_(path, std::ios::trunc) {}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t f = 0; f < fields.size(); ++f) {
+    if (f > 0) out_ << ',';
+    out_ << EscapeField(fields[f]);
+  }
+  out_ << '\n';
+  ++rows_written_;
+}
+
+void CsvWriter::WriteRow(const std::string& label,
+                         const std::vector<double>& values) {
+  std::vector<std::string> fields = {label};
+  fields.reserve(values.size() + 1);
+  for (double v : values) fields.push_back(StrFormat("%.6g", v));
+  WriteRow(fields);
+}
+
+Status CsvWriter::Close() {
+  out_.flush();
+  if (!out_) return Status::IOError("csv write failed");
+  out_.close();
+  return Status::OK();
+}
+
+}  // namespace hignn

@@ -1,0 +1,50 @@
+#ifndef HIGNN_UTIL_CSV_WRITER_H_
+#define HIGNN_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief RFC-4180-style CSV emitter for experiment results (fields with
+/// commas, quotes or newlines are quoted; embedded quotes doubled).
+///
+/// ```cpp
+/// CsvWriter csv("results.csv");
+/// csv.WriteRow({"method", "auc"});
+/// csv.WriteRow({"HiGNN", "0.747"});
+/// HIGNN_RETURN_IF_ERROR(csv.Close());
+/// ```
+class CsvWriter {
+ public:
+  /// \brief Opens `path` for writing (truncates). Check with Close().
+  explicit CsvWriter(const std::string& path);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// \brief Writes one row; fields are escaped as needed.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// \brief Convenience for numeric rows.
+  void WriteRow(const std::string& label, const std::vector<double>& values);
+
+  int64_t rows_written() const { return rows_written_; }
+
+  /// \brief Flushes and reports any stream error (including open failure).
+  Status Close();
+
+  /// \brief Escapes a single field per RFC 4180 (exposed for tests).
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  int64_t rows_written_ = 0;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_UTIL_CSV_WRITER_H_

@@ -1,0 +1,136 @@
+#include "util/io.h"
+
+#include <cstring>
+
+namespace hignn {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'G', 'N', 'N'};
+constexpr uint32_t kFormatVersion = 1;
+
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {}
+
+void BinaryWriter::WriteHeader(uint32_t tag) {
+  out_.write(kMagic, sizeof(kMagic));
+  WriteU32(kFormatVersion);
+  WriteU32(tag);
+}
+
+void BinaryWriter::WriteU32(uint32_t value) {
+  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void BinaryWriter::WriteU64(uint64_t value) {
+  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void BinaryWriter::WriteI32(int32_t value) {
+  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void BinaryWriter::WriteI64(int64_t value) {
+  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void BinaryWriter::WriteF32(float value) {
+  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void BinaryWriter::WriteF64(double value) {
+  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  out_.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+void BinaryWriter::WriteFloats(const float* data, size_t count) {
+  WriteU64(count);
+  out_.write(reinterpret_cast<const char*>(data),
+             static_cast<std::streamsize>(count * sizeof(float)));
+}
+
+void BinaryWriter::WriteI32s(const int32_t* data, size_t count) {
+  WriteU64(count);
+  out_.write(reinterpret_cast<const char*>(data),
+             static_cast<std::streamsize>(count * sizeof(int32_t)));
+}
+
+Status BinaryWriter::Close() {
+  out_.flush();
+  if (!out_) return Status::IOError("write failed");
+  out_.close();
+  return Status::OK();
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {}
+
+Status BinaryReader::ReadHeader(uint32_t expected_tag) {
+  if (!in_) return Status::IOError("cannot open file");
+  char magic[4];
+  in_.read(magic, sizeof(magic));
+  if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("bad magic (not a HiGNN artifact)");
+  }
+  HIGNN_ASSIGN_OR_RETURN(uint32_t version, ReadU32());
+  if (version != kFormatVersion) {
+    return Status::IOError("unsupported format version");
+  }
+  HIGNN_ASSIGN_OR_RETURN(uint32_t tag, ReadU32());
+  if (tag != expected_tag) {
+    return Status::IOError("payload tag mismatch");
+  }
+  return Status::OK();
+}
+
+#define HIGNN_DEFINE_READ(Name, Type)                        \
+  Result<Type> BinaryReader::Name() {                        \
+    Type value;                                              \
+    in_.read(reinterpret_cast<char*>(&value), sizeof(value)); \
+    if (!in_) return Status::IOError("truncated input");     \
+    return value;                                            \
+  }
+
+HIGNN_DEFINE_READ(ReadU32, uint32_t)
+HIGNN_DEFINE_READ(ReadU64, uint64_t)
+HIGNN_DEFINE_READ(ReadI32, int32_t)
+HIGNN_DEFINE_READ(ReadI64, int64_t)
+HIGNN_DEFINE_READ(ReadF32, float)
+HIGNN_DEFINE_READ(ReadF64, double)
+
+#undef HIGNN_DEFINE_READ
+
+Result<std::string> BinaryReader::ReadString() {
+  HIGNN_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > (1ULL << 32)) return Status::IOError("unreasonable string size");
+  std::string value(size, '\0');
+  in_.read(value.data(), static_cast<std::streamsize>(size));
+  if (!in_) return Status::IOError("truncated string");
+  return value;
+}
+
+Status BinaryReader::ReadFloats(float* data, size_t count) {
+  HIGNN_ASSIGN_OR_RETURN(uint64_t stored, ReadU64());
+  if (stored != count) return Status::IOError("float array size mismatch");
+  in_.read(reinterpret_cast<char*>(data),
+           static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in_) return Status::IOError("truncated float array");
+  return Status::OK();
+}
+
+Status BinaryReader::ReadI32s(int32_t* data, size_t count) {
+  HIGNN_ASSIGN_OR_RETURN(uint64_t stored, ReadU64());
+  if (stored != count) return Status::IOError("int array size mismatch");
+  in_.read(reinterpret_cast<char*>(data),
+           static_cast<std::streamsize>(count * sizeof(int32_t)));
+  if (!in_) return Status::IOError("truncated int array");
+  return Status::OK();
+}
+
+}  // namespace hignn

@@ -1,0 +1,75 @@
+#ifndef HIGNN_UTIL_IO_H_
+#define HIGNN_UTIL_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Little-endian binary serialization helpers with a tagged,
+/// versioned container format. Used by the model/graph Save/Load methods
+/// so trained artifacts can be cached between runs.
+///
+/// Format of a container: magic "HGNN", u32 version, u32 tag (per
+/// payload type), then payload. Readers verify magic and tag.
+class BinaryWriter {
+ public:
+  /// \brief Opens `path` for writing; check ok() before use.
+  explicit BinaryWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void WriteHeader(uint32_t tag);
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI32(int32_t value);
+  void WriteI64(int64_t value);
+  void WriteF32(float value);
+  void WriteF64(double value);
+  void WriteString(const std::string& value);
+  void WriteFloats(const float* data, size_t count);
+  void WriteI32s(const int32_t* data, size_t count);
+
+  /// \brief Flushes and reports any accumulated stream error.
+  Status Close();
+
+ private:
+  std::ofstream out_;
+};
+
+/// \brief Reader counterpart; every method returns an error on truncated
+/// or mismatched input instead of reading garbage.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+  /// \brief Verifies magic/version and that the payload tag matches.
+  Status ReadHeader(uint32_t expected_tag);
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<int64_t> ReadI64();
+  Result<float> ReadF32();
+  Result<double> ReadF64();
+  Result<std::string> ReadString();
+  Status ReadFloats(float* data, size_t count);
+  Status ReadI32s(int32_t* data, size_t count);
+
+ private:
+  std::ifstream in_;
+};
+
+/// Payload tags for the container header.
+inline constexpr uint32_t kTagMatrix = 1;
+inline constexpr uint32_t kTagBipartiteGraph = 2;
+inline constexpr uint32_t kTagHignnModel = 3;
+
+}  // namespace hignn
+
+#endif  // HIGNN_UTIL_IO_H_

@@ -1,0 +1,153 @@
+#ifndef HIGNN_UTIL_STATUS_H_
+#define HIGNN_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hignn {
+
+/// \brief Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kIOError = 7,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief RocksDB-style status object used for error propagation across the
+/// library. Library code never throws across the public API; fallible
+/// operations return a Status (or a Result<T>, below).
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// free-form message describing what went wrong.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// \brief Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" for success, "<CODE>: <message>" otherwise.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Value-or-error holder: either a T or an error Status.
+///
+/// Mirrors absl::StatusOr. `ValueOrDie()` aborts on error and is intended
+/// for tests and examples; library code should check `ok()` first or use
+/// HIGNN_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call sites
+  /// terse (`return value;` / `return Status::InvalidArgument(...)`).
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// \brief Returns the value, aborting the process if this holds an error.
+  T& ValueOrDie();
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Implementation details only below here.
+
+template <typename T>
+T& Result<T>::ValueOrDie() {
+  if (!ok()) {
+    std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                 status_.ToString().c_str());
+    std::abort();
+  }
+  return *value_;
+}
+
+}  // namespace hignn
+
+/// Propagates a non-OK Status to the caller.
+#define HIGNN_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::hignn::Status _hignn_status = (expr);        \
+    if (!_hignn_status.ok()) return _hignn_status; \
+  } while (0)
+
+/// Evaluates a Result-returning expression, propagating errors and binding
+/// the unwrapped value to `lhs` on success.
+#define HIGNN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define HIGNN_ASSIGN_OR_RETURN(lhs, expr) \
+  HIGNN_ASSIGN_OR_RETURN_IMPL(            \
+      HIGNN_CONCAT_(_hignn_result_, __LINE__), lhs, expr)
+
+#define HIGNN_CONCAT_INNER_(a, b) a##b
+#define HIGNN_CONCAT_(a, b) HIGNN_CONCAT_INNER_(a, b)
+
+#endif  // HIGNN_UTIL_STATUS_H_

@@ -1,0 +1,38 @@
+#ifndef HIGNN_UTIL_TABLE_PRINTER_H_
+#define HIGNN_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hignn {
+
+/// \brief Column-aligned plain-text table, used by the benchmark harness to
+/// print paper tables in a shape directly comparable to the publication.
+class TablePrinter {
+ public:
+  /// \brief Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// \brief Optional caption printed above the table.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// \brief Appends a row; must match the header count.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Renders with a header rule and column padding.
+  void Print(std::ostream& os) const;
+
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,61 @@
+#ifndef HIGNN_UTIL_THREAD_POOL_H_
+#define HIGNN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hignn {
+
+/// \brief Fixed-size worker pool with a ParallelFor convenience.
+///
+/// The paper trains on a 300-worker cluster; this pool is the single-host
+/// analogue used by K-means assignment, embedding aggregation and data
+/// generation. On a single-core host it degrades gracefully to inline
+/// execution (num_threads == 1 runs tasks on the calling thread).
+class ThreadPool {
+ public:
+  /// \brief Creates a pool with `num_threads` workers (0 means
+  /// hardware_concurrency, at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.empty() ? 1 : threads_.size(); }
+
+  /// \brief Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished.
+  void Wait();
+
+  /// \brief Splits [begin, end) into contiguous chunks and runs
+  /// `body(chunk_begin, chunk_end)` across the pool; returns when all
+  /// chunks are done. Safe to call with begin == end.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// \brief Process-wide default pool (lazily created, never destroyed).
+ThreadPool& GlobalThreadPool();
+
+}  // namespace hignn
+
+#endif  // HIGNN_UTIL_THREAD_POOL_H_

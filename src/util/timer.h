@@ -1,0 +1,30 @@
+#ifndef HIGNN_UTIL_TIMER_H_
+#define HIGNN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace hignn {
+
+/// \brief Monotonic wall-clock stopwatch for instrumenting training loops
+/// and benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_UTIL_TIMER_H_

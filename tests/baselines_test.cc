@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "baselines/diffpool.h"
+#include "baselines/random_walk.h"
+#include "eval/metrics.h"
+#include "predict/recommender.h"
+#include "util/rng.h"
+
+namespace hignn {
+namespace {
+
+// Two planted communities, as in sage_test.
+BipartiteGraph PlantedGraph(uint64_t seed = 3) {
+  Rng rng(seed);
+  BipartiteGraphBuilder builder(40, 20);
+  for (int32_t u = 0; u < 40; ++u) {
+    const int32_t base = u < 20 ? 0 : 10;
+    for (int k = 0; k < 6; ++k) {
+      EXPECT_TRUE(
+          builder
+              .AddEdge(u, base + static_cast<int32_t>(rng.UniformInt(10)))
+              .ok());
+    }
+  }
+  return builder.Build();
+}
+
+// ----------------------------------------------------------- RandomWalk --
+
+TEST(RandomWalkTest, EmbeddingsSeparateCommunities) {
+  const BipartiteGraph graph = PlantedGraph();
+  RandomWalkConfig config;
+  config.dim = 16;
+  config.epochs = 3;
+  auto embeddings = TrainRandomWalkEmbeddings(graph, config);
+  ASSERT_TRUE(embeddings.ok()) << embeddings.status().ToString();
+  ASSERT_EQ(embeddings.value().left.rows(), 40u);
+  ASSERT_EQ(embeddings.value().right.rows(), 20u);
+
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int32_t a = 0; a < 40; ++a) {
+    for (int32_t b = a + 1; b < 40; ++b) {
+      scores.push_back(static_cast<float>(
+          RowDot(embeddings.value().left, static_cast<size_t>(a),
+                 embeddings.value().left, static_cast<size_t>(b))));
+      labels.push_back((a < 20) == (b < 20) ? 1.0f : 0.0f);
+    }
+  }
+  EXPECT_GT(ComputeAuc(scores, labels).ValueOrDie(), 0.85);
+}
+
+TEST(RandomWalkTest, CrossSideEdgesScoreHigh) {
+  const BipartiteGraph graph = PlantedGraph(11);
+  RandomWalkConfig config;
+  config.dim = 16;
+  config.epochs = 3;
+  auto embeddings = TrainRandomWalkEmbeddings(graph, config).ValueOrDie();
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int32_t u = 0; u < 40; ++u) {
+    for (int32_t i = 0; i < 20; ++i) {
+      scores.push_back(static_cast<float>(
+          RowDot(embeddings.left, static_cast<size_t>(u), embeddings.right,
+                 static_cast<size_t>(i))));
+      labels.push_back((u < 20) == (i < 10) ? 1.0f : 0.0f);
+    }
+  }
+  EXPECT_GT(ComputeAuc(scores, labels).ValueOrDie(), 0.85);
+}
+
+TEST(RandomWalkTest, RejectsBadConfigAndEmptyGraph) {
+  const BipartiteGraph graph = PlantedGraph();
+  RandomWalkConfig bad;
+  bad.dim = 0;
+  EXPECT_FALSE(TrainRandomWalkEmbeddings(graph, bad).ok());
+  BipartiteGraphBuilder empty(3, 3);
+  EXPECT_FALSE(
+      TrainRandomWalkEmbeddings(empty.Build(), RandomWalkConfig{}).ok());
+}
+
+TEST(RandomWalkTest, DeterministicForSeed) {
+  const BipartiteGraph graph = PlantedGraph();
+  RandomWalkConfig config;
+  config.dim = 8;
+  config.epochs = 1;
+  auto a = TrainRandomWalkEmbeddings(graph, config).ValueOrDie();
+  auto b = TrainRandomWalkEmbeddings(graph, config).ValueOrDie();
+  EXPECT_TRUE(AllClose(a.left, b.left, 0.0f));
+}
+
+// ------------------------------------------------------------- DiffPool --
+
+TEST(DiffPoolTest, ForwardProducesPooledFeatures) {
+  const BipartiteGraph graph = PlantedGraph();
+  Rng rng(5);
+  Matrix left(40, 4);
+  Matrix right(20, 3);
+  left.FillNormal(rng);
+  right.FillNormal(rng);
+  DiffPoolConfig config;
+  config.levels = 2;
+  config.hidden_dim = 8;
+  auto stats = RunDiffPoolForward(graph, left, right, config);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // 60 vertices -> ratio 0.2 -> 12 -> min_clusters floor 4.
+  EXPECT_EQ(stats.value().pooled_features.rows(), 4u);
+  EXPECT_EQ(stats.value().pooled_features.cols(), 8u);
+  EXPECT_EQ(stats.value().dense_elements, 60 * 60);
+  EXPECT_GT(stats.value().flops_estimate, 0);
+  for (size_t i = 0; i < stats.value().pooled_features.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(stats.value().pooled_features.data()[i]));
+  }
+}
+
+TEST(DiffPoolTest, DenseCostGrowsQuadratically) {
+  Rng rng(7);
+  int64_t previous_elements = 0;
+  for (int32_t scale : {20, 40, 80}) {
+    BipartiteGraphBuilder builder(scale, scale);
+    for (int32_t u = 0; u < scale; ++u) {
+      ASSERT_TRUE(
+          builder.AddEdge(u, static_cast<int32_t>(rng.UniformInt(scale)))
+              .ok());
+    }
+    Matrix left(static_cast<size_t>(scale), 4);
+    Matrix right(static_cast<size_t>(scale), 4);
+    left.FillNormal(rng);
+    right.FillNormal(rng);
+    auto stats =
+        RunDiffPoolForward(builder.Build(), left, right, DiffPoolConfig{});
+    ASSERT_TRUE(stats.ok());
+    if (previous_elements > 0) {
+      // Doubling n quadruples the dense adjacency.
+      EXPECT_EQ(stats.value().dense_elements, previous_elements * 4);
+    }
+    previous_elements = stats.value().dense_elements;
+  }
+}
+
+TEST(DiffPoolTest, RefusesOversizedGraphs) {
+  // 40k + 40k vertices -> 6.4e9 dense floats -> must refuse, not OOM.
+  BipartiteGraphBuilder builder(40000, 40000);
+  ASSERT_TRUE(builder.AddEdge(0, 0).ok());
+  Matrix left(40000, 1);
+  Matrix right(40000, 1);
+  auto stats =
+      RunDiffPoolForward(builder.Build(), left, right, DiffPoolConfig{});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DiffPoolTest, RejectsBadInputs) {
+  const BipartiteGraph graph = PlantedGraph();
+  Matrix wrong(7, 4);
+  Matrix right(20, 4);
+  EXPECT_FALSE(RunDiffPoolForward(graph, wrong, right, DiffPoolConfig{}).ok());
+  Matrix left(40, 4);
+  DiffPoolConfig bad;
+  bad.hidden_dim = 0;
+  EXPECT_FALSE(RunDiffPoolForward(graph, left, right, bad).ok());
+}
+
+}  // namespace
+}  // namespace hignn

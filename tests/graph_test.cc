@@ -1,0 +1,294 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/coarsen.h"
+#include "graph/sampling.h"
+#include "util/rng.h"
+
+namespace hignn {
+namespace {
+
+BipartiteGraph SmallGraph() {
+  // Users 0..2, items 0..3.
+  BipartiteGraphBuilder builder(3, 4);
+  EXPECT_TRUE(builder.AddEdge(0, 0, 1.0f).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 1, 2.0f).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 1, 1.0f).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2, 4.0f).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 3, 0.5f).ok());
+  return builder.Build();
+}
+
+TEST(BipartiteGraphTest, BasicCounts) {
+  BipartiteGraph g = SmallGraph();
+  EXPECT_EQ(g.num_left(), 3);
+  EXPECT_EQ(g.num_right(), 4);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_DOUBLE_EQ(g.Density(), 5.0 / 12.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 8.5);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(BipartiteGraphTest, NeighborSpans) {
+  BipartiteGraph g = SmallGraph();
+  const auto u0 = g.LeftNeighbors(0);
+  ASSERT_EQ(u0.size, 2u);
+  EXPECT_EQ(u0.ids[0], 0);
+  EXPECT_EQ(u0.ids[1], 1);
+  EXPECT_FLOAT_EQ(u0.weights[1], 2.0f);
+
+  const auto i1 = g.RightNeighbors(1);
+  ASSERT_EQ(i1.size, 2u);
+  std::set<int32_t> left(i1.begin(), i1.end());
+  EXPECT_EQ(left, (std::set<int32_t>{0, 1}));
+  EXPECT_EQ(g.LeftDegree(2), 1);
+  EXPECT_EQ(g.RightDegree(3), 1);
+}
+
+TEST(BipartiteGraphTest, DuplicateEdgesAccumulate) {
+  BipartiteGraphBuilder builder(1, 1);
+  ASSERT_TRUE(builder.AddEdge(0, 0, 1.0f).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 0, 2.5f).ok());
+  BipartiteGraph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FLOAT_EQ(g.LeftNeighbors(0).weights[0], 3.5f);
+}
+
+TEST(BipartiteGraphTest, BuilderRejectsBadInput) {
+  BipartiteGraphBuilder builder(2, 2);
+  EXPECT_EQ(builder.AddEdge(-1, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddEdge(2, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddEdge(0, 5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddEdge(0, 0, 0.0f).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddEdge(0, 0, -1.0f).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BipartiteGraphTest, EdgesRoundTrip) {
+  BipartiteGraph g = SmallGraph();
+  const auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 5u);
+  // Left-major order.
+  EXPECT_EQ(edges[0].u, 0);
+  EXPECT_EQ(edges[4].u, 2);
+  double total = 0;
+  for (const auto& e : edges) total += e.weight;
+  EXPECT_DOUBLE_EQ(total, 8.5);
+}
+
+TEST(BipartiteGraphTest, EdgeAtMatchesEdges) {
+  BipartiteGraph g = SmallGraph();
+  const auto edges = g.Edges();
+  for (int64_t k = 0; k < g.num_edges(); ++k) {
+    const WeightedEdge e = g.EdgeAt(k);
+    EXPECT_EQ(e.u, edges[static_cast<size_t>(k)].u);
+    EXPECT_EQ(e.i, edges[static_cast<size_t>(k)].i);
+    EXPECT_FLOAT_EQ(e.weight, edges[static_cast<size_t>(k)].weight);
+  }
+}
+
+TEST(BipartiteGraphTest, EdgeAtWithIsolatedVertices) {
+  BipartiteGraphBuilder builder(5, 5);
+  ASSERT_TRUE(builder.AddEdge(4, 4, 1.0f).ok());  // Vertices 0..3 isolated.
+  BipartiteGraph g = builder.Build();
+  const WeightedEdge e = g.EdgeAt(0);
+  EXPECT_EQ(e.u, 4);
+  EXPECT_EQ(e.i, 4);
+}
+
+TEST(BipartiteGraphTest, WeightedDegrees) {
+  BipartiteGraph g = SmallGraph();
+  EXPECT_DOUBLE_EQ(g.LeftWeightedDegree(0), 3.0);
+  EXPECT_DOUBLE_EQ(g.RightWeightedDegree(1), 3.0);
+}
+
+TEST(BipartiteGraphTest, EmptyGraph) {
+  BipartiteGraphBuilder builder(0, 0);
+  BipartiteGraph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_DOUBLE_EQ(g.Density(), 0.0);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+// ------------------------------------------------------------- Sampling --
+
+TEST(NeighborSamplerTest, FullNeighborhoodWhenDegreeSmall) {
+  BipartiteGraph g = SmallGraph();
+  NeighborSampler sampler(g);
+  Rng rng(1);
+  const auto nbrs = sampler.Sample(Side::kLeft, 0, 10, rng);
+  EXPECT_EQ(nbrs, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(NeighborSamplerTest, FanoutCapsSamples) {
+  BipartiteGraphBuilder builder(1, 100);
+  for (int32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(builder.AddEdge(0, i).ok());
+  }
+  BipartiteGraph g = builder.Build();
+  NeighborSampler sampler(g);
+  Rng rng(2);
+  const auto nbrs = sampler.Sample(Side::kLeft, 0, 7, rng);
+  EXPECT_EQ(nbrs.size(), 7u);
+  for (int32_t n : nbrs) {
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, 100);
+  }
+}
+
+TEST(NeighborSamplerTest, IsolatedVertexEmpty) {
+  BipartiteGraphBuilder builder(2, 2);
+  ASSERT_TRUE(builder.AddEdge(0, 0).ok());
+  BipartiteGraph g = builder.Build();
+  NeighborSampler sampler(g);
+  Rng rng(3);
+  EXPECT_TRUE(sampler.Sample(Side::kLeft, 1, 5, rng).empty());
+  EXPECT_TRUE(sampler.Sample(Side::kRight, 1, 5, rng).empty());
+}
+
+TEST(NeighborSamplerTest, WeightedSamplingFavorsHeavyEdges) {
+  BipartiteGraphBuilder builder(1, 3);
+  ASSERT_TRUE(builder.AddEdge(0, 0, 1.0f).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0f).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 98.0f).ok());
+  BipartiteGraph g = builder.Build();
+  NeighborSampler sampler(g, /*weighted=*/true);
+  Rng rng(4);
+  int heavy = 0;
+  const int draws = 3000;
+  for (int k = 0; k < draws; ++k) {
+    // Force subsampling with fanout 1 (< degree 3).
+    const auto nbrs = sampler.Sample(Side::kLeft, 0, 1, rng);
+    ASSERT_EQ(nbrs.size(), 1u);
+    if (nbrs[0] == 2) ++heavy;
+  }
+  EXPECT_GT(heavy, draws * 9 / 10);
+}
+
+TEST(NeighborSamplerTest, BatchAlignsWithInputs) {
+  BipartiteGraph g = SmallGraph();
+  NeighborSampler sampler(g);
+  Rng rng(5);
+  const auto batches = sampler.SampleBatch(Side::kLeft, {2, 0}, 10, rng);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0], (std::vector<int32_t>{3}));
+  EXPECT_EQ(batches[1], (std::vector<int32_t>{0, 1}));
+}
+
+TEST(NegativeSamplerTest, AvoidsTrueEdges) {
+  // User 0 connects to all items except item 3.
+  BipartiteGraphBuilder builder(2, 4);
+  for (int32_t i = 0; i < 3; ++i) ASSERT_TRUE(builder.AddEdge(0, i).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 3).ok());
+  BipartiteGraph g = builder.Build();
+  NegativeSampler sampler(g);
+  Rng rng(6);
+  for (int k = 0; k < 200; ++k) {
+    EXPECT_EQ(sampler.SampleRightFor(0, rng, 64), 3);
+  }
+}
+
+TEST(NegativeSamplerTest, LeftNegativesAvoidEdges) {
+  BipartiteGraphBuilder builder(4, 2);
+  for (int32_t u = 0; u < 3; ++u) ASSERT_TRUE(builder.AddEdge(u, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(3, 1).ok());
+  BipartiteGraph g = builder.Build();
+  NegativeSampler sampler(g);
+  Rng rng(7);
+  for (int k = 0; k < 200; ++k) {
+    EXPECT_EQ(sampler.SampleLeftFor(0, rng, 64), 3);
+  }
+}
+
+// -------------------------------------------------------------- Coarsen --
+
+TEST(CoarsenTest, SumsEdgeWeightsPerEq6) {
+  // Users {0,1} -> cluster 0, user {2} -> cluster 1.
+  // Items {0,1} -> cluster 0, items {2,3} -> cluster 1.
+  BipartiteGraph g = SmallGraph();
+  Matrix left_emb(3, 2, {1, 0, 3, 0, 0, 5});
+  Matrix right_emb(4, 2, {1, 1, 2, 2, 3, 3, 4, 4});
+  auto result = CoarsenBipartiteGraph(g, left_emb, right_emb, {0, 0, 1}, 2,
+                                      {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CoarsenedGraph& coarse = result.value();
+  EXPECT_EQ(coarse.graph.num_left(), 2);
+  EXPECT_EQ(coarse.graph.num_right(), 2);
+  EXPECT_TRUE(coarse.graph.Validate().ok());
+
+  // S(C_u0, C_i0) = e(0,0)+e(0,1)+e(1,1) = 1+2+1 = 4.
+  auto span = coarse.graph.LeftNeighbors(0);
+  double weight_00 = 0;
+  double weight_01 = 0;
+  for (size_t k = 0; k < span.size; ++k) {
+    if (span.ids[k] == 0) weight_00 = span.weights[k];
+    if (span.ids[k] == 1) weight_01 = span.weights[k];
+  }
+  EXPECT_DOUBLE_EQ(weight_00, 4.0);
+  // S(C_u0, C_i1) = e(1,2) = 4.
+  EXPECT_DOUBLE_EQ(weight_01, 4.0);
+  // S(C_u1, C_i1) = e(2,3) = 0.5; no edge (C_u1, C_i0).
+  EXPECT_EQ(coarse.graph.LeftDegree(1), 1);
+  EXPECT_FLOAT_EQ(coarse.graph.LeftNeighbors(1).weights[0], 0.5f);
+}
+
+TEST(CoarsenTest, ClusterFeaturesAreMeans) {
+  BipartiteGraph g = SmallGraph();
+  Matrix left_emb(3, 2, {1, 0, 3, 0, 0, 5});
+  Matrix right_emb(4, 2, {1, 1, 2, 2, 3, 3, 4, 4});
+  auto result = CoarsenBipartiteGraph(g, left_emb, right_emb, {0, 0, 1}, 2,
+                                      {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(result.ok());
+  const Matrix& lf = result.value().left_features;
+  EXPECT_FLOAT_EQ(lf(0, 0), 2.0f);  // mean(1, 3)
+  EXPECT_FLOAT_EQ(lf(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(lf(1, 1), 5.0f);
+  const Matrix& rf = result.value().right_features;
+  EXPECT_FLOAT_EQ(rf(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(rf(1, 0), 3.5f);
+}
+
+TEST(CoarsenTest, EmptyClusterGetsZeroFeature) {
+  BipartiteGraph g = SmallGraph();
+  Matrix left_emb(3, 1, {1, 2, 3});
+  Matrix right_emb(4, 1, {1, 2, 3, 4});
+  // Left cluster 2 is empty.
+  auto result = CoarsenBipartiteGraph(g, left_emb, right_emb, {0, 0, 1}, 3,
+                                      {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FLOAT_EQ(result.value().left_features(2, 0), 0.0f);
+  EXPECT_EQ(result.value().graph.LeftDegree(2), 0);
+}
+
+TEST(CoarsenTest, RejectsBadAssignments) {
+  BipartiteGraph g = SmallGraph();
+  Matrix left_emb(3, 1);
+  Matrix right_emb(4, 1);
+  EXPECT_FALSE(CoarsenBipartiteGraph(g, left_emb, right_emb, {0, 0}, 2,
+                                     {0, 0, 1, 1}, 2)
+                   .ok());
+  EXPECT_FALSE(CoarsenBipartiteGraph(g, left_emb, right_emb, {0, 0, 5}, 2,
+                                     {0, 0, 1, 1}, 2)
+                   .ok());
+  EXPECT_FALSE(CoarsenBipartiteGraph(g, left_emb, right_emb, {0, 0, 1}, 0,
+                                     {0, 0, 1, 1}, 2)
+                   .ok());
+}
+
+TEST(CoarsenTest, PreservesTotalWeight) {
+  BipartiteGraph g = SmallGraph();
+  Matrix left_emb(3, 1);
+  Matrix right_emb(4, 1);
+  auto result = CoarsenBipartiteGraph(g, left_emb, right_emb, {0, 1, 0}, 2,
+                                      {1, 0, 1, 0}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().graph.TotalWeight(), g.TotalWeight(), 1e-5);
+}
+
+}  // namespace
+}  // namespace hignn

@@ -1,0 +1,153 @@
+// Cross-module integration tests and remaining edge-case coverage.
+
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+#include "data/synthetic.h"
+#include "eval/ab_test.h"
+#include "predict/experiment.h"
+#include "sage/bipartite_sage.h"
+#include "taxonomy/pipeline.h"
+
+namespace hignn {
+namespace {
+
+// --------------------------------------------------------------- A/B sim --
+
+TEST(AbSimulatorPropertyTest, LowerPositionDecayMeansFewerClicks) {
+  SyntheticConfig config = SyntheticConfig::Tiny();
+  config.num_users = 200;
+  config.num_items = 100;
+  auto dataset = SyntheticDataset::Generate(config).ValueOrDie();
+
+  auto run_with_decay = [&](double decay) {
+    AbTestConfig ab;
+    ab.visits_per_day = 1500;
+    ab.num_days = 1;
+    ab.position_decay = decay;
+    AbTestSimulator simulator(&dataset, ab);
+    auto days = simulator.Run([](int32_t, int32_t) { return 0.0; });
+    return days.ValueOrDie().front().clicks;
+  };
+  // Steeper decay -> fewer positions examined -> fewer clicks.
+  EXPECT_GT(run_with_decay(0.95), run_with_decay(0.5));
+}
+
+TEST(AbSimulatorPropertyTest, MoreVisitsMoreImpressions) {
+  SyntheticConfig config = SyntheticConfig::Tiny();
+  auto dataset = SyntheticDataset::Generate(config).ValueOrDie();
+  AbTestConfig ab;
+  ab.visits_per_day = 500;
+  ab.num_days = 1;
+  AbTestSimulator small(&dataset, ab);
+  ab.visits_per_day = 1000;
+  AbTestSimulator big(&dataset, ab);
+  auto scorer = [](int32_t, int32_t) { return 0.0; };
+  EXPECT_EQ(small.Run(scorer).ValueOrDie().front().impressions * 2,
+            big.Run(scorer).ValueOrDie().front().impressions);
+}
+
+// ------------------------------------------------------------ Experiment --
+
+TEST(ExperimentTest, PrepareRejectsDatasetWithNoTestDay) {
+  // A dataset with near-zero click rate produces empty sample sets.
+  SyntheticConfig config = SyntheticConfig::Tiny();
+  config.mean_clicks_per_user_day = 0.0;
+  auto dataset = SyntheticDataset::Generate(config).ValueOrDie();
+  CvrExperimentConfig experiment_config;
+  experiment_config.hignn.levels = 1;
+  auto experiment = CvrExperiment::Prepare(dataset, experiment_config);
+  EXPECT_FALSE(experiment.ok());
+}
+
+// --------------------------------------------------- Sage determinism ----
+
+TEST(SageDeterminismTest, SameSeedSameEmbeddings) {
+  auto dataset =
+      SyntheticDataset::Generate(SyntheticConfig::Tiny()).ValueOrDie();
+  const BipartiteGraph graph = dataset.BuildTrainGraph();
+  BipartiteSageConfig config;
+  config.dims = {8, 8};
+  config.fanouts = {4, 3};
+  config.train_steps = 15;
+
+  auto run = [&] {
+    auto sage = BipartiteSage::Create(
+                    config,
+                    static_cast<int32_t>(dataset.user_features().cols()),
+                    static_cast<int32_t>(dataset.item_features().cols()))
+                    .ValueOrDie();
+    HIGNN_CHECK(sage.Train(graph, dataset.user_features(),
+                           dataset.item_features())
+                    .ok());
+    return sage
+        .EmbedAll(graph, dataset.user_features(), dataset.item_features())
+        .ValueOrDie();
+  };
+  const SageEmbeddings a = run();
+  const SageEmbeddings b = run();
+  EXPECT_TRUE(AllClose(a.left, b.left, 0.0f));
+  EXPECT_TRUE(AllClose(a.right, b.right, 0.0f));
+}
+
+// ------------------------------------------- Full pipeline round trips ----
+
+TEST(FullPipelineTest, FitSaveLoadPredictAgrees) {
+  auto dataset =
+      SyntheticDataset::Generate(SyntheticConfig::Tiny()).ValueOrDie();
+  CvrExperimentConfig config;
+  config.hignn.levels = 2;
+  config.hignn.sage.dims = {8, 8};
+  config.hignn.sage.fanouts = {4, 3};
+  config.hignn.sage.train_steps = 15;
+  config.hignn.min_clusters = 2;
+  config.cvr.hidden = {16};
+  config.cvr.epochs = 1;
+  auto experiment = CvrExperiment::Prepare(dataset, config).ValueOrDie();
+
+  // Save + reload the hierarchy, rebuild features from the loaded copy,
+  // and check feature rows agree exactly with the in-memory model.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/pipeline_model.hgnn";
+  ASSERT_TRUE(SaveHignnModel(experiment.model(), path).ok());
+  auto loaded = LoadHignnModel(path).ValueOrDie();
+
+  auto original_features =
+      CvrFeatureBuilder::Create(&dataset, &experiment.model(),
+                                FeatureSpec::HiGnn(2))
+          .ValueOrDie();
+  auto loaded_features = CvrFeatureBuilder::Create(&dataset, &loaded,
+                                                   FeatureSpec::HiGnn(2))
+                             .ValueOrDie();
+  const auto& samples = experiment.samples().test;
+  const size_t take = std::min<size_t>(samples.size(), 32);
+  EXPECT_TRUE(AllClose(original_features.BuildBatch(samples, 0, take),
+                       loaded_features.BuildBatch(samples, 0, take), 0.0f));
+}
+
+TEST(FullPipelineTest, TaxonomyRunsEndToEndOnGeneratedWorld) {
+  auto dataset =
+      QueryDataset::Generate(QueryDatasetConfig::Tiny()).ValueOrDie();
+  TaxonomyPipelineConfig config;
+  config.hignn.levels = 2;
+  config.hignn.sage.dims = {8, 8};
+  config.hignn.sage.fanouts = {4, 3};
+  config.hignn.sage.train_steps = 15;
+  config.hignn.min_clusters = 2;
+  config.word2vec.dim = 8;
+  config.word2vec.epochs = 1;
+  config.match_descriptions = true;
+  auto run = RunHignnTaxonomy(dataset, config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // Render must work for every top-level topic without crashing.
+  const int32_t top = run.value().taxonomy.num_levels() - 1;
+  for (int32_t t = 0;
+       t < run.value().taxonomy.levels[static_cast<size_t>(top)].num_topics;
+       ++t) {
+    EXPECT_FALSE(
+        RenderTaxonomySubtree(run.value().taxonomy, dataset, top, t).empty());
+  }
+}
+
+}  // namespace
+}  // namespace hignn

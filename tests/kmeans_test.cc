@@ -1,0 +1,277 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cluster/agglomerative.h"
+#include "util/rng.h"
+
+namespace hignn {
+namespace {
+
+// Three well-separated Gaussian blobs in 2-D.
+Matrix Blobs(int per_cluster, uint64_t seed, std::vector<int32_t>* truth) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix points(static_cast<size_t>(per_cluster) * 3, 2);
+  for (int c = 0; c < 3; ++c) {
+    for (int k = 0; k < per_cluster; ++k) {
+      const size_t row = static_cast<size_t>(c * per_cluster + k);
+      points(row, 0) = static_cast<float>(centers[c][0] + rng.Normal(0, 0.5));
+      points(row, 1) = static_cast<float>(centers[c][1] + rng.Normal(0, 0.5));
+      if (truth) truth->push_back(c);
+    }
+  }
+  return points;
+}
+
+// Fraction of point pairs on which two labelings agree (same/different).
+double PairAgreement(const std::vector<int32_t>& a,
+                     const std::vector<int32_t>& b) {
+  int64_t agree = 0;
+  int64_t total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      ++total;
+      if ((a[i] == a[j]) == (b[i] == b[j])) ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+class KMeansAlgorithmTest
+    : public ::testing::TestWithParam<KMeansAlgorithm> {};
+
+TEST_P(KMeansAlgorithmTest, RecoversSeparatedBlobs) {
+  std::vector<int32_t> truth;
+  Matrix points = Blobs(60, 17, &truth);
+  KMeansConfig config;
+  config.k = 3;
+  config.algorithm = GetParam();
+  config.seed = 5;
+  auto result = RunKMeans(points, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const double agreement = PairAgreement(result.value().assignment, truth);
+  // Single-pass is an online estimator; allow it a little slack.
+  const double bar =
+      GetParam() == KMeansAlgorithm::kSinglePass ? 0.90 : 0.99;
+  EXPECT_GE(agreement, bar);
+}
+
+TEST_P(KMeansAlgorithmTest, AssignmentsInRangeAndCentersFinite) {
+  std::vector<int32_t> truth;
+  Matrix points = Blobs(20, 23, &truth);
+  KMeansConfig config;
+  config.k = 5;
+  config.algorithm = GetParam();
+  auto result = RunKMeans(points, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().assignment.size(), points.rows());
+  for (int32_t a : result.value().assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 5);
+  }
+  EXPECT_EQ(result.value().centers.rows(), 5u);
+  for (size_t i = 0; i < result.value().centers.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result.value().centers.data()[i]));
+  }
+  EXPECT_GE(result.value().inertia, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, KMeansAlgorithmTest,
+                         ::testing::Values(KMeansAlgorithm::kLloyd,
+                                           KMeansAlgorithm::kMiniBatch,
+                                           KMeansAlgorithm::kSinglePass),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case KMeansAlgorithm::kLloyd:
+                               return "Lloyd";
+                             case KMeansAlgorithm::kMiniBatch:
+                               return "MiniBatch";
+                             case KMeansAlgorithm::kSinglePass:
+                               return "SinglePass";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(KMeansTest, KLargerThanNClamps) {
+  Matrix points(3, 2, {0, 0, 5, 5, 10, 10});
+  KMeansConfig config;
+  config.k = 10;
+  auto result = RunKMeans(points, config);
+  ASSERT_TRUE(result.ok());
+  // Effective k = 3: every point its own cluster.
+  std::set<int32_t> labels(result.value().assignment.begin(),
+                           result.value().assignment.end());
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_NEAR(result.value().inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, RejectsEmptyAndBadK) {
+  EXPECT_FALSE(RunKMeans(Matrix(), KMeansConfig{}).ok());
+  Matrix points(4, 2);
+  KMeansConfig config;
+  config.k = 0;
+  EXPECT_FALSE(RunKMeans(points, config).ok());
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  std::vector<int32_t> truth;
+  Matrix points = Blobs(30, 29, &truth);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 77;
+  auto a = RunKMeans(points, config);
+  auto b = RunKMeans(points, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().assignment, b.value().assignment);
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  Matrix points(10, 3);
+  points.Fill(1.0f);
+  KMeansConfig config;
+  config.k = 3;
+  auto result = RunKMeans(points, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, LloydInertiaDecreasesWithMoreClusters) {
+  std::vector<int32_t> truth;
+  Matrix points = Blobs(40, 31, &truth);
+  double previous = 1e300;
+  for (int32_t k : {1, 2, 3, 6}) {
+    KMeansConfig config;
+    config.k = k;
+    config.seed = 3;
+    auto result = RunKMeans(points, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result.value().inertia, previous + 1e-6);
+    previous = result.value().inertia;
+  }
+}
+
+// ------------------------------------------------------------- CH index --
+
+TEST(CalinskiHarabaszTest, PrefersTrueK) {
+  std::vector<int32_t> truth;
+  Matrix points = Blobs(50, 37, &truth);
+  double best_ch = -1.0;
+  int32_t best_k = 0;
+  for (int32_t k : {2, 3, 5, 8}) {
+    KMeansConfig config;
+    config.k = k;
+    config.seed = 11;
+    auto result = RunKMeans(points, config);
+    ASSERT_TRUE(result.ok());
+    const double ch =
+        CalinskiHarabaszIndex(points, result.value().assignment, k);
+    if (ch > best_ch) {
+      best_ch = ch;
+      best_k = k;
+    }
+  }
+  EXPECT_EQ(best_k, 3);
+}
+
+TEST(CalinskiHarabaszTest, DegenerateCasesReturnZero) {
+  Matrix points(5, 2);
+  std::vector<int32_t> assignment(5, 0);
+  EXPECT_EQ(CalinskiHarabaszIndex(points, assignment, 1), 0.0);   // k < 2
+  EXPECT_EQ(CalinskiHarabaszIndex(points, assignment, 5), 0.0);   // k >= n
+  EXPECT_EQ(CalinskiHarabaszIndex(points, assignment, 3), 0.0);   // 1 cluster
+}
+
+TEST(CalinskiHarabaszTest, SelectKDriver) {
+  std::vector<int32_t> truth;
+  Matrix points = Blobs(50, 41, &truth);
+  KMeansConfig base;
+  base.seed = 13;
+  int32_t chosen = 0;
+  auto result = SelectKByCalinskiHarabasz(points, {2, 3, 5, 9}, base, &chosen);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(chosen, 3);
+  EXPECT_EQ(result.value().centers.rows(), 3u);
+}
+
+TEST(CalinskiHarabaszTest, SelectKRejectsEmptyCandidates) {
+  Matrix points(4, 2);
+  KMeansConfig base;
+  int32_t chosen = 0;
+  EXPECT_FALSE(SelectKByCalinskiHarabasz(points, {}, base, &chosen).ok());
+}
+
+// -------------------------------------------------------- Agglomerative --
+
+TEST(AgglomerativeTest, RecoversBlobsAtCutThree) {
+  std::vector<int32_t> truth;
+  Matrix points = Blobs(30, 43, &truth);
+  auto fit = AgglomerativeClustering::Fit(points);
+  ASSERT_TRUE(fit.ok());
+  auto labels = fit.value().Cut(3);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_GE(PairAgreement(labels.value(), truth), 0.99);
+}
+
+TEST(AgglomerativeTest, CutsNestProperly) {
+  std::vector<int32_t> truth;
+  Matrix points = Blobs(15, 47, &truth);
+  auto fit = AgglomerativeClustering::Fit(points);
+  ASSERT_TRUE(fit.ok());
+  auto fine = fit.value().Cut(9).ValueOrDie();
+  auto coarse = fit.value().Cut(3).ValueOrDie();
+  // Nesting: points in the same fine cluster share a coarse cluster.
+  for (size_t i = 0; i < fine.size(); ++i) {
+    for (size_t j = i + 1; j < fine.size(); ++j) {
+      if (fine[i] == fine[j]) {
+        EXPECT_EQ(coarse[i], coarse[j]);
+      }
+    }
+  }
+}
+
+TEST(AgglomerativeTest, CutBoundaries) {
+  std::vector<int32_t> truth;
+  Matrix points = Blobs(5, 53, &truth);
+  auto fit = AgglomerativeClustering::Fit(points);
+  ASSERT_TRUE(fit.ok());
+  // k = n: every point its own cluster.
+  auto singletons = fit.value().Cut(15).ValueOrDie();
+  std::set<int32_t> unique(singletons.begin(), singletons.end());
+  EXPECT_EQ(unique.size(), 15u);
+  // k = 1: one cluster.
+  auto all = fit.value().Cut(1).ValueOrDie();
+  for (int32_t l : all) EXPECT_EQ(l, 0);
+  // Out of range.
+  EXPECT_FALSE(fit.value().Cut(0).ok());
+  EXPECT_FALSE(fit.value().Cut(16).ok());
+}
+
+TEST(AgglomerativeTest, MergeDistancesMonotoneForWard) {
+  std::vector<int32_t> truth;
+  Matrix points = Blobs(12, 59, &truth);
+  auto fit = AgglomerativeClustering::Fit(points);
+  ASSERT_TRUE(fit.ok());
+  // NN-chain can report merges slightly out of order, but for separated
+  // blobs the final (cross-blob) merges must dominate the early ones.
+  const auto& merges = fit.value().merges();
+  ASSERT_EQ(merges.size(), points.rows() - 1);
+  const double early = merges.front().distance;
+  const double late = merges.back().distance;
+  EXPECT_GT(late, early * 10);
+}
+
+TEST(AgglomerativeTest, SinglePoint) {
+  Matrix points(1, 2, {3, 4});
+  auto fit = AgglomerativeClustering::Fit(points);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit.value().merges().empty());
+  EXPECT_EQ(fit.value().Cut(1).ValueOrDie(), std::vector<int32_t>{0});
+}
+
+}  // namespace
+}  // namespace hignn

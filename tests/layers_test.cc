@@ -1,0 +1,201 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "nn/optimizer.h"
+#include "nn/tape.h"
+#include "util/rng.h"
+
+namespace hignn {
+namespace {
+
+TEST(DenseTest, OutputShape) {
+  Rng rng(1);
+  Dense layer("d", 5, 3, Activation::kNone, rng);
+  Tape tape;
+  Matrix x(4, 5);
+  x.FillNormal(rng);
+  VarId y = layer.Forward(tape, tape.Input(x), false);
+  EXPECT_EQ(tape.value(y).rows(), 4u);
+  EXPECT_EQ(tape.value(y).cols(), 3u);
+}
+
+TEST(DenseTest, NoBiasIsPureLinear) {
+  Rng rng(2);
+  Dense layer("m", 3, 2, Activation::kNone, rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Params().size(), 1u);  // weight only
+  Tape tape;
+  Matrix zero(1, 3);
+  VarId y = layer.Forward(tape, tape.Input(zero), false);
+  EXPECT_FLOAT_EQ(tape.value(y)(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(tape.value(y)(0, 1), 0.0f);
+}
+
+TEST(DenseTest, GradientsFlowToParameters) {
+  Rng rng(3);
+  Dense layer("d", 4, 2, Activation::kTanh, rng);
+  Tape tape;
+  Matrix x(3, 4);
+  x.FillNormal(rng);
+  VarId y = layer.Forward(tape, tape.Input(x), true);
+  VarId loss = tape.MeanAll(tape.Mul(y, y));
+  tape.Backward(loss);
+  layer.AccumulateGrads(tape);
+  auto params = layer.Params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_GT(params[0]->grad.SquaredNorm(), 0.0);
+  EXPECT_GT(params[1]->grad.SquaredNorm(), 0.0);
+}
+
+TEST(DenseTest, WeightGradientMatchesFiniteDifference) {
+  Rng rng(4);
+  Matrix x(3, 4);
+  x.FillNormal(rng);
+  Dense layer("d", 4, 2, Activation::kSigmoid, rng);
+  Parameter* weight = layer.Params()[0];
+
+  auto loss_at = [&](const Matrix& w) {
+    weight->value = w;
+    Tape tape;
+    VarId y = layer.Forward(tape, tape.Input(x), false);
+    VarId loss = tape.MeanAll(tape.Mul(y, y));
+    return static_cast<double>(tape.value(loss)(0, 0));
+  };
+
+  const Matrix w0 = weight->value;
+  {
+    Tape tape;
+    VarId y = layer.Forward(tape, tape.Input(x), true);
+    VarId loss = tape.MeanAll(tape.Mul(y, y));
+    tape.Backward(loss);
+    weight->grad.Fill(0.0f);
+    layer.AccumulateGrads(tape);
+  }
+  const GradCheckResult check = CheckGradient(loss_at, w0, weight->grad);
+  EXPECT_TRUE(check.passed) << check.max_abs_error;
+}
+
+TEST(MlpTest, ChainsDimensions) {
+  Rng rng(5);
+  Mlp mlp("m", {8, 6, 4, 1}, Activation::kLeakyRelu, Activation::kNone, rng);
+  EXPECT_EQ(mlp.in_dim(), 8u);
+  EXPECT_EQ(mlp.out_dim(), 1u);
+  EXPECT_EQ(mlp.Params().size(), 6u);  // 3 layers x (W, b)
+  Tape tape;
+  Matrix x(2, 8);
+  x.FillNormal(rng);
+  VarId y = mlp.Forward(tape, tape.Input(x), false);
+  EXPECT_EQ(tape.value(y).rows(), 2u);
+  EXPECT_EQ(tape.value(y).cols(), 1u);
+}
+
+// Training an MLP with Adam must solve XOR — a full end-to-end check of
+// layers, tape, loss and optimizer together.
+TEST(MlpTest, LearnsXor) {
+  Rng rng(6);
+  Mlp mlp("xor", {2, 8, 1}, Activation::kTanh, Activation::kNone, rng);
+  Adam optimizer(0.05f);
+
+  Matrix x(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  const std::vector<float> labels = {0, 1, 1, 0};
+
+  double final_loss = 1e9;
+  for (int step = 0; step < 400; ++step) {
+    Tape tape;
+    VarId logits = mlp.Forward(tape, tape.Input(x), true);
+    VarId loss = tape.BceWithLogits(logits, labels);
+    final_loss = tape.value(loss)(0, 0);
+    tape.Backward(loss);
+    mlp.AccumulateGrads(tape);
+    optimizer.Step(mlp.Params());
+  }
+  EXPECT_LT(final_loss, 0.05);
+
+  Tape tape;
+  VarId probs = tape.Sigmoid(mlp.Forward(tape, tape.Input(x), false));
+  const Matrix& p = tape.value(probs);
+  EXPECT_LT(p(0, 0), 0.3f);
+  EXPECT_GT(p(1, 0), 0.7f);
+  EXPECT_GT(p(2, 0), 0.7f);
+  EXPECT_LT(p(3, 0), 0.3f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize ||w - target||^2 directly via Parameter updates.
+  Parameter w("w", Matrix(1, 3));
+  Matrix target(1, 3, {1, -2, 3});
+  Sgd sgd(0.1f);
+  for (int step = 0; step < 200; ++step) {
+    // grad = 2 (w - target)
+    w.grad = w.value;
+    w.grad.Axpy(-1.0f, target);
+    w.grad.Scale(2.0f);
+    sgd.Step({&w});
+  }
+  EXPECT_TRUE(AllClose(w.value, target, 1e-3f));
+}
+
+TEST(SgdTest, MomentumAcceleratesOnSameProblem) {
+  auto run = [](float momentum) {
+    Parameter w("w", Matrix(1, 1));
+    Matrix target(1, 1, {10.0f});
+    Sgd sgd(0.01f, momentum);
+    for (int step = 0; step < 50; ++step) {
+      w.grad = w.value;
+      w.grad.Axpy(-1.0f, target);
+      w.grad.Scale(2.0f);
+      sgd.Step({&w});
+    }
+    return std::fabs(w.value(0, 0) - 10.0f);
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(AdamTest, HandlesSparseScaleDifferences) {
+  // One dimension has a 100x larger gradient scale; Adam normalizes.
+  Parameter w("w", Matrix(1, 2));
+  Matrix target(1, 2, {1.0f, 1.0f});
+  Adam adam(0.05f);
+  for (int step = 0; step < 500; ++step) {
+    w.grad(0, 0) = 200.0f * (w.value(0, 0) - target(0, 0));
+    w.grad(0, 1) = 2.0f * (w.value(0, 1) - target(0, 1));
+    adam.Step({&w});
+  }
+  EXPECT_NEAR(w.value(0, 0), 1.0f, 0.02f);
+  EXPECT_NEAR(w.value(0, 1), 1.0f, 0.02f);
+}
+
+TEST(OptimizerTest, StepZeroesGradients) {
+  Parameter w("w", Matrix(1, 2));
+  w.grad.Fill(1.0f);
+  Sgd sgd(0.1f);
+  sgd.Step({&w});
+  EXPECT_DOUBLE_EQ(w.grad.SquaredNorm(), 0.0);
+}
+
+TEST(OptimizerTest, ClipNormBoundsUpdate) {
+  Parameter w("w", Matrix(1, 2));
+  w.grad(0, 0) = 300.0f;
+  w.grad(0, 1) = 400.0f;  // norm 500
+  Sgd sgd(1.0f);
+  sgd.set_clip_norm(5.0f);
+  sgd.Step({&w});
+  // Update = -lr * clipped grad; clipped norm = 5.
+  EXPECT_NEAR(std::sqrt(w.value.SquaredNorm()), 5.0, 1e-4);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  Parameter w("w", Matrix(1, 1, {10.0f}));
+  Sgd sgd(0.1f);
+  sgd.set_weight_decay(0.5f);
+  w.grad.Fill(0.0f);
+  sgd.Step({&w});
+  // grad += decay * w = 5 -> w -= 0.1 * 5.
+  EXPECT_NEAR(w.value(0, 0), 9.5f, 1e-5);
+}
+
+}  // namespace
+}  // namespace hignn

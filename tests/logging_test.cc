@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace hignn {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, RespectsMinimumLevel) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  HIGNN_LOG(kInfo) << "should be dropped";
+  HIGNN_LOG(kWarning) << "should appear";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("should be dropped"), std::string::npos);
+  EXPECT_NE(captured.find("should appear"), std::string::npos);
+}
+
+TEST_F(LoggingTest, IncludesLevelAndLocation) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  HIGNN_LOG(kError) << "boom";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[ERROR logging_test.cc:"), std::string::npos);
+  EXPECT_NE(captured.find("boom"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  HIGNN_CHECK_EQ(2 + 2, 4) << "never shown";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(captured.empty());
+}
+
+TEST_F(LoggingTest, CheckFailureAborts) {
+  EXPECT_DEATH({ HIGNN_CHECK_LT(3, 1) << "impossible"; }, "Check failed");
+}
+
+TEST_F(LoggingTest, GetLogLevelRoundTrips) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace hignn

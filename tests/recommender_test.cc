@@ -1,0 +1,146 @@
+#include "predict/recommender.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace hignn {
+namespace {
+
+class RecommenderFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticConfig config = SyntheticConfig::Tiny();
+    config.num_users = 300;
+    config.num_items = 120;
+    config.num_days = 5;
+    config.mean_clicks_per_user_day = 3.0;
+    dataset_ = new SyntheticDataset(
+        SyntheticDataset::Generate(config).ValueOrDie());
+    samples_ = new SampleSet(BuildSamples(*dataset_, false, 1));
+
+    features_ = new CvrFeatureBuilder(
+        CvrFeatureBuilder::Create(dataset_, nullptr, FeatureSpec::Din())
+            .ValueOrDie());
+    CvrModelConfig model_config;
+    model_config.hidden = {32, 16};
+    model_config.epochs = 2;
+    model_config.batch_size = 256;
+    model_ = new CvrModel(
+        CvrModel::Create(features_->dim(), model_config).ValueOrDie());
+    ASSERT_TRUE(model_->Train(*features_, samples_->train).ok());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete features_;
+    delete samples_;
+    delete dataset_;
+    model_ = nullptr;
+    features_ = nullptr;
+    samples_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static SyntheticDataset* dataset_;
+  static SampleSet* samples_;
+  static CvrFeatureBuilder* features_;
+  static CvrModel* model_;
+};
+
+SyntheticDataset* RecommenderFixture::dataset_ = nullptr;
+SampleSet* RecommenderFixture::samples_ = nullptr;
+CvrFeatureBuilder* RecommenderFixture::features_ = nullptr;
+CvrModel* RecommenderFixture::model_ = nullptr;
+
+TEST_F(RecommenderFixture, ReturnsKSortedUniqueItems) {
+  TopKRecommender recommender(model_, features_, dataset_->num_items());
+  auto top = recommender.Recommend(5, 10);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top.value().size(), 10u);
+  std::set<int32_t> seen;
+  for (size_t k = 0; k < top.value().size(); ++k) {
+    EXPECT_TRUE(seen.insert(top.value()[k].item).second);
+    EXPECT_GE(top.value()[k].item, 0);
+    EXPECT_LT(top.value()[k].item, dataset_->num_items());
+    if (k > 0) {
+      EXPECT_LE(top.value()[k].score, top.value()[k - 1].score);
+    }
+  }
+}
+
+TEST_F(RecommenderFixture, ExcludeListIsHonored) {
+  TopKRecommender recommender(model_, features_, dataset_->num_items());
+  auto full = recommender.Recommend(3, 5).ValueOrDie();
+  std::vector<int32_t> exclude;
+  for (const auto& rec : full) exclude.push_back(rec.item);
+  auto filtered = recommender.Recommend(3, 5, &exclude).ValueOrDie();
+  for (const auto& rec : filtered) {
+    EXPECT_EQ(std::find(exclude.begin(), exclude.end(), rec.item),
+              exclude.end());
+  }
+}
+
+TEST_F(RecommenderFixture, KLargerThanCatalogReturnsAll) {
+  TopKRecommender recommender(model_, features_, dataset_->num_items());
+  auto top = recommender.Recommend(1, 10000).ValueOrDie();
+  EXPECT_EQ(static_cast<int32_t>(top.size()), dataset_->num_items());
+}
+
+TEST_F(RecommenderFixture, RejectsBadArguments) {
+  TopKRecommender recommender(model_, features_, dataset_->num_items());
+  EXPECT_FALSE(recommender.Recommend(1, 0).ok());
+  EXPECT_FALSE(recommender.Recommend(-1, 5).ok());
+}
+
+TEST_F(RecommenderFixture, EvaluateTopKProducesSaneMetrics) {
+  TopKRecommender recommender(model_, features_, dataset_->num_items());
+  auto metrics = EvaluateTopK(recommender, *samples_, 20, /*max_users=*/40);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_GT(metrics.value().users_evaluated, 0);
+  EXPECT_GE(metrics.value().hit_rate, 0.0);
+  EXPECT_LE(metrics.value().hit_rate, 1.0);
+  EXPECT_GE(metrics.value().precision, 0.0);
+  EXPECT_LE(metrics.value().precision, 1.0);
+  EXPECT_GE(metrics.value().recall, 0.0);
+  EXPECT_LE(metrics.value().recall, 1.0);
+  // Hit rate is an upper bound on precision@K for K >= 1.
+  EXPECT_GE(metrics.value().hit_rate, metrics.value().precision);
+  // NDCG and MRR are bounded by the hit rate (both are 0 on misses, <= 1
+  // on hits).
+  EXPECT_GE(metrics.value().ndcg, 0.0);
+  EXPECT_LE(metrics.value().ndcg, metrics.value().hit_rate + 1e-9);
+  EXPECT_GE(metrics.value().mrr, 0.0);
+  EXPECT_LE(metrics.value().mrr, metrics.value().hit_rate + 1e-9);
+}
+
+TEST_F(RecommenderFixture, EvaluateRejectsBadK) {
+  TopKRecommender recommender(model_, features_, dataset_->num_items());
+  EXPECT_FALSE(EvaluateTopK(recommender, *samples_, 0).ok());
+}
+
+TEST_F(RecommenderFixture, TrainedModelBeatsRandomRanking) {
+  TopKRecommender recommender(model_, features_, dataset_->num_items());
+  auto trained = EvaluateTopK(recommender, *samples_, 20).ValueOrDie();
+
+  // Random-ranking reference: expected hit rate for a user with p
+  // purchases is ~ 1 - C(n-p, k)/C(n, k); compare against the empirical
+  // value via a crude expectation using the mean purchases per user.
+  int64_t purchasing_users = 0;
+  int64_t purchases = 0;
+  std::set<int32_t> users;
+  for (const auto& sample : samples_->test) {
+    if (sample.label > 0.5f && users.insert(sample.user).second) {
+      ++purchasing_users;
+    }
+    if (sample.label > 0.5f) ++purchases;
+  }
+  const double mean_purchases =
+      static_cast<double>(purchases) / static_cast<double>(purchasing_users);
+  const double random_hit =
+      1.0 - std::pow(1.0 - 20.0 / dataset_->num_items(), mean_purchases);
+  EXPECT_GT(trained.hit_rate, random_hit);
+}
+
+}  // namespace
+}  // namespace hignn

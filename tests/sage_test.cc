@@ -1,0 +1,281 @@
+#include "sage/bipartite_sage.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "nn/optimizer.h"
+
+namespace hignn {
+namespace {
+
+// Small planted two-community bipartite graph: users 0..19 click items
+// 0..9, users 20..39 click items 10..19, plus weak noise edges.
+struct PlantedWorld {
+  BipartiteGraph graph;
+  Matrix user_features;
+  Matrix item_features;
+};
+
+PlantedWorld MakePlanted(uint64_t seed = 3) {
+  Rng rng(seed);
+  BipartiteGraphBuilder builder(40, 20);
+  for (int32_t u = 0; u < 40; ++u) {
+    const int32_t base = u < 20 ? 0 : 10;
+    for (int k = 0; k < 6; ++k) {
+      const int32_t item = base + static_cast<int32_t>(rng.UniformInt(10));
+      EXPECT_TRUE(builder.AddEdge(u, item, 1.0f).ok());
+    }
+    if (rng.Bernoulli(0.15)) {
+      EXPECT_TRUE(
+          builder.AddEdge(u, static_cast<int32_t>(rng.UniformInt(20)), 1.0f)
+              .ok());
+    }
+  }
+  PlantedWorld world{builder.Build(), Matrix(40, 6), Matrix(20, 6)};
+  world.user_features.FillNormal(rng, 0.5f);
+  world.item_features.FillNormal(rng, 0.5f);
+  return world;
+}
+
+BipartiteSageConfig SmallConfig() {
+  BipartiteSageConfig config;
+  config.dims = {8, 8};
+  config.fanouts = {5, 3};
+  config.train_steps = 120;
+  config.batch_size = 64;
+  config.seed = 11;
+  return config;
+}
+
+TEST(BipartiteSageTest, CreateValidatesConfig) {
+  BipartiteSageConfig config = SmallConfig();
+  EXPECT_TRUE(BipartiteSage::Create(config, 6, 6).ok());
+  config.dims.clear();
+  EXPECT_FALSE(BipartiteSage::Create(config, 6, 6).ok());
+  config = SmallConfig();
+  config.fanouts = {5};
+  EXPECT_FALSE(BipartiteSage::Create(config, 6, 6).ok());
+  config = SmallConfig();
+  config.dims = {0, 8};
+  EXPECT_FALSE(BipartiteSage::Create(config, 6, 6).ok());
+  config = SmallConfig();
+  EXPECT_FALSE(BipartiteSage::Create(config, 0, 6).ok());
+  config.shared_weights = true;
+  EXPECT_FALSE(BipartiteSage::Create(config, 6, 7).ok());
+  EXPECT_TRUE(BipartiteSage::Create(config, 6, 6).ok());
+}
+
+TEST(BipartiteSageTest, TrainingReducesLoss) {
+  PlantedWorld world = MakePlanted();
+  auto sage = BipartiteSage::Create(SmallConfig(), 6, 6).ValueOrDie();
+  Rng rng(5);
+  Adam optimizer(3e-3f);
+  double first = 0.0;
+  double last = 0.0;
+  for (int step = 0; step < 120; ++step) {
+    auto loss = sage.TrainStep(world.graph, world.user_features,
+                               world.item_features, optimizer, rng);
+    ASSERT_TRUE(loss.ok()) << loss.status().ToString();
+    if (step == 0) first = loss.value();
+    last = loss.value();
+  }
+  EXPECT_LT(last, first * 0.9);
+}
+
+TEST(BipartiteSageTest, EmbeddingsSeparateCommunities) {
+  PlantedWorld world = MakePlanted();
+  auto sage = BipartiteSage::Create(SmallConfig(), 6, 6).ValueOrDie();
+  ASSERT_TRUE(
+      sage.Train(world.graph, world.user_features, world.item_features).ok());
+  auto embeddings =
+      sage.EmbedAll(world.graph, world.user_features, world.item_features)
+          .ValueOrDie();
+
+  // User-user cosine should separate same- vs cross-community pairs.
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int32_t a = 0; a < 40; ++a) {
+    for (int32_t b = a + 1; b < 40; ++b) {
+      scores.push_back(static_cast<float>(
+          RowDot(embeddings.left, static_cast<size_t>(a), embeddings.left,
+                 static_cast<size_t>(b))));
+      labels.push_back((a < 20) == (b < 20) ? 1.0f : 0.0f);
+    }
+  }
+  const double auc = ComputeAuc(scores, labels).ValueOrDie();
+  EXPECT_GT(auc, 0.85);
+}
+
+TEST(BipartiteSageTest, EdgeVsNonEdgeSeparation) {
+  PlantedWorld world = MakePlanted();
+  // The dot scorer trains z_u . z_i directly, so raw dot products are the
+  // meaningful similarity (under the MLP scorers the sign of the raw dot
+  // is arbitrary — only the scorer output is calibrated).
+  BipartiteSageConfig config = SmallConfig();
+  config.scorer = EdgeScorer::kDot;
+  auto sage = BipartiteSage::Create(config, 6, 6).ValueOrDie();
+  ASSERT_TRUE(
+      sage.Train(world.graph, world.user_features, world.item_features).ok());
+  auto embeddings =
+      sage.EmbedAll(world.graph, world.user_features, world.item_features)
+          .ValueOrDie();
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int32_t u = 0; u < 40; ++u) {
+    // Community items (mostly edges) vs the other community (non-edges).
+    for (int32_t i = 0; i < 20; ++i) {
+      scores.push_back(static_cast<float>(RowDot(
+          embeddings.left, static_cast<size_t>(u), embeddings.right,
+          static_cast<size_t>(i))));
+      const bool same_side = (u < 20) == (i < 10);
+      labels.push_back(same_side ? 1.0f : 0.0f);
+    }
+  }
+  EXPECT_GT(ComputeAuc(scores, labels).ValueOrDie(), 0.85);
+}
+
+TEST(BipartiteSageTest, EmbedAllShapes) {
+  PlantedWorld world = MakePlanted();
+  BipartiteSageConfig config = SmallConfig();
+  config.train_steps = 5;
+  auto sage = BipartiteSage::Create(config, 6, 6).ValueOrDie();
+  ASSERT_TRUE(
+      sage.Train(world.graph, world.user_features, world.item_features).ok());
+  auto embeddings =
+      sage.EmbedAll(world.graph, world.user_features, world.item_features)
+          .ValueOrDie();
+  EXPECT_EQ(embeddings.left.rows(), 40u);
+  EXPECT_EQ(embeddings.left.cols(), 8u);
+  EXPECT_EQ(embeddings.right.rows(), 20u);
+  EXPECT_EQ(embeddings.right.cols(), 8u);
+}
+
+TEST(BipartiteSageTest, EmbedTargetsAlignsWithTargets) {
+  PlantedWorld world = MakePlanted();
+  BipartiteSageConfig config = SmallConfig();
+  config.train_steps = 5;
+  auto sage = BipartiteSage::Create(config, 6, 6).ValueOrDie();
+  ASSERT_TRUE(
+      sage.Train(world.graph, world.user_features, world.item_features).ok());
+  Rng rng(7);
+  auto subset = sage.EmbedTargets(world.graph, world.user_features,
+                                  world.item_features, {3, 3, 17}, {5}, rng)
+                    .ValueOrDie();
+  ASSERT_EQ(subset.left.rows(), 3u);
+  ASSERT_EQ(subset.right.rows(), 1u);
+  // Duplicate targets produce identical rows.
+  for (size_t c = 0; c < subset.left.cols(); ++c) {
+    EXPECT_FLOAT_EQ(subset.left(0, c), subset.left(1, c));
+  }
+}
+
+TEST(BipartiteSageTest, NormalizeOutputYieldsUnitRows) {
+  PlantedWorld world = MakePlanted();
+  BipartiteSageConfig config = SmallConfig();
+  config.normalize_output = true;
+  config.train_steps = 5;
+  auto sage = BipartiteSage::Create(config, 6, 6).ValueOrDie();
+  ASSERT_TRUE(
+      sage.Train(world.graph, world.user_features, world.item_features).ok());
+  auto embeddings =
+      sage.EmbedAll(world.graph, world.user_features, world.item_features)
+          .ValueOrDie();
+  for (size_t r = 0; r < embeddings.left.rows(); ++r) {
+    double norm = 0;
+    for (size_t c = 0; c < embeddings.left.cols(); ++c) {
+      norm += static_cast<double>(embeddings.left(r, c)) *
+              embeddings.left(r, c);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-3);
+  }
+}
+
+TEST(BipartiteSageTest, IsolatedVerticesGetFiniteEmbeddings) {
+  BipartiteGraphBuilder builder(4, 4);
+  ASSERT_TRUE(builder.AddEdge(0, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 1).ok());
+  BipartiteGraph graph = builder.Build();  // vertices 2, 3 isolated
+  Matrix uf(4, 3);
+  Matrix itf(4, 3);
+  Rng rng(9);
+  uf.FillNormal(rng);
+  itf.FillNormal(rng);
+  BipartiteSageConfig config = SmallConfig();
+  config.train_steps = 10;
+  config.batch_size = 2;
+  auto sage = BipartiteSage::Create(config, 3, 3).ValueOrDie();
+  ASSERT_TRUE(sage.Train(graph, uf, itf).ok());
+  auto embeddings = sage.EmbedAll(graph, uf, itf).ValueOrDie();
+  for (size_t i = 0; i < embeddings.left.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(embeddings.left.data()[i]));
+  }
+  for (size_t i = 0; i < embeddings.right.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(embeddings.right.data()[i]));
+  }
+}
+
+TEST(BipartiteSageTest, TrainStepRejectsMismatchedFeatures) {
+  PlantedWorld world = MakePlanted();
+  auto sage = BipartiteSage::Create(SmallConfig(), 6, 6).ValueOrDie();
+  Rng rng(1);
+  Adam optimizer(1e-3f);
+  Matrix wrong(7, 6);
+  EXPECT_FALSE(sage.TrainStep(world.graph, wrong, world.item_features,
+                              optimizer, rng)
+                   .ok());
+}
+
+TEST(BipartiteSageTest, SharedWeightsHalvesTowerParameters) {
+  BipartiteSageConfig config = SmallConfig();
+  auto two_tower = BipartiteSage::Create(config, 6, 6).ValueOrDie();
+  config.shared_weights = true;
+  auto shared = BipartiteSage::Create(config, 6, 6).ValueOrDie();
+  EXPECT_LT(shared.Params().size(), two_tower.Params().size());
+}
+
+TEST(BipartiteSageTest, WeightedAggregatorTrains) {
+  PlantedWorld world = MakePlanted();
+  BipartiteSageConfig config = SmallConfig();
+  config.weighted_aggregator = true;
+  config.train_steps = 30;
+  auto sage = BipartiteSage::Create(config, 6, 6).ValueOrDie();
+  auto loss =
+      sage.Train(world.graph, world.user_features, world.item_features);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_TRUE(std::isfinite(loss.value()));
+}
+
+class ScorerVariantTest : public ::testing::TestWithParam<EdgeScorer> {};
+
+TEST_P(ScorerVariantTest, AllScorersTrainToFiniteLoss) {
+  PlantedWorld world = MakePlanted();
+  BipartiteSageConfig config = SmallConfig();
+  config.scorer = GetParam();
+  config.train_steps = 40;
+  auto sage = BipartiteSage::Create(config, 6, 6).ValueOrDie();
+  auto loss =
+      sage.Train(world.graph, world.user_features, world.item_features);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_TRUE(std::isfinite(loss.value()));
+  EXPECT_GT(loss.value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScorers, ScorerVariantTest,
+                         ::testing::Values(EdgeScorer::kConcatMlp,
+                                           EdgeScorer::kHadamardMlp,
+                                           EdgeScorer::kDot),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EdgeScorer::kConcatMlp:
+                               return "ConcatMlp";
+                             case EdgeScorer::kHadamardMlp:
+                               return "HadamardMlp";
+                             case EdgeScorer::kDot:
+                               return "Dot";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace hignn

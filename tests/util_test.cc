@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/csv_writer.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hignn {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::OutOfRange("").code(),      Status::FailedPrecondition("").code(),
+      Status::Internal("").code(),        Status::Unimplemented("").code(),
+      Status::IOError("").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubleIt(int x) {
+  HIGNN_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = ParsePositive(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 21);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = ParsePositive(-1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(DoubleIt(4).ValueOrDie(), 8);
+  EXPECT_FALSE(DoubleIt(-4).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 450);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 30000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 30000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(19);
+  double total = 0.0;
+  for (int i = 0; i < 20000; ++i) total += rng.Poisson(2.5);
+  EXPECT_NEAR(total / 20000.0, 2.5, 0.1);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.Discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(AliasSamplerTest, MatchesDistribution) {
+  Rng rng(31);
+  AliasSampler sampler({1.0, 2.0, 4.0, 0.0, 1.0});
+  std::vector<int> counts(5, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 8, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 2.0 / 8, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 4.0 / 8, 0.012);
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  Rng rng(37);
+  AliasSampler sampler({5.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+// ----------------------------------------------------------- StringUtil --
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = SplitWhitespace("  hello\t world \n");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[1], "world");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtilTest, TrimAndLower) {
+  EXPECT_EQ(Trim("  MiXeD \t"), "MiXeD");
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hignn_test", "hignn"));
+  EXPECT_FALSE(StartsWith("hi", "hignn"));
+  EXPECT_TRUE(EndsWith("table.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "table.csv"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(StringUtilTest, ThousandsSeparator) {
+  EXPECT_EQ(WithThousandsSep(0), "0");
+  EXPECT_EQ(WithThousandsSep(999), "999");
+  EXPECT_EQ(WithThousandsSep(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandsSep(-1234), "-1,234");
+}
+
+// ---------------------------------------------------------- TablePrinter --
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(0, hits.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, InlineModeWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int counter = 0;
+  pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ManySubmissions) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+// ----------------------------------------------------------- CsvWriter --
+
+TEST(CsvWriterTest, EscapesPerRfc4180) {
+  EXPECT_EQ(CsvWriter::EscapeField("plain"), "plain");
+  EXPECT_EQ(CsvWriter::EscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::EscapeField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesRowsToFile) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/out.csv";
+  {
+    CsvWriter csv(path);
+    csv.WriteRow({"method", "auc"});
+    csv.WriteRow("HiGNN", {0.747, 1.0});
+    EXPECT_EQ(csv.rows_written(), 2);
+    EXPECT_TRUE(csv.Close().ok());
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "method,auc");
+  EXPECT_EQ(line2, "HiGNN,0.747,1");
+}
+
+TEST(CsvWriterTest, CloseReportsOpenFailure) {
+  CsvWriter csv("/nonexistent-dir/foo.csv");
+  csv.WriteRow({"x"});
+  EXPECT_FALSE(csv.Close().ok());
+}
+
+// --------------------------------------------------------------- Timer --
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.Millis(), 15.0);
+  timer.Restart();
+  EXPECT_LT(timer.Millis(), 15.0);
+}
+
+}  // namespace
+}  // namespace hignn

@@ -1,0 +1,264 @@
+// hignn — command-line interface to the HiGNN library.
+//
+// Works on plain TSV edge lists (left_id \t right_id [\t weight]), so the
+// pipeline can run on real data without writing any C++:
+//
+//   hignn gen-data  --preset taobao1 --out /tmp/clicks.tsv
+//   hignn fit       --graph /tmp/clicks.tsv --levels 3 --dim 32
+//                   --steps 300 --out /tmp/model.hgnn
+//   hignn info      --model /tmp/model.hgnn
+//   hignn embed     --model /tmp/model.hgnn --side left --out /tmp/u.tsv
+//   hignn clusters  --model /tmp/model.hgnn --side right --level 2
+//                   --out /tmp/item_communities.tsv
+//
+// When no vertex features are supplied, `fit` derives simple structural
+// features (log degree, log weighted degree, bias) — enough for the GNN
+// to bootstrap from pure graph structure.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/hignn.h"
+#include "core/serialization.h"
+#include "data/synthetic.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace hignn {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: hignn <command> [flags]
+
+commands:
+  gen-data   generate a synthetic click log
+             --preset taobao1|taobao2|tiny  --users N --items N
+             --seed S  --out FILE.tsv
+  fit        fit a HiGNN hierarchy on a TSV edge list
+             --graph FILE.tsv  --out MODEL.hgnn
+             [--levels 3] [--dim 32] [--alpha 5] [--steps 200]
+             [--batch 256] [--lr 0.003] [--ch] [--seed S] [--verbose]
+  info       print a model summary            --model MODEL.hgnn
+  embed      dump hierarchical embeddings     --model MODEL.hgnn
+             --side left|right  --out FILE.tsv  [--levels K]
+  clusters   dump cluster assignments         --model MODEL.hgnn
+             --side left|right  --level L  --out FILE.tsv
+)");
+  return 2;
+}
+
+// Structural fallback features: [log(1+degree), log(1+weighted degree), 1].
+Matrix StructuralFeatures(const BipartiteGraph& graph, bool left) {
+  const int32_t n = left ? graph.num_left() : graph.num_right();
+  Matrix features(static_cast<size_t>(n), 3);
+  for (int32_t v = 0; v < n; ++v) {
+    const double degree = left ? graph.LeftDegree(v) : graph.RightDegree(v);
+    const double weighted =
+        left ? graph.LeftWeightedDegree(v) : graph.RightWeightedDegree(v);
+    features(static_cast<size_t>(v), 0) =
+        static_cast<float>(std::log1p(degree));
+    features(static_cast<size_t>(v), 1) =
+        static_cast<float>(std::log1p(weighted));
+    features(static_cast<size_t>(v), 2) = 1.0f;
+  }
+  return features;
+}
+
+int RunGenData(const CommandLine& cl) {
+  const std::string out = cl.GetString("out");
+  if (out.empty()) return Usage();
+  const std::string preset = cl.GetString("preset", "tiny");
+  SyntheticConfig config;
+  if (preset == "taobao1") {
+    config = SyntheticConfig::Taobao1();
+  } else if (preset == "taobao2") {
+    config = SyntheticConfig::Taobao2();
+  } else if (preset == "tiny") {
+    config = SyntheticConfig::Tiny();
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 2;
+  }
+  auto users = cl.GetInt("users", config.num_users);
+  auto items = cl.GetInt("items", config.num_items);
+  auto seed = cl.GetInt("seed", static_cast<int64_t>(config.seed));
+  if (!users.ok()) return Fail(users.status());
+  if (!items.ok()) return Fail(items.status());
+  if (!seed.ok()) return Fail(seed.status());
+  config.num_users = static_cast<int32_t>(users.value());
+  config.num_items = static_cast<int32_t>(items.value());
+  config.seed = static_cast<uint64_t>(seed.value());
+
+  auto dataset = SyntheticDataset::Generate(config);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const BipartiteGraph graph = dataset.value().BuildTrainGraph();
+  if (Status status = SaveBipartiteGraphTsv(graph, out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %s: %d users x %d items, %lld edges (density %.2e)\n",
+              out.c_str(), graph.num_left(), graph.num_right(),
+              static_cast<long long>(graph.num_edges()), graph.Density());
+  return 0;
+}
+
+int RunFit(const CommandLine& cl) {
+  const std::string graph_path = cl.GetString("graph");
+  const std::string out = cl.GetString("out");
+  if (graph_path.empty() || out.empty()) return Usage();
+
+  auto graph = EndsWith(graph_path, ".tsv")
+                   ? LoadBipartiteGraphTsv(graph_path)
+                   : LoadBipartiteGraph(graph_path);
+  if (!graph.ok()) return Fail(graph.status());
+
+  HignnConfig config;
+  auto levels = cl.GetInt("levels", 3);
+  auto dim = cl.GetInt("dim", 32);
+  auto alpha = cl.GetDouble("alpha", 5.0);
+  auto steps = cl.GetInt("steps", 200);
+  auto batch = cl.GetInt("batch", 256);
+  auto lr = cl.GetDouble("lr", 3e-3);
+  auto seed = cl.GetInt("seed", 1234);
+  for (const Status& status :
+       {levels.status(), dim.status(), alpha.status(), steps.status(),
+        batch.status(), lr.status(), seed.status()}) {
+    if (!status.ok()) return Fail(status);
+  }
+  config.levels = static_cast<int32_t>(levels.value());
+  config.sage.dims = {static_cast<int32_t>(dim.value()),
+                      static_cast<int32_t>(dim.value())};
+  config.alpha = alpha.value();
+  config.sage.train_steps = static_cast<int32_t>(steps.value());
+  config.sage.batch_size = static_cast<int32_t>(batch.value());
+  config.sage.learning_rate = static_cast<float>(lr.value());
+  config.select_k_by_ch = cl.GetBool("ch");
+  config.verbose = cl.GetBool("verbose");
+  config.seed = static_cast<uint64_t>(seed.value());
+
+  const Matrix left_features = StructuralFeatures(graph.value(), true);
+  const Matrix right_features = StructuralFeatures(graph.value(), false);
+
+  WallTimer timer;
+  auto model =
+      Hignn::Fit(graph.value(), left_features, right_features, config);
+  if (!model.ok()) return Fail(model.status());
+  if (Status status = SaveHignnModel(model.value(), out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("fitted %d levels in %.1fs; saved to %s\n",
+              model.value().num_levels(), timer.Seconds(), out.c_str());
+  return 0;
+}
+
+Result<HignnModel> LoadModelFlag(const CommandLine& cl) {
+  const std::string path = cl.GetString("model");
+  if (path.empty()) return Status::InvalidArgument("--model is required");
+  return LoadHignnModel(path);
+}
+
+int RunInfo(const CommandLine& cl) {
+  auto model = LoadModelFlag(cl);
+  if (!model.ok()) return Fail(model.status());
+  std::printf("HiGNN model: %d levels, d = %d (hierarchical dim %d)\n",
+              model.value().num_levels(), model.value().level_dim(),
+              model.value().hierarchical_dim());
+  for (int32_t l = 0; l < model.value().num_levels(); ++l) {
+    const HignnLevel& level =
+        model.value().levels()[static_cast<size_t>(l)];
+    std::printf(
+        "  level %d: graph %d x %d (%lld edges, density %.2e), "
+        "clusters %d x %d, sage tail loss %.4f\n",
+        l + 1, level.graph.num_left(), level.graph.num_right(),
+        static_cast<long long>(level.graph.num_edges()),
+        level.graph.Density(), level.num_left_clusters,
+        level.num_right_clusters, level.train_loss);
+  }
+  return 0;
+}
+
+int RunEmbed(const CommandLine& cl) {
+  auto model = LoadModelFlag(cl);
+  if (!model.ok()) return Fail(model.status());
+  const std::string out = cl.GetString("out");
+  const std::string side = cl.GetString("side", "left");
+  if (out.empty() || (side != "left" && side != "right")) return Usage();
+  auto max_levels = cl.GetInt("levels", 0);
+  if (!max_levels.ok()) return Fail(max_levels.status());
+
+  const Matrix embeddings =
+      side == "left"
+          ? model.value().AllHierarchicalLeft(
+                static_cast<int32_t>(max_levels.value()))
+          : model.value().AllHierarchicalRight(
+                static_cast<int32_t>(max_levels.value()));
+  std::ofstream stream(out, std::ios::trunc);
+  if (!stream) return Fail(Status::IOError("cannot open " + out));
+  for (size_t r = 0; r < embeddings.rows(); ++r) {
+    stream << r;
+    for (size_t c = 0; c < embeddings.cols(); ++c) {
+      stream << '\t' << embeddings(r, c);
+    }
+    stream << '\n';
+  }
+  if (!stream) return Fail(Status::IOError("write failed"));
+  std::printf("wrote %zu x %zu embeddings to %s\n", embeddings.rows(),
+              embeddings.cols(), out.c_str());
+  return 0;
+}
+
+int RunClusters(const CommandLine& cl) {
+  auto model = LoadModelFlag(cl);
+  if (!model.ok()) return Fail(model.status());
+  const std::string out = cl.GetString("out");
+  const std::string side = cl.GetString("side", "left");
+  auto level = cl.GetInt("level", 1);
+  if (!level.ok()) return Fail(level.status());
+  if (out.empty() || (side != "left" && side != "right")) return Usage();
+  if (level.value() < 1 || level.value() > model.value().num_levels()) {
+    return Fail(Status::InvalidArgument("--level out of range"));
+  }
+
+  const int32_t n = side == "left"
+                        ? model.value().levels().front().graph.num_left()
+                        : model.value().levels().front().graph.num_right();
+  std::ofstream stream(out, std::ios::trunc);
+  if (!stream) return Fail(Status::IOError("cannot open " + out));
+  for (int32_t v = 0; v < n; ++v) {
+    const int32_t cluster =
+        side == "left"
+            ? model.value().LeftClusterAt(
+                  v, static_cast<int32_t>(level.value()))
+            : model.value().RightClusterAt(
+                  v, static_cast<int32_t>(level.value()));
+    stream << v << '\t' << cluster << '\n';
+  }
+  if (!stream) return Fail(Status::IOError("write failed"));
+  std::printf("wrote %d assignments (level %lld, %s side) to %s\n", n,
+              static_cast<long long>(level.value()), side.c_str(),
+              out.c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) return Fail(cl.status());
+  const std::string& command = cl.value().command();
+  if (command == "gen-data") return RunGenData(cl.value());
+  if (command == "fit") return RunFit(cl.value());
+  if (command == "info") return RunInfo(cl.value());
+  if (command == "embed") return RunEmbed(cl.value());
+  if (command == "clusters") return RunClusters(cl.value());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hignn
+
+int main(int argc, char** argv) { return hignn::Run(argc, argv); }
