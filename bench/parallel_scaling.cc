@@ -1,0 +1,200 @@
+// Thread-scaling benchmark for the parallel hot paths (ISSUE 1).
+//
+// Times end-to-end Hignn::Fit plus the MatMul and K-means kernels at 1, 2,
+// 4 and 8 worker threads on the synthetic workload, checks that the
+// 1-thread and 4-thread runs produce identical cluster assignments (the
+// fixed-order-reduction determinism contract), and records everything to
+// BENCH_parallel.json in the working directory.
+//
+// Speedups are only meaningful when the host actually has that many cores;
+// the JSON records hardware_concurrency so readers can judge (on a 1-core
+// container every configuration collapses to ~1x).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/kmeans.h"
+#include "core/hignn.h"
+#include "data/synthetic.h"
+#include "nn/matrix.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace hignn;
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+SyntheticDataset MakeWorld() {
+  SyntheticConfig config = SyntheticConfig::Tiny();
+  config.num_users = bench::Scaled(1000);
+  config.num_items = bench::Scaled(500);
+  config.mean_clicks_per_user_day = 3.0;
+  config.num_days = 5;
+  return SyntheticDataset::Generate(config).ValueOrDie();
+}
+
+HignnConfig FitConfig(int threads) {
+  HignnConfig config;
+  config.levels = 2;
+  config.sage.dims = {16, 16};
+  config.sage.fanouts = {10, 5};
+  config.sage.train_steps = bench::Scaled(60);
+  config.sage.batch_size = 128;
+  config.num_threads = threads;
+  return config;
+}
+
+double TimeFit(const SyntheticDataset& dataset, const BipartiteGraph& graph,
+               int threads, HignnModel* model_out) {
+  WallTimer timer;
+  auto model = Hignn::Fit(graph, dataset.user_features(),
+                          dataset.item_features(), FitConfig(threads));
+  HIGNN_CHECK(model.ok());
+  if (model_out != nullptr) *model_out = std::move(model).value();
+  return timer.Seconds();
+}
+
+double TimeMatMul(int threads) {
+  SetGlobalThreadPoolThreads(static_cast<size_t>(threads));
+  Rng rng(threads);
+  Matrix a(bench::Scaled(768), 256);
+  Matrix b(256, 128);
+  a.FillNormal(rng);
+  b.FillNormal(rng);
+  const int reps = bench::Scaled(20);
+  WallTimer timer;
+  double sink = 0.0;
+  for (int r = 0; r < reps; ++r) sink += MatMul(a, b).Sum();
+  const double seconds = timer.Seconds();
+  HIGNN_CHECK(sink == sink);  // Keep the loop observable.
+  SetGlobalThreadPoolThreads(1);
+  return seconds;
+}
+
+double TimeKMeans(const Matrix& points, int threads) {
+  SetGlobalThreadPoolThreads(static_cast<size_t>(threads));
+  KMeansConfig config;
+  config.k = static_cast<int32_t>(points.rows()) / 5;
+  config.algorithm = KMeansAlgorithm::kLloyd;
+  config.max_iters = 8;
+  WallTimer timer;
+  HIGNN_CHECK(RunKMeans(points, config).ok());
+  const double seconds = timer.Seconds();
+  SetGlobalThreadPoolThreads(1);
+  return seconds;
+}
+
+bool SameAssignments(const HignnModel& a, const HignnModel& b) {
+  if (a.num_levels() != b.num_levels()) return false;
+  for (int32_t l = 0; l < a.num_levels(); ++l) {
+    const auto& la = a.levels()[static_cast<size_t>(l)];
+    const auto& lb = b.levels()[static_cast<size_t>(l)];
+    if (la.left_assignment != lb.left_assignment ||
+        la.right_assignment != lb.right_assignment ||
+        !AllClose(la.left_embeddings, lb.left_embeddings, 0.0f) ||
+        !AllClose(la.right_embeddings, lb.right_embeddings, 0.0f)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string JsonTimings(const char* name, const std::vector<double>& secs) {
+  std::string out = StrFormat("  \"%s_seconds\": {", name);
+  for (size_t i = 0; i < secs.size(); ++i) {
+    out += StrFormat("%s\"%d\": %.4f", i ? ", " : "", kThreadCounts[i],
+                     secs[i]);
+  }
+  out += "},\n";
+  out += StrFormat("  \"%s_speedup_vs_1\": {", name);
+  for (size_t i = 0; i < secs.size(); ++i) {
+    out += StrFormat("%s\"%d\": %.3f", i ? ", " : "", kThreadCounts[i],
+                     secs[i] > 0.0 ? secs[0] / secs[i] : 0.0);
+  }
+  out += "}";
+  return out;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "Thread-scaling: Hignn::Fit, MatMul and K-means vs worker count",
+      "Single-host analogue of the paper's 300-worker deployment (Sec. VI)");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency = %u\n\n", hw);
+
+  const SyntheticDataset dataset = MakeWorld();
+  const BipartiteGraph graph = dataset.BuildTrainGraph();
+  std::printf("workload: %d users x %d items, %lld edges\n\n",
+              graph.num_left(), graph.num_right(),
+              static_cast<long long>(graph.num_edges()));
+
+  Matrix kmeans_points(static_cast<size_t>(bench::Scaled(2000)), 32);
+  {
+    Rng rng(123);
+    kmeans_points.FillNormal(rng);
+  }
+
+  std::vector<double> fit_secs;
+  std::vector<double> matmul_secs;
+  std::vector<double> kmeans_secs;
+  HignnModel model_1;
+  HignnModel model_4;
+  TablePrinter table({"threads", "fit (s)", "fit x", "matmul (s)",
+                      "matmul x", "kmeans (s)", "kmeans x"});
+  for (int threads : kThreadCounts) {
+    HignnModel* capture =
+        threads == 1 ? &model_1 : (threads == 4 ? &model_4 : nullptr);
+    fit_secs.push_back(TimeFit(dataset, graph, threads, capture));
+    matmul_secs.push_back(TimeMatMul(threads));
+    kmeans_secs.push_back(TimeKMeans(kmeans_points, threads));
+    table.AddRow({StrFormat("%d", threads),
+                  StrFormat("%.2f", fit_secs.back()),
+                  StrFormat("%.2fx", fit_secs[0] / fit_secs.back()),
+                  StrFormat("%.3f", matmul_secs.back()),
+                  StrFormat("%.2fx", matmul_secs[0] / matmul_secs.back()),
+                  StrFormat("%.3f", kmeans_secs.back()),
+                  StrFormat("%.2fx", kmeans_secs[0] / kmeans_secs.back())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const bool deterministic = SameAssignments(model_1, model_4);
+  std::printf("1-thread vs 4-thread Fit: %s\n",
+              deterministic
+                  ? "identical assignments and embeddings (deterministic)"
+                  : "MISMATCH — determinism contract violated!");
+
+  std::ofstream json("BENCH_parallel.json", std::ios::trunc);
+  json << "{\n";
+  json << StrFormat("  \"hardware_concurrency\": %u,\n", hw);
+  json << StrFormat("  \"scale\": %.2f,\n", bench::Scale());
+  json << StrFormat("  \"workload\": {\"users\": %d, \"items\": %d, "
+                    "\"edges\": %lld},\n",
+                    graph.num_left(), graph.num_right(),
+                    static_cast<long long>(graph.num_edges()));
+  json << JsonTimings("fit", fit_secs) << ",\n";
+  json << JsonTimings("matmul", matmul_secs) << ",\n";
+  json << JsonTimings("kmeans", kmeans_secs) << ",\n";
+  json << StrFormat("  \"deterministic_1_vs_4\": %s\n",
+                    deterministic ? "true" : "false");
+  json << "}\n";
+  if (!json) {
+    std::fprintf(stderr, "failed to write BENCH_parallel.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_parallel.json\n");
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build the concurrency-sensitive tests under ThreadSanitizer and run them.
+#
+#   scripts/run_tsan.sh [build-dir]
+#
+# Configures a separate build tree (default: build-tsan) with
+# -DHIGNN_SANITIZE=thread, builds the hignn_threading_tests binary, and runs
+# the ctest targets labelled `tsan` (the ThreadPool hardening tests plus the
+# 1-vs-4-thread determinism tests). Exits non-zero on any race or failure.
+#
+# If the toolchain lacks the tsan runtime (some minimal containers), the
+# configure step fails cleanly; fall back to the plain build:
+#   ctest --test-dir build -L tsan --output-on-failure
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DHIGNN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target hignn_threading_tests -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j "$(nproc)"

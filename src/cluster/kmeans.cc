@@ -6,10 +6,26 @@
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace hignn {
 
 namespace {
+
+// Parallel reductions split the range into a chunk count derived only from
+// the workload (never the thread count) and merge per-chunk partials in
+// ascending chunk order, so inertia / shift / D^2 totals are bitwise
+// reproducible for a given seed at any num_threads setting.
+constexpr size_t kReduceChunks = 64;
+
+// Workloads below this many distance-term flops stay inline: pool dispatch
+// costs more than the arithmetic.
+constexpr size_t kParallelWorkCutoff = size_t{1} << 16;
+
+size_t ReduceChunksFor(size_t work, size_t range) {
+  if (work < kParallelWorkCutoff || range == 0) return 1;
+  return std::min(range, kReduceChunks);
+}
 
 double SquaredDistance(const float* a, const float* b, size_t d) {
   double total = 0.0;
@@ -60,14 +76,25 @@ Matrix InitCenters(const Matrix& points, int32_t k, bool kmeanspp, Rng& rng) {
     std::copy(src, src + d, centers.row(0));
   }
   std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  const size_t init_chunks = ReduceChunksFor(n * d, n);
+  std::vector<double> partial(init_chunks);
   for (int32_t c = 1; c < k; ++c) {
     const float* latest = centers.row(static_cast<size_t>(c - 1));
+    // The D^2 update is point-parallel; the total merges per-chunk sums in
+    // ascending chunk order (see ParallelForChunks).
+    std::fill(partial.begin(), partial.end(), 0.0);
+    GlobalThreadPool().ParallelForChunks(
+        0, n, init_chunks, [&](size_t chunk, size_t lo, size_t hi) {
+          double local = 0.0;
+          for (size_t i = lo; i < hi; ++i) {
+            const double dist = SquaredDistance(points.row(i), latest, d);
+            min_dist[i] = std::min(min_dist[i], dist);
+            local += min_dist[i];
+          }
+          partial[chunk] = local;
+        });
     double total = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double dist = SquaredDistance(points.row(i), latest, d);
-      min_dist[i] = std::min(min_dist[i], dist);
-      total += min_dist[i];
-    }
+    for (double p : partial) total += p;
     size_t pick = n - 1;
     if (total > 0.0) {
       double target = rng.Uniform() * total;
@@ -87,17 +114,27 @@ Matrix InitCenters(const Matrix& points, int32_t k, bool kmeanspp, Rng& rng) {
   return centers;
 }
 
-// Reassigns every point; returns inertia.
+// Reassigns every point; returns inertia. The nearest-center search is
+// embarrassingly point-parallel; the inertia merges per-chunk partials in
+// ascending chunk order so the value is identical at any thread count.
 double AssignAll(const Matrix& points, const Matrix& centers,
                  std::vector<int32_t>& assignment) {
   const size_t n = points.rows();
   const size_t d = points.cols();
+  const size_t chunks = ReduceChunksFor(n * centers.rows() * d, n);
+  std::vector<double> partial(chunks, 0.0);
+  GlobalThreadPool().ParallelForChunks(
+      0, n, chunks, [&](size_t chunk, size_t lo, size_t hi) {
+        double local = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+          auto [best, dist] = NearestCenter(centers, points.row(i), d);
+          assignment[i] = best;
+          local += dist;
+        }
+        partial[chunk] = local;
+      });
   double inertia = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    auto [best, dist] = NearestCenter(centers, points.row(i), d);
-    assignment[i] = best;
-    inertia += dist;
-  }
+  for (double p : partial) inertia += p;
   return inertia;
 }
 
@@ -150,26 +187,52 @@ KMeansResult RunLloyd(const Matrix& points, const KMeansConfig& config,
 
     sums.Fill(0.0f);
     std::fill(counts.begin(), counts.end(), 0);
-    for (size_t i = 0; i < n; ++i) {
-      const int32_t a = result.assignment[i];
-      float* dst = sums.row(static_cast<size_t>(a));
-      const float* src = points.row(i);
-      for (size_t c = 0; c < d; ++c) dst[c] += src[c];
-      ++counts[static_cast<size_t>(a)];
-    }
-    double shift = 0.0;
-    for (int32_t c = 0; c < k; ++c) {
-      if (counts[static_cast<size_t>(c)] == 0) continue;
-      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
-      float* center = result.centers.row(static_cast<size_t>(c));
-      const float* sum = sums.row(static_cast<size_t>(c));
-      for (size_t col = 0; col < d; ++col) {
-        const float updated = sum[col] * inv;
-        const double delta = static_cast<double>(updated) - center[col];
-        shift += delta * delta;
-        center[col] = updated;
+    // Cluster-ownership scan: each chunk owns a contiguous cluster range
+    // and accumulates its clusters' points in ascending point order — the
+    // same per-cluster order as a sequential point-major loop, so the sums
+    // are bitwise identical at any thread count. Costs one extra
+    // assignment read per point per chunk, negligible next to the O(n*d)
+    // adds it parallelizes.
+    auto accumulate_clusters = [&](size_t clo, size_t chi) {
+      for (size_t i = 0; i < n; ++i) {
+        const auto a = static_cast<size_t>(result.assignment[i]);
+        if (a < clo || a >= chi) continue;
+        float* dst = sums.row(a);
+        const float* src = points.row(i);
+        for (size_t c = 0; c < d; ++c) dst[c] += src[c];
+        ++counts[a];
       }
+    };
+    if (n * d >= kParallelWorkCutoff &&
+        GlobalThreadPool().num_threads() > 1) {
+      GlobalThreadPool().ParallelFor(0, static_cast<size_t>(k),
+                                     accumulate_clusters);
+    } else {
+      accumulate_clusters(0, static_cast<size_t>(k));
     }
+    const size_t shift_chunks =
+        ReduceChunksFor(static_cast<size_t>(k) * d, static_cast<size_t>(k));
+    std::vector<double> shift_partial(shift_chunks, 0.0);
+    GlobalThreadPool().ParallelForChunks(
+        0, static_cast<size_t>(k), shift_chunks,
+        [&](size_t chunk, size_t clo, size_t chi) {
+          double local = 0.0;
+          for (size_t c = clo; c < chi; ++c) {
+            if (counts[c] == 0) continue;
+            const float inv = 1.0f / static_cast<float>(counts[c]);
+            float* center = result.centers.row(c);
+            const float* sum = sums.row(c);
+            for (size_t col = 0; col < d; ++col) {
+              const float updated = sum[col] * inv;
+              const double delta = static_cast<double>(updated) - center[col];
+              local += delta * delta;
+              center[col] = updated;
+            }
+          }
+          shift_partial[chunk] = local;
+        });
+    double shift = 0.0;
+    for (double p : shift_partial) shift += p;
     if (shift < config.tol) break;
   }
   result.inertia = AssignAll(points, result.centers, result.assignment);

@@ -46,6 +46,11 @@ struct KMeansResult {
 ///
 /// Guarantees every returned assignment is in [0, k). If n < k the
 /// effective k is reduced to n. Empty input is an error.
+///
+/// Assignment and center accumulation fan out over GlobalThreadPool();
+/// all floating-point reductions merge fixed, workload-derived chunks in
+/// ascending order, so results for a given seed are bitwise identical at
+/// any thread count.
 Result<KMeansResult> RunKMeans(const Matrix& points, const KMeansConfig& config);
 
 /// \brief Calinski-Harabasz index (Eq. 13): between-cluster variance over

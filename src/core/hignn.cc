@@ -6,6 +6,7 @@
 #include "graph/coarsen.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace hignn {
@@ -158,6 +159,8 @@ Result<HignnModel> Hignn::Fit(const BipartiteGraph& graph,
   if (graph.num_edges() == 0) {
     return Status::InvalidArgument("graph has no edges");
   }
+  SetGlobalThreadPoolThreads(
+      config.num_threads < 0 ? 0 : static_cast<size_t>(config.num_threads));
 
   HignnModel model;
   BipartiteGraph current_graph = graph;

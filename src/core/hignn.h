@@ -37,6 +37,14 @@ struct HignnConfig {
   /// n/alpha instead of the fixed decay.
   bool select_k_by_ch = false;
 
+  /// Worker threads for the parallel kernels (MatMul, K-means assignment
+  /// and reduction, SAGE minibatch assembly, coarsening). 0 = hardware
+  /// concurrency, 1 = fully inline single-threaded execution. Applied to
+  /// the process-wide pool at the top of Fit(); every parallel path uses
+  /// fixed-order reductions, so results for a given seed are identical at
+  /// any setting.
+  int32_t num_threads = 0;
+
   uint64_t seed = 1234;
   bool verbose = false;
 };

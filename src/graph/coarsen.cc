@@ -4,29 +4,54 @@
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace hignn {
 
 namespace {
 
-// Mean embedding per cluster; empty clusters stay zero.
+// Edge scans below this size stay inline; the per-chunk hash maps and
+// dispatch cost more than the summation.
+constexpr int64_t kParallelEdgeCutoff = int64_t{1} << 14;
+
+// Chunk count for the parallel edge-weight reduction. Fixed (derived from
+// the workload, never the thread count) so the chunk-order merge — and
+// therefore the coarse graph — is identical at any num_threads setting.
+constexpr size_t kEdgeReduceChunks = 32;
+
+// Mean embedding per cluster; empty clusters stay zero. Parallelized by
+// cluster ownership: each chunk owns a contiguous cluster range and
+// accumulates its clusters' rows in ascending vertex order — the same
+// per-cluster order as the sequential scan, so means are bitwise identical
+// at any thread count.
 Matrix ClusterMeans(const Matrix& embeddings,
                     const std::vector<int32_t>& assignment,
                     int32_t num_clusters) {
   Matrix means(static_cast<size_t>(num_clusters), embeddings.cols());
   std::vector<int64_t> counts(static_cast<size_t>(num_clusters), 0);
-  for (size_t v = 0; v < assignment.size(); ++v) {
-    const int32_t c = assignment[v];
-    float* dst = means.row(static_cast<size_t>(c));
-    const float* src = embeddings.row(v);
-    for (size_t d = 0; d < embeddings.cols(); ++d) dst[d] += src[d];
-    ++counts[static_cast<size_t>(c)];
+  const size_t d = embeddings.cols();
+  auto accumulate_clusters = [&](size_t clo, size_t chi) {
+    for (size_t v = 0; v < assignment.size(); ++v) {
+      const auto c = static_cast<size_t>(assignment[v]);
+      if (c < clo || c >= chi) continue;
+      float* dst = means.row(c);
+      const float* src = embeddings.row(v);
+      for (size_t col = 0; col < d; ++col) dst[col] += src[col];
+      ++counts[c];
+    }
+  };
+  if (assignment.size() * d >= size_t{1} << 16 &&
+      GlobalThreadPool().num_threads() > 1) {
+    GlobalThreadPool().ParallelFor(0, static_cast<size_t>(num_clusters),
+                                   accumulate_clusters);
+  } else {
+    accumulate_clusters(0, static_cast<size_t>(num_clusters));
   }
   for (int32_t c = 0; c < num_clusters; ++c) {
     if (counts[static_cast<size_t>(c)] == 0) continue;
     const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
     float* dst = means.row(static_cast<size_t>(c));
-    for (size_t d = 0; d < means.cols(); ++d) dst[d] *= inv;
+    for (size_t col = 0; col < means.cols(); ++col) dst[col] *= inv;
   }
   return means;
 }
@@ -78,18 +103,43 @@ Result<CoarsenedGraph> CoarsenBipartiteGraph(
   out.right_features = ClusterMeans(right_embeddings, right_assignment,
                                     num_right_clusters);
 
-  // Accumulate S(C_u, C_i) = sum of fine weights (Eq. 6) with a hash map
-  // keyed by the packed cluster pair.
+  // Accumulate S(C_u, C_i) = sum of fine weights (Eq. 6) with hash maps
+  // keyed by the packed cluster pair. Left vertices are split into a fixed
+  // number of chunks, each summed into its own sparse accumulator, and the
+  // partials are merged in ascending chunk order — so both the weights and
+  // the resulting edge insertion order are identical at any thread count.
+  const size_t num_left = static_cast<size_t>(graph.num_left());
+  const size_t chunks =
+      graph.num_edges() >= kParallelEdgeCutoff
+          ? std::min(num_left, kEdgeReduceChunks)
+          : 1;
+  std::vector<std::unordered_map<int64_t, double>> partials(chunks);
+  GlobalThreadPool().ParallelForChunks(
+      0, num_left, chunks, [&](size_t chunk, size_t lo, size_t hi) {
+        auto& local = partials[chunk];
+        local.reserve((static_cast<size_t>(graph.num_edges()) / chunks) / 4 +
+                      16);
+        for (size_t u = lo; u < hi; ++u) {
+          const int32_t cu = left_assignment[u];
+          const auto span = graph.LeftNeighbors(static_cast<int32_t>(u));
+          for (size_t k = 0; k < span.size; ++k) {
+            const int32_t ci =
+                right_assignment[static_cast<size_t>(span.ids[k])];
+            const int64_t key =
+                static_cast<int64_t>(cu) * num_right_clusters + ci;
+            local[key] += span.weights[k];
+          }
+        }
+      });
   std::unordered_map<int64_t, double> coarse_weights;
-  coarse_weights.reserve(static_cast<size_t>(graph.num_edges()) / 4 + 16);
-  for (int32_t u = 0; u < graph.num_left(); ++u) {
-    const int32_t cu = left_assignment[static_cast<size_t>(u)];
-    const auto span = graph.LeftNeighbors(u);
-    for (size_t k = 0; k < span.size; ++k) {
-      const int32_t ci = right_assignment[static_cast<size_t>(span.ids[k])];
-      const int64_t key =
-          static_cast<int64_t>(cu) * num_right_clusters + ci;
-      coarse_weights[key] += span.weights[k];
+  if (chunks == 1) {
+    // Single chunk: keep the scan's own map so the insertion (and thus
+    // edge) order matches the sequential path exactly.
+    coarse_weights = std::move(partials[0]);
+  } else {
+    coarse_weights.reserve(static_cast<size_t>(graph.num_edges()) / 4 + 16);
+    for (auto& local : partials) {
+      for (const auto& [key, weight] : local) coarse_weights[key] += weight;
     }
   }
 

@@ -1,9 +1,37 @@
 #include "nn/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "util/thread_pool.h"
+
 namespace hignn {
+
+namespace {
+
+// Kernels below this many scalar multiply-adds run inline on the caller:
+// a pool dispatch (submit + wait over a mutex/condvar) costs tens of
+// microseconds, which dwarfs a tiny per-step GEMM.
+constexpr size_t kParallelFlopCutoff = size_t{1} << 16;
+
+// Column-panel width for the j loops: 256 floats (1 KiB) keeps the streamed
+// B panel and the output row resident in L1 together.
+constexpr size_t kColBlock = 256;
+
+// Row-panel depth for MatMulAT's p loops: bounds the A/B rows touched per
+// pass so the B panel stays cache-hot across output rows.
+constexpr size_t kRowBlock = 64;
+
+// Every kernel partitions work so each output element is produced by
+// exactly one chunk with a chunk-independent accumulation order, so the
+// parallel and sequential paths are bitwise identical and this choice can
+// safely depend on the live thread count.
+inline bool UseParallel(size_t flops) {
+  return flops >= kParallelFlopCutoff && GlobalThreadPool().num_threads() > 1;
+}
+
+}  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
@@ -95,16 +123,29 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.cols();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(p);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  if (m == 0 || k == 0 || n == 0) return out;
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows;
+  // the j panel keeps a k x kColBlock slice of B hot across the rows of a
+  // chunk. Accumulation over p stays ascending for every output element,
+  // so any row/panel split yields bitwise-identical results.
+  auto row_block = [&](size_t lo, size_t hi) {
+    for (size_t j0 = 0; j0 < n; j0 += kColBlock) {
+      const size_t j1 = std::min(n, j0 + kColBlock);
+      for (size_t i = lo; i < hi; ++i) {
+        const float* arow = a.row(i);
+        float* orow = out.row(i);
+        for (size_t p = 0; p < k; ++p) {
+          const float av = arow[p];
+          const float* brow = b.row(p);
+          for (size_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
+  };
+  if (UseParallel(m * k * n)) {
+    GlobalThreadPool().ParallelFor(0, m, row_block);
+  } else {
+    row_block(0, m);
   }
   return out;
 }
@@ -112,15 +153,26 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix MatMulBT(const Matrix& a, const Matrix& b) {
   HIGNN_CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const float* brow = b.row(j);
-      float acc = 0.0f;
-      for (size_t p = 0; p < a.cols(); ++p) acc += arow[p] * brow[p];
-      orow[j] = acc;
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  if (m == 0 || k == 0 || n == 0) return out;
+  auto row_block = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out.row(i);
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = b.row(j);
+        float acc = 0.0f;
+        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        orow[j] = acc;
+      }
     }
+  };
+  if (UseParallel(m * k * n)) {
+    GlobalThreadPool().ParallelFor(0, m, row_block);
+  } else {
+    row_block(0, m);
   }
   return out;
 }
@@ -128,23 +180,68 @@ Matrix MatMulBT(const Matrix& a, const Matrix& b) {
 Matrix MatMulAT(const Matrix& a, const Matrix& b) {
   HIGNN_CHECK_EQ(a.rows(), b.rows());
   Matrix out(a.cols(), b.cols());
-  for (size_t p = 0; p < a.rows(); ++p) {
-    const float* arow = a.row(p);
-    const float* brow = b.row(p);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out.row(i);
-      for (size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+  const size_t m = a.rows();
+  const size_t k = a.cols();  // = out rows
+  const size_t n = b.cols();
+  if (m == 0 || k == 0 || n == 0) return out;
+  if (!UseParallel(m * k * n)) {
+    // p-outer order reads each row of A and B exactly once; best when the
+    // k x n output fits in cache (the common per-step gradient case).
+    for (size_t p = 0; p < m; ++p) {
+      const float* arow = a.row(p);
+      const float* brow = b.row(p);
+      for (size_t i = 0; i < k; ++i) {
+        const float av = arow[i];
+        float* orow = out.row(i);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
+    return out;
   }
+  // Each chunk owns a contiguous band of output rows; the p panel keeps
+  // kRowBlock rows of B hot across the band. p still ascends globally for
+  // every output element (panels in order, ascending within a panel), so
+  // this matches the sequential path bit for bit.
+  GlobalThreadPool().ParallelFor(0, k, [&](size_t lo, size_t hi) {
+    for (size_t p0 = 0; p0 < m; p0 += kRowBlock) {
+      const size_t p1 = std::min(m, p0 + kRowBlock);
+      for (size_t i = lo; i < hi; ++i) {
+        float* orow = out.row(i);
+        for (size_t p = p0; p < p1; ++p) {
+          const float av = a.row(p)[i];
+          const float* brow = b.row(p);
+          for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  });
   return out;
 }
 
 Matrix Transpose(const Matrix& a) {
   Matrix out(a.cols(), a.rows());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    for (size_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m == 0 || n == 0) return out;
+  // 32x32 tiles turn the column-strided writes into short cache-resident
+  // bursts; each source row belongs to exactly one chunk.
+  constexpr size_t kTile = 32;
+  auto row_block = [&](size_t lo, size_t hi) {
+    for (size_t r0 = lo; r0 < hi; r0 += kTile) {
+      const size_t r1 = std::min(hi, r0 + kTile);
+      for (size_t c0 = 0; c0 < n; c0 += kTile) {
+        const size_t c1 = std::min(n, c0 + kTile);
+        for (size_t r = r0; r < r1; ++r) {
+          const float* src = a.row(r);
+          for (size_t c = c0; c < c1; ++c) out(c, r) = src[c];
+        }
+      }
+    }
+  };
+  if (UseParallel(m * n)) {
+    GlobalThreadPool().ParallelFor(0, m, row_block);
+  } else {
+    row_block(0, m);
   }
   return out;
 }

@@ -14,8 +14,11 @@ namespace hignn {
 /// autograd tape, GraphSAGE, K-means and word2vec.
 ///
 /// Deliberately minimal: contiguous storage, explicit shapes, checked
-/// accessors, and the handful of BLAS-like kernels the models need. All
-/// kernels are single-threaded; batch-level parallelism lives above.
+/// accessors, and the handful of BLAS-like kernels the models need. The
+/// GEMM/transpose kernels fan out over GlobalThreadPool() in row blocks
+/// above a small-size cutoff; each output element is produced by exactly
+/// one thread with a fixed accumulation order, so results are bitwise
+/// identical for any thread count.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}

@@ -6,19 +6,35 @@
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace hignn {
 
 namespace {
 
+// Pre-tape batch-assembly loops (feature gathers, neighbor-group index
+// building) below this many items stay inline — pool dispatch costs more
+// than the loop body.
+constexpr size_t kParallelBatchCutoff = 512;
+
 // Gather feature rows for a vertex id list into a dense batch matrix.
+// Row-parallel: each destination row is written by exactly one thread.
 Matrix GatherFeatureRows(const Matrix& features,
                          const std::vector<int32_t>& ids) {
   Matrix out(ids.size(), features.cols());
-  for (size_t r = 0; r < ids.size(); ++r) {
-    const float* src = features.row(static_cast<size_t>(ids[r]));
-    float* dst = out.row(r);
-    std::copy(src, src + features.cols(), dst);
+  const size_t cols = features.cols();
+  auto copy_rows = [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      const float* src = features.row(static_cast<size_t>(ids[r]));
+      float* dst = out.row(r);
+      std::copy(src, src + cols, dst);
+    }
+  };
+  if (ids.size() * cols >= kParallelBatchCutoff * 8 &&
+      GlobalThreadPool().num_threads() > 1) {
+    GlobalThreadPool().ParallelFor(0, ids.size(), copy_rows);
+  } else {
+    copy_rows(0, ids.size());
   }
   return out;
 }
@@ -233,21 +249,33 @@ BipartiteSage::BatchEmbedding BipartiteSage::ForwardBatch(
       std::vector<std::vector<int32_t>> groups(need.ids.size());
       std::vector<std::vector<float>> group_weights(need.ids.size());
       std::vector<int32_t> self_index(need.ids.size());
-      for (size_t k = 0; k < need.ids.size(); ++k) {
-        self_index[k] = self_prev.IndexOf(need.ids[k]);
-        auto& sampled = nbrs[k];
-        groups[k].reserve(sampled.ids.size());
-        for (int32_t nbr : sampled.ids) {
-          groups[k].push_back(opposite_prev.IndexOf(nbr));
-        }
-        if (config_.weighted_aggregator && !sampled.weights.empty()) {
-          float total = 0.0f;
-          for (float w : sampled.weights) total += w;
-          group_weights[k] = sampled.weights;
-          if (total > 0.0f) {
-            for (float& w : group_weights[k]) w /= total;
+      // Per-target assembly is independent (frontier lookups are const,
+      // every target writes its own slots), so it fans out across the
+      // pool; the neighborhoods themselves were sampled sequentially
+      // above, keeping the rng stream thread-count independent.
+      auto assemble = [&](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+          self_index[k] = self_prev.IndexOf(need.ids[k]);
+          auto& sampled = nbrs[k];
+          groups[k].reserve(sampled.ids.size());
+          for (int32_t nbr : sampled.ids) {
+            groups[k].push_back(opposite_prev.IndexOf(nbr));
+          }
+          if (config_.weighted_aggregator && !sampled.weights.empty()) {
+            float total = 0.0f;
+            for (float w : sampled.weights) total += w;
+            group_weights[k] = sampled.weights;
+            if (total > 0.0f) {
+              for (float& w : group_weights[k]) w /= total;
+            }
           }
         }
+      };
+      if (need.ids.size() >= kParallelBatchCutoff &&
+          GlobalThreadPool().num_threads() > 1) {
+        GlobalThreadPool().ParallelFor(0, need.ids.size(), assemble);
+      } else {
+        assemble(0, need.ids.size());
       }
       VarId agg = config_.weighted_aggregator
                       ? tape.GroupWeightedSumRows(h_opposite_prev,

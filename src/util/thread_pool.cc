@@ -1,10 +1,20 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace hignn {
+
+namespace {
+
+// Worker threads mark which pool they belong to so nested ParallelFor /
+// Wait calls from inside a task can detect reentrancy and run inline
+// instead of blocking on their own completion.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -26,9 +36,22 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+bool ThreadPool::OnWorkerThread() const {
+  return current_worker_pool == this;
+}
+
+void ThreadPool::RunTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   if (threads_.empty()) {
-    task();  // Inline mode.
+    task();  // Inline mode: exceptions propagate to the caller directly.
     return;
   }
   {
@@ -41,8 +64,34 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::Wait() {
   if (threads_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (OnWorkerThread()) {
+    // Called from inside a task: the caller itself is in flight, so
+    // blocking on in_flight_ == 0 would never return. Help instead: drain
+    // the queue inline until it is empty.
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      RunTask(task);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        HIGNN_CHECK_GT(in_flight_, 0u);
+        --in_flight_;
+        if (in_flight_ == 0) all_done_.notify_all();
+      }
+    }
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
@@ -50,7 +99,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   if (begin >= end) return;
   const size_t n = end - begin;
   const size_t workers = num_threads();
-  if (workers == 1 || n == 1) {
+  if (workers == 1 || n == 1 || OnWorkerThread()) {
     body(begin, end);
     return;
   }
@@ -65,7 +114,36 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   Wait();
 }
 
+void ThreadPool::ParallelForChunks(
+    size_t begin, size_t end, size_t num_chunks,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (begin >= end || num_chunks == 0) return;
+  const size_t n = end - begin;
+  // Chunk layout is a pure function of (n, num_chunks) — never of the
+  // worker count — so per-chunk partial reductions merge identically no
+  // matter how many threads execute them.
+  const size_t chunks = std::min(n, num_chunks);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  if (num_threads() == 1 || chunks == 1 || OnWorkerThread()) {
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t lo = begin + c * chunk_size;
+      if (lo >= end) break;
+      const size_t hi = std::min(end, lo + chunk_size);
+      body(c, lo, hi);
+    }
+    return;
+  }
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const size_t hi = std::min(end, lo + chunk_size);
+    Submit([&body, c, lo, hi] { body(c, lo, hi); });
+  }
+  Wait();
+}
+
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -78,7 +156,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    RunTask(task);
     {
       std::unique_lock<std::mutex> lock(mu_);
       HIGNN_CHECK_GT(in_flight_, 0u);
@@ -88,10 +166,28 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-ThreadPool& GlobalThreadPool() {
+namespace {
+
+ThreadPool*& GlobalPoolSlot() {
   // Never destroyed: avoids shutdown-order issues with static destructors.
   static ThreadPool* pool = new ThreadPool();
-  return *pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() { return *GlobalPoolSlot(); }
+
+void SetGlobalThreadPoolThreads(size_t num_threads) {
+  const size_t target =
+      num_threads == 0
+          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+          : num_threads;
+  ThreadPool*& slot = GlobalPoolSlot();
+  if (slot->num_threads() == target) return;
+  ThreadPool* replacement = new ThreadPool(target);
+  std::swap(slot, replacement);
+  delete replacement;  // Joins the old workers; queue is empty by contract.
 }
 
 }  // namespace hignn

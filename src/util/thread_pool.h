@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -11,12 +12,21 @@
 
 namespace hignn {
 
-/// \brief Fixed-size worker pool with a ParallelFor convenience.
+/// \brief Fixed-size worker pool with ParallelFor conveniences.
 ///
 /// The paper trains on a 300-worker cluster; this pool is the single-host
-/// analogue used by K-means assignment, embedding aggregation and data
-/// generation. On a single-core host it degrades gracefully to inline
-/// execution (num_threads == 1 runs tasks on the calling thread).
+/// analogue used by the MatMul kernels, K-means assignment, SAGE minibatch
+/// assembly and graph coarsening. On a single-core host it degrades
+/// gracefully to inline execution (num_threads == 1 runs tasks on the
+/// calling thread).
+///
+/// Reentrancy: ParallelFor / ParallelForChunks called from inside a pool
+/// task run their body inline on the calling worker instead of blocking in
+/// Wait(), so nested parallel kernels cannot deadlock.
+///
+/// Exceptions: a task that throws does not kill the worker; the first
+/// exception is captured and rethrown from the next Wait() (and therefore
+/// from the ParallelFor that submitted the task).
 class ThreadPool {
  public:
   /// \brief Creates a pool with `num_threads` workers (0 means
@@ -32,17 +42,39 @@ class ThreadPool {
   /// \brief Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// \brief Blocks until every submitted task has finished.
+  /// \brief Blocks until every submitted task has finished, then rethrows
+  /// the first exception any task raised (if one did). Called from inside a
+  /// pool task it drains the queue inline instead of blocking, so nested
+  /// waits cannot deadlock.
   void Wait();
 
   /// \brief Splits [begin, end) into contiguous chunks and runs
   /// `body(chunk_begin, chunk_end)` across the pool; returns when all
-  /// chunks are done. Safe to call with begin == end.
+  /// chunks are done. Safe to call with begin == end. The chunk layout
+  /// depends on the worker count, so only use this when every index's
+  /// result is independent of how the range is split (row-parallel kernels,
+  /// scatter-free scans).
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t, size_t)>& body);
 
+  /// \brief Deterministic variant: splits [begin, end) into at most
+  /// `num_chunks` contiguous chunks whose layout depends ONLY on the range
+  /// size and `num_chunks`, never on the worker count, and runs
+  /// `body(chunk_index, chunk_begin, chunk_end)` across the pool.
+  ///
+  /// This is the reduction primitive: callers keep one partial accumulator
+  /// per chunk index and merge them in ascending chunk order after the
+  /// call, which makes floating-point reductions bitwise reproducible for
+  /// any thread count (a 1-thread pool executes the same chunks in the
+  /// same ascending order inline).
+  void ParallelForChunks(
+      size_t begin, size_t end, size_t num_chunks,
+      const std::function<void(size_t, size_t, size_t)>& body);
+
  private:
   void WorkerLoop();
+  bool OnWorkerThread() const;
+  void RunTask(const std::function<void()>& task);
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> tasks_;
@@ -51,10 +83,18 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_error_;  // guarded by mu_
 };
 
 /// \brief Process-wide default pool (lazily created, never destroyed).
 ThreadPool& GlobalThreadPool();
+
+/// \brief Replaces the process-wide pool with one of `num_threads` workers
+/// (0 = hardware concurrency, 1 = fully inline execution). No-op when the
+/// pool already has that size. Not thread-safe: call between parallel
+/// phases, never while tasks are in flight. This is how
+/// `HignnConfig::num_threads` / the CLI `--threads` flag reach the kernels.
+void SetGlobalThreadPoolThreads(size_t num_threads);
 
 }  // namespace hignn
 

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <fstream>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -273,6 +276,98 @@ TEST(ThreadPoolTest, ManySubmissions) {
   for (int i = 0; i < 500; ++i) pool.Submit([&] { ++counter; });
   pool.Wait();
   EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, EmptyRangeAfterRealWorkStillNoOp) {
+  // begin == end must not leave the pool in a state that deadlocks Wait().
+  ThreadPool pool(4);
+  std::atomic<int> covered{0};
+  pool.ParallelFor(0, 64, [&](size_t lo, size_t hi) {
+    covered += static_cast<int>(hi - lo);
+  });
+  bool called = false;
+  pool.ParallelFor(7, 7, [&](size_t, size_t) { called = true; });
+  pool.Wait();
+  EXPECT_FALSE(called);
+  EXPECT_EQ(covered.load(), 64);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(0, hits.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmitDoesNotDeadlockWait) {
+  ThreadPool pool(2);
+  std::atomic<int> stage{0};
+  pool.Submit([&] {
+    ++stage;
+    pool.Submit([&] { ++stage; });
+  });
+  pool.Wait();  // Must cover the task submitted from inside the task.
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.Submit([&] {
+    pool.ParallelFor(0, 10, [&](size_t lo, size_t hi) {
+      inner_total += static_cast<int>(hi - lo);
+    });
+  });
+  pool.Wait();
+  EXPECT_EQ(inner_total.load(), 10);
+}
+
+TEST(ThreadPoolTest, ExceptionInTaskDoesNotDeadlockWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool stays usable and a clean Wait() does not rethrow again.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, ExceptionInParallelForBodyPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [&](size_t lo, size_t) {
+                                  if (lo == 0) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ParallelForChunksLayoutIndependentOfThreads) {
+  // The chunk layout must be a pure function of (range, num_chunks).
+  auto record = [](ThreadPool& pool) {
+    std::vector<std::array<size_t, 3>> chunks(8, {0, 0, 0});
+    pool.ParallelForChunks(3, 103, 8,
+                           [&](size_t c, size_t lo, size_t hi) {
+                             chunks[c] = {c, lo, hi};
+                           });
+    return chunks;
+  };
+  ThreadPool one(1);
+  ThreadPool four(4);
+  EXPECT_EQ(record(one), record(four));
+}
+
+TEST(ThreadPoolTest, ParallelForChunksCoversRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelForChunks(0, hits.size(), 16,
+                         [&](size_t, size_t lo, size_t hi) {
+                           for (size_t i = lo; i < hi; ++i) hits[i] += 1;
+                         });
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 // ----------------------------------------------------------- CsvWriter --

@@ -45,6 +45,8 @@ commands:
              --graph FILE.tsv  --out MODEL.hgnn
              [--levels 3] [--dim 32] [--alpha 5] [--steps 200]
              [--batch 256] [--lr 0.003] [--ch] [--seed S] [--verbose]
+             [--threads N]  (0 = all cores, 1 = single-threaded;
+                             results are identical for any N)
   info       print a model summary            --model MODEL.hgnn
   embed      dump hierarchical embeddings     --model MODEL.hgnn
              --side left|right  --out FILE.tsv  [--levels K]
@@ -126,9 +128,10 @@ int RunFit(const CommandLine& cl) {
   auto batch = cl.GetInt("batch", 256);
   auto lr = cl.GetDouble("lr", 3e-3);
   auto seed = cl.GetInt("seed", 1234);
+  auto threads = cl.GetInt("threads", 0);
   for (const Status& status :
        {levels.status(), dim.status(), alpha.status(), steps.status(),
-        batch.status(), lr.status(), seed.status()}) {
+        batch.status(), lr.status(), seed.status(), threads.status()}) {
     if (!status.ok()) return Fail(status);
   }
   config.levels = static_cast<int32_t>(levels.value());
@@ -141,6 +144,7 @@ int RunFit(const CommandLine& cl) {
   config.select_k_by_ch = cl.GetBool("ch");
   config.verbose = cl.GetBool("verbose");
   config.seed = static_cast<uint64_t>(seed.value());
+  config.num_threads = static_cast<int32_t>(threads.value());
 
   const Matrix left_features = StructuralFeatures(graph.value(), true);
   const Matrix right_features = StructuralFeatures(graph.value(), false);
