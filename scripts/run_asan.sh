@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build the crash-safety tests under ASan+UBSan and run them.
+#
+#   scripts/run_asan.sh [build-dir]
+#
+# Configures a separate build tree (default: build-asan) with
+# -DHIGNN_SANITIZE=address,undefined, builds the hignn_robustness_tests
+# binary, and runs the ctest targets labelled `asan` (checkpoint/resume,
+# fault injection, corrupt-file rejection). Exits non-zero on any memory
+# error, UB report, or test failure.
+#
+# If the toolchain lacks the asan runtime (some minimal containers), the
+# configure step fails cleanly; fall back to the plain build:
+#   ctest --test-dir build -L asan --output-on-failure
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DHIGNN_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target hignn_robustness_tests -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L asan --output-on-failure -j "$(nproc)"

@@ -140,11 +140,14 @@ double AssignAll(const Matrix& points, const Matrix& centers,
 
 // Repairs empty clusters by stealing the farthest point from the most
 // populated cluster, keeping every cluster id used (downstream coarsening
-// tolerates empty clusters but quality suffers).
-void RepairEmptyClusters(const Matrix& points, Matrix& centers,
-                         std::vector<int32_t>& assignment, int32_t k) {
+// tolerates empty clusters but quality suffers). Sequential on purpose:
+// results must not depend on the thread count. Returns the number of
+// clusters reseeded.
+int32_t RepairEmptyClusters(const Matrix& points, Matrix& centers,
+                            std::vector<int32_t>& assignment, int32_t k) {
   std::vector<int64_t> counts(static_cast<size_t>(k), 0);
   for (int32_t a : assignment) ++counts[static_cast<size_t>(a)];
+  int32_t reseeds = 0;
   for (int32_t c = 0; c < k; ++c) {
     if (counts[static_cast<size_t>(c)] > 0) continue;
     // Farthest point from its own center, in the largest cluster.
@@ -168,7 +171,9 @@ void RepairEmptyClusters(const Matrix& points, Matrix& centers,
     std::copy(src, src + points.cols(), centers.row(static_cast<size_t>(c)));
     --counts[static_cast<size_t>(donor)];
     ++counts[static_cast<size_t>(c)];
+    ++reseeds;
   }
+  return reseeds;
 }
 
 KMeansResult RunLloyd(const Matrix& points, const KMeansConfig& config,
@@ -233,10 +238,45 @@ KMeansResult RunLloyd(const Matrix& points, const KMeansConfig& config,
         });
     double shift = 0.0;
     for (double p : shift_partial) shift += p;
-    if (shift < config.tol) break;
+
+    // Reseed clusters that lost every point this iteration. Without this
+    // the `counts[c] == 0` branch above silently carries the stale center
+    // through all remaining iterations. Deterministic and sequential (the
+    // farthest point overall from its assigned center, ascending scan with
+    // strict >), so results stay thread-count independent.
+    int32_t iter_reseeds = 0;
+    for (int32_t c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] != 0) continue;
+      double best_dist = -1.0;
+      size_t best_point = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const double dist = SquaredDistance(
+            points.row(i),
+            result.centers.row(static_cast<size_t>(result.assignment[i])), d);
+        if (dist > best_dist) {
+          best_dist = dist;
+          best_point = i;
+        }
+      }
+      if (best_dist <= 0.0) break;  // All points sit on their centers.
+      const float* src = points.row(best_point);
+      std::copy(src, src + d, result.centers.row(static_cast<size_t>(c)));
+      // Claim the point so a second empty cluster picks a different one.
+      counts[static_cast<size_t>(
+          result.assignment[best_point])] -= 1;
+      result.assignment[best_point] = c;
+      counts[static_cast<size_t>(c)] = 1;
+      ++iter_reseeds;
+    }
+    result.reseeds += iter_reseeds;
+
+    // A reseed moved a center by definition; don't let a small shift total
+    // declare convergence on the same iteration.
+    if (iter_reseeds == 0 && shift < config.tol) break;
   }
   result.inertia = AssignAll(points, result.centers, result.assignment);
-  RepairEmptyClusters(points, result.centers, result.assignment, k);
+  result.reseeds +=
+      RepairEmptyClusters(points, result.centers, result.assignment, k);
   return result;
 }
 
@@ -267,7 +307,8 @@ KMeansResult RunMiniBatch(const Matrix& points, const KMeansConfig& config,
   }
   result.assignment.assign(n, 0);
   result.inertia = AssignAll(points, result.centers, result.assignment);
-  RepairEmptyClusters(points, result.centers, result.assignment, k);
+  result.reseeds +=
+      RepairEmptyClusters(points, result.centers, result.assignment, k);
   return result;
 }
 
@@ -297,7 +338,8 @@ KMeansResult RunSinglePass(const Matrix& points, const KMeansConfig& config,
   }
   result.assignment.assign(n, 0);
   result.inertia = AssignAll(points, result.centers, result.assignment);
-  RepairEmptyClusters(points, result.centers, result.assignment, k);
+  result.reseeds +=
+      RepairEmptyClusters(points, result.centers, result.assignment, k);
   return result;
 }
 
@@ -314,15 +356,24 @@ Result<KMeansResult> RunKMeans(const Matrix& points,
   const int32_t k =
       std::min<int32_t>(config.k, static_cast<int32_t>(points.rows()));
   Rng rng(config.seed);
+  Result<KMeansResult> result = Status::Internal("unknown kmeans algorithm");
   switch (config.algorithm) {
     case KMeansAlgorithm::kLloyd:
-      return RunLloyd(points, config, k, rng);
+      result = RunLloyd(points, config, k, rng);
+      break;
     case KMeansAlgorithm::kMiniBatch:
-      return RunMiniBatch(points, config, k, rng);
+      result = RunMiniBatch(points, config, k, rng);
+      break;
     case KMeansAlgorithm::kSinglePass:
-      return RunSinglePass(points, config, k, rng);
+      result = RunSinglePass(points, config, k, rng);
+      break;
   }
-  return Status::Internal("unknown kmeans algorithm");
+  if (result.ok() && result.value().reseeds > 0) {
+    HIGNN_LOG(kDebug) << StrFormat(
+        "kmeans: reseeded %d empty cluster(s) of k=%d over %d iteration(s)",
+        result.value().reseeds, k, result.value().iterations);
+  }
+  return result;
 }
 
 double CalinskiHarabaszIndex(const Matrix& points,

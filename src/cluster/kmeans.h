@@ -40,6 +40,10 @@ struct KMeansResult {
   std::vector<int32_t> assignment;   ///< per-point center index
   double inertia = 0.0;              ///< sum of squared point-center dists
   int32_t iterations = 0;            ///< iterations actually run
+  /// Empty clusters reseeded during the run (deterministic farthest-point
+  /// steal). A persistently nonzero count means k is too large for the
+  /// data's structure.
+  int32_t reseeds = 0;
 };
 
 /// \brief Clusters the rows of `points` (n x d).

@@ -1,0 +1,113 @@
+#ifndef HIGNN_CORE_CHECKPOINT_H_
+#define HIGNN_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hignn.h"
+#include "core/training_monitor.h"
+#include "graph/bipartite_graph.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Checkpoint policy for Hignn::Fit.
+struct CheckpointOptions {
+  /// Directory for checkpoint files; empty disables checkpointing. Created
+  /// on first save if missing.
+  std::string dir;
+
+  /// Also checkpoint every this many SAGE steps within a level (0 =
+  /// level boundaries only).
+  int32_t step_interval = 0;
+
+  /// Newest checkpoints retained after each save; older ones are pruned.
+  int32_t keep_last = 3;
+
+  /// Resume from the newest valid checkpoint in `dir` whose fingerprint
+  /// matches the Fit inputs; off, Fit always starts fresh (existing
+  /// checkpoints are still overwritten as training progresses).
+  bool resume = true;
+};
+
+/// \brief Complete training state at a save point. Restoring it and
+/// rerunning Fit reproduces the uninterrupted run bit for bit: exact
+/// float payloads for weights and Adam moments, the RNG stream position,
+/// the tail-loss accumulator, and the monitor's divergence statistics.
+struct TrainingCheckpoint {
+  /// Hash of the Fit inputs (graph identity + features + config); a
+  /// checkpoint from a different run setup is never resumed.
+  uint64_t fingerprint = 0;
+
+  /// Monotone save counter; the file with the largest sequence wins.
+  int64_t sequence = 0;
+
+  /// 1-based level in progress.
+  int32_t level = 1;
+
+  /// SAGE steps already completed within `level` (0 at a level boundary).
+  int32_t sage_step = 0;
+
+  /// Fully finished levels (the model prefix).
+  std::vector<HignnLevel> completed_levels;
+
+  /// The in-progress level's input graph and features (G^{l-1}, X^{l-1}).
+  BipartiteGraph graph;
+  Matrix left_features;
+  Matrix right_features;
+
+  /// SAGE parameter values in Params() order.
+  std::vector<Matrix> params;
+
+  /// Optimizer auxiliary state for the same parameter order.
+  OptimizerState opt;
+
+  /// Current learning rate (decays on rollback).
+  float learning_rate = 0.0f;
+
+  /// Training RNG stream position.
+  RngState rng;
+
+  /// Tail-loss accumulator (mean over the final 10% of steps).
+  double tail_loss_sum = 0.0;
+  int64_t tail_count = 0;
+
+  /// Numerical-health statistics.
+  TrainingMonitorState monitor;
+};
+
+/// \brief Order-sensitive hash of everything that must match for a
+/// checkpoint to be resumable into a Fit call.
+uint64_t FingerprintFitInputs(const BipartiteGraph& graph,
+                              const Matrix& left_features,
+                              const Matrix& right_features,
+                              const HignnConfig& config);
+
+/// \brief Path of the checkpoint file for `sequence` inside `dir`.
+std::string CheckpointPath(const std::string& dir, int64_t sequence);
+
+/// \brief Atomically writes `ckpt` to dir/ckpt-<sequence>.hgnn, updates
+/// the LATEST manifest, and prunes all but the newest `keep_last` files.
+/// Creates `options.dir` if needed. A failure leaves any previous
+/// checkpoints intact and loadable.
+Status SaveCheckpoint(const TrainingCheckpoint& ckpt,
+                      const CheckpointOptions& options);
+
+/// \brief Loads and integrity-checks one checkpoint file.
+Result<TrainingCheckpoint> LoadCheckpointFile(const std::string& path);
+
+/// \brief Finds the newest valid checkpoint in `options.dir` whose
+/// fingerprint equals `fingerprint`: first via the LATEST manifest, then
+/// by scanning ckpt-*.hgnn in descending sequence order (so a corrupt or
+/// torn newest file falls back to its predecessor). Returns NotFound when
+/// nothing resumable exists — callers treat that as "start fresh".
+Result<TrainingCheckpoint> LoadLatestCheckpoint(const CheckpointOptions& options,
+                                                uint64_t fingerprint);
+
+}  // namespace hignn
+
+#endif  // HIGNN_CORE_CHECKPOINT_H_

@@ -111,16 +111,37 @@ class HignnModel {
   std::vector<HignnLevel> levels_;
 };
 
+struct CheckpointOptions;
+struct TrainingMonitorConfig;
+
 /// \brief HiGNN driver: stacks bipartite GraphSAGE and deterministic
 /// K-means clustering alternately (Algorithm 1).
 class Hignn {
  public:
   /// \brief Runs Algorithm 1 on the input graph and features. Requires
   /// `config.levels >= 1`; for the L = 0 case skip HiGNN entirely.
+  /// Checkpointing disabled; default numerical-health guards.
   static Result<HignnModel> Fit(const BipartiteGraph& graph,
                                 const Matrix& left_features,
                                 const Matrix& right_features,
                                 const HignnConfig& config);
+
+  /// \brief Crash-safe variant (core/checkpoint.h, core/training_monitor.h).
+  ///
+  /// With a checkpoint directory set, training state is persisted after
+  /// every hierarchy level (and every `checkpoint.step_interval` SAGE
+  /// steps within a level); when `checkpoint.resume` is set and the
+  /// directory holds a valid checkpoint whose fingerprint matches these
+  /// inputs, training continues from it and the final model is bitwise
+  /// identical to an uninterrupted run. The monitor guards every step's
+  /// loss and gradients; on divergence the level rolls back to its last
+  /// saved state with a reduced learning rate.
+  static Result<HignnModel> Fit(const BipartiteGraph& graph,
+                                const Matrix& left_features,
+                                const Matrix& right_features,
+                                const HignnConfig& config,
+                                const CheckpointOptions& checkpoint,
+                                const TrainingMonitorConfig& monitor);
 };
 
 }  // namespace hignn

@@ -1,6 +1,10 @@
 #include "core/serialization.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -8,8 +12,6 @@
 #include "util/string_util.h"
 
 namespace hignn {
-
-namespace {
 
 void WriteMatrixPayload(BinaryWriter& writer, const Matrix& matrix) {
   writer.WriteU64(matrix.rows());
@@ -57,6 +59,8 @@ Result<BipartiteGraph> ReadGraphPayload(BinaryReader& reader) {
   return builder.Build();
 }
 
+namespace {
+
 void WriteAssignment(BinaryWriter& writer,
                      const std::vector<int32_t>& assignment) {
   writer.WriteI32s(assignment.data(), assignment.size());
@@ -70,6 +74,34 @@ Result<std::vector<int32_t>> ReadAssignment(BinaryReader& reader,
 }
 
 }  // namespace
+
+void WriteLevelPayload(BinaryWriter& writer, const HignnLevel& level) {
+  WriteGraphPayload(writer, level.graph);
+  WriteMatrixPayload(writer, level.left_embeddings);
+  WriteMatrixPayload(writer, level.right_embeddings);
+  WriteAssignment(writer, level.left_assignment);
+  WriteAssignment(writer, level.right_assignment);
+  writer.WriteI32(level.num_left_clusters);
+  writer.WriteI32(level.num_right_clusters);
+  writer.WriteF64(level.train_loss);
+}
+
+Result<HignnLevel> ReadLevelPayload(BinaryReader& reader) {
+  HignnLevel level;
+  HIGNN_ASSIGN_OR_RETURN(level.graph, ReadGraphPayload(reader));
+  HIGNN_ASSIGN_OR_RETURN(level.left_embeddings, ReadMatrixPayload(reader));
+  HIGNN_ASSIGN_OR_RETURN(level.right_embeddings, ReadMatrixPayload(reader));
+  HIGNN_ASSIGN_OR_RETURN(
+      level.left_assignment,
+      ReadAssignment(reader, static_cast<size_t>(level.graph.num_left())));
+  HIGNN_ASSIGN_OR_RETURN(
+      level.right_assignment,
+      ReadAssignment(reader, static_cast<size_t>(level.graph.num_right())));
+  HIGNN_ASSIGN_OR_RETURN(level.num_left_clusters, reader.ReadI32());
+  HIGNN_ASSIGN_OR_RETURN(level.num_right_clusters, reader.ReadI32());
+  HIGNN_ASSIGN_OR_RETURN(level.train_loss, reader.ReadF64());
+  return level;
+}
 
 Status SaveMatrix(const Matrix& matrix, const std::string& path) {
   BinaryWriter writer(path);
@@ -106,14 +138,9 @@ Status SaveHignnModel(const HignnModel& model, const std::string& path) {
   writer.WriteHeader(kTagHignnModel);
   writer.WriteI32(model.num_levels());
   for (const HignnLevel& level : model.levels()) {
-    WriteGraphPayload(writer, level.graph);
-    WriteMatrixPayload(writer, level.left_embeddings);
-    WriteMatrixPayload(writer, level.right_embeddings);
-    WriteAssignment(writer, level.left_assignment);
-    WriteAssignment(writer, level.right_assignment);
-    writer.WriteI32(level.num_left_clusters);
-    writer.WriteI32(level.num_right_clusters);
-    writer.WriteF64(level.train_loss);
+    // One checksum section per level so corruption reports localize.
+    writer.NextSection();
+    WriteLevelPayload(writer, level);
   }
   return writer.Close();
 }
@@ -128,23 +155,39 @@ Result<HignnModel> LoadHignnModel(const std::string& path) {
   std::vector<HignnLevel> levels;
   levels.reserve(static_cast<size_t>(num_levels));
   for (int32_t l = 0; l < num_levels; ++l) {
-    HignnLevel level;
-    HIGNN_ASSIGN_OR_RETURN(level.graph, ReadGraphPayload(reader));
-    HIGNN_ASSIGN_OR_RETURN(level.left_embeddings, ReadMatrixPayload(reader));
-    HIGNN_ASSIGN_OR_RETURN(level.right_embeddings, ReadMatrixPayload(reader));
-    HIGNN_ASSIGN_OR_RETURN(
-        level.left_assignment,
-        ReadAssignment(reader, static_cast<size_t>(level.graph.num_left())));
-    HIGNN_ASSIGN_OR_RETURN(
-        level.right_assignment,
-        ReadAssignment(reader, static_cast<size_t>(level.graph.num_right())));
-    HIGNN_ASSIGN_OR_RETURN(level.num_left_clusters, reader.ReadI32());
-    HIGNN_ASSIGN_OR_RETURN(level.num_right_clusters, reader.ReadI32());
-    HIGNN_ASSIGN_OR_RETURN(level.train_loss, reader.ReadF64());
+    HIGNN_ASSIGN_OR_RETURN(HignnLevel level, ReadLevelPayload(reader));
     levels.push_back(std::move(level));
   }
   return HignnModel::FromLevels(std::move(levels));
 }
+
+namespace {
+
+// Strict full-field parsers for the TSV loader: the std::stoi family
+// silently accepts trailing garbage ("12abc" -> 12), so these insist the
+// whole field is consumed.
+bool ParseFullInt32(const std::string& field, int32_t* out) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  if (value < INT32_MIN || value > INT32_MAX) return false;
+  *out = static_cast<int32_t>(value);
+  return true;
+}
+
+bool ParseFullFloat(const std::string& field, float* out) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const float value = std::strtof(field.c_str(), &end);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
 
 Result<BipartiteGraph> LoadBipartiteGraphTsv(const std::string& path,
                                              int32_t num_left,
@@ -173,17 +216,24 @@ Result<BipartiteGraph> LoadBipartiteGraphTsv(const std::string& path,
                     line_number));
     }
     ParsedEdge edge;
-    try {
-      edge.u = std::stoi(fields[0]);
-      edge.i = std::stoi(fields[1]);
-      edge.weight = fields.size() == 3 ? std::stof(fields[2]) : 1.0f;
-    } catch (const std::exception&) {
+    if (!ParseFullInt32(fields[0], &edge.u) ||
+        !ParseFullInt32(fields[1], &edge.i)) {
       return Status::InvalidArgument(
-          StrFormat("%s:%d: malformed number", path.c_str(), line_number));
+          StrFormat("%s:%d: malformed id", path.c_str(), line_number));
+    }
+    edge.weight = 1.0f;
+    if (fields.size() == 3 && !ParseFullFloat(fields[2], &edge.weight)) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: malformed weight", path.c_str(), line_number));
     }
     if (edge.u < 0 || edge.i < 0) {
       return Status::InvalidArgument(
           StrFormat("%s:%d: negative id", path.c_str(), line_number));
+    }
+    if (!std::isfinite(edge.weight) || edge.weight < 0.0f) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: weight must be finite and non-negative",
+                    path.c_str(), line_number));
     }
     max_left = std::max(max_left, edge.u);
     max_right = std::max(max_right, edge.i);

@@ -6,6 +6,7 @@
 #include "core/hignn.h"
 #include "graph/bipartite_graph.h"
 #include "nn/matrix.h"
+#include "util/io.h"
 #include "util/status.h"
 
 namespace hignn {
@@ -41,6 +42,17 @@ Result<BipartiteGraph> LoadBipartiteGraphTsv(const std::string& path,
 /// \brief Writes the edge list in the same TSV format.
 Status SaveBipartiteGraphTsv(const BipartiteGraph& graph,
                              const std::string& path);
+
+/// \brief Raw payload codecs for embedding artifacts inside larger
+/// containers (the training checkpointer composes these). Writers emit
+/// into the writer's current checksum section; readers assume the
+/// container was already verified via ReadHeader.
+void WriteMatrixPayload(BinaryWriter& writer, const Matrix& matrix);
+Result<Matrix> ReadMatrixPayload(BinaryReader& reader);
+void WriteGraphPayload(BinaryWriter& writer, const BipartiteGraph& graph);
+Result<BipartiteGraph> ReadGraphPayload(BinaryReader& reader);
+void WriteLevelPayload(BinaryWriter& writer, const HignnLevel& level);
+Result<HignnLevel> ReadLevelPayload(BinaryReader& reader);
 
 }  // namespace hignn
 

@@ -1,0 +1,42 @@
+#include "core/training_monitor.h"
+
+#include <cmath>
+
+namespace hignn {
+
+bool TrainingMonitor::GradientsFinite(const std::vector<Parameter*>& params) {
+  if (!config_.enabled) return true;
+  for (const Parameter* p : params) {
+    if (!AllFinite(p->grad)) {
+      ++state_.skipped_steps;
+      return false;
+    }
+  }
+  return true;
+}
+
+HealthVerdict TrainingMonitor::ObserveLoss(double loss) {
+  if (!config_.enabled) return HealthVerdict::kHealthy;
+  if (!std::isfinite(loss)) return HealthVerdict::kRollback;
+  const bool warmed = state_.observed >= config_.warmup_steps;
+  if (warmed && state_.ema > 0.0 &&
+      loss > config_.divergence_factor * state_.ema) {
+    return HealthVerdict::kRollback;
+  }
+  if (state_.observed == 0) {
+    state_.ema = loss;
+  } else {
+    state_.ema = config_.ema_beta * state_.ema +
+                 (1.0 - config_.ema_beta) * loss;
+  }
+  ++state_.observed;
+  return HealthVerdict::kHealthy;
+}
+
+void TrainingMonitor::OnRollback() {
+  ++state_.rollbacks;
+  state_.ema = 0.0;
+  state_.observed = 0;
+}
+
+}  // namespace hignn

@@ -1,0 +1,100 @@
+#ifndef HIGNN_CORE_TRAINING_MONITOR_H_
+#define HIGNN_CORE_TRAINING_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace hignn {
+
+/// \brief Numerical-health policy for the training loop.
+struct TrainingMonitorConfig {
+  /// Master switch; disabled, the monitor reports every step healthy and
+  /// performs no checks.
+  bool enabled = true;
+
+  /// Global gradient-norm clip handed to the optimizer (0 disables).
+  /// Matches the historical hard-coded value in BipartiteSage::Train.
+  float clip_norm = 5.0f;
+
+  /// Divergence rule: a loss above `divergence_factor` x the smoothed
+  /// loss (after `warmup_steps` observations) is treated as divergence.
+  double divergence_factor = 4.0;
+
+  /// EMA coefficient for the smoothed loss.
+  double ema_beta = 0.9;
+
+  /// Observations before the divergence rule arms; NaN/inf losses are
+  /// flagged from step one regardless.
+  int32_t warmup_steps = 20;
+
+  /// Learning-rate multiplier applied on every rollback.
+  float lr_decay = 0.5f;
+
+  /// Rollbacks allowed before training is abandoned with an error.
+  int32_t max_rollbacks = 3;
+};
+
+/// \brief What the training loop should do after a step.
+enum class HealthVerdict {
+  kHealthy,   ///< proceed
+  kRollback,  ///< restore the last checkpoint (or decay lr) and retry
+};
+
+/// \brief Serializable monitor state, persisted inside checkpoints so a
+/// resumed run applies the same divergence policy trajectory.
+struct TrainingMonitorState {
+  double ema = 0.0;
+  int64_t observed = 0;
+  int32_t rollbacks = 0;
+  int64_t skipped_steps = 0;
+};
+
+/// \brief Watches loss and gradient health during training.
+///
+/// Three duties (ISSUE "numerical health"): per-step finiteness checks on
+/// the loss and gradients, gradient clipping (delegated to the optimizer
+/// via `clip_norm`), and a divergence verdict that tells the driver to
+/// roll back to the last checkpoint with a reduced learning rate.
+class TrainingMonitor {
+ public:
+  explicit TrainingMonitor(const TrainingMonitorConfig& config)
+      : config_(config) {}
+
+  const TrainingMonitorConfig& config() const { return config_; }
+
+  /// \brief True when every parameter gradient is finite. A false return
+  /// means the pending update must be skipped (the caller zeroes grads);
+  /// the monitor counts it as a skipped step.
+  bool GradientsFinite(const std::vector<Parameter*>& params);
+
+  /// \brief Folds one loss observation into the health state and returns
+  /// the action for the driver. Non-finite losses diverge immediately;
+  /// finite losses diverge when they exceed `divergence_factor` x EMA
+  /// after warmup.
+  HealthVerdict ObserveLoss(double loss);
+
+  /// \brief Registers a completed rollback: bumps the rollback count and
+  /// resets the loss statistics so the retried steps re-warm the EMA.
+  void OnRollback();
+
+  /// \brief True once the rollback budget is exhausted.
+  bool RollbackBudgetExhausted() const {
+    return state_.rollbacks > config_.max_rollbacks;
+  }
+
+  int32_t rollbacks() const { return state_.rollbacks; }
+  int64_t skipped_steps() const { return state_.skipped_steps; }
+
+  TrainingMonitorState ExportState() const { return state_; }
+  void RestoreState(const TrainingMonitorState& state) { state_ = state; }
+
+ private:
+  TrainingMonitorConfig config_;
+  TrainingMonitorState state_;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_CORE_TRAINING_MONITOR_H_

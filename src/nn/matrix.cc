@@ -284,4 +284,11 @@ bool AllClose(const Matrix& a, const Matrix& b, float tol) {
   return true;
 }
 
+bool AllFinite(const Matrix& a) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a.data()[i])) return false;
+  }
+  return true;
+}
+
 }  // namespace hignn

@@ -124,6 +124,10 @@ double RowDot(const Matrix& a, size_t ra, const Matrix& b, size_t rb);
 /// \brief True if shapes match and elements differ by at most `tol`.
 bool AllClose(const Matrix& a, const Matrix& b, float tol = 1e-5f);
 
+/// \brief True if every element is finite (no NaN / ±inf). Used by the
+/// numerical-health guards in the training loop.
+bool AllFinite(const Matrix& a);
+
 }  // namespace hignn
 
 #endif  // HIGNN_NN_MATRIX_H_

@@ -21,6 +21,96 @@ void Optimizer::Step(const std::vector<Parameter*>& params) {
   }
 }
 
+OptimizerState Optimizer::ExportState(
+    const std::vector<Parameter*>& params) const {
+  OptimizerState state;
+  state.steps.assign(params.size(), 0);
+  return state;
+}
+
+Status Optimizer::ImportState(const std::vector<Parameter*>& params,
+                              const OptimizerState& state) {
+  if (!state.tensors.empty() || state.steps.size() != params.size()) {
+    return Status::InvalidArgument("optimizer state shape mismatch");
+  }
+  return Status::OK();
+}
+
+OptimizerState Sgd::ExportState(const std::vector<Parameter*>& params) const {
+  OptimizerState state;
+  state.steps.assign(params.size(), 0);
+  if (momentum_ == 0.0f) return state;
+  state.tensors.reserve(params.size());
+  for (const Parameter* p : params) {
+    auto it = velocity_.find(p);
+    state.tensors.push_back(it != velocity_.end()
+                                ? it->second
+                                : Matrix(p->value.rows(), p->value.cols()));
+  }
+  return state;
+}
+
+Status Sgd::ImportState(const std::vector<Parameter*>& params,
+                        const OptimizerState& state) {
+  const size_t per = momentum_ == 0.0f ? 0 : 1;
+  if (state.tensors.size() != per * params.size() ||
+      state.steps.size() != params.size()) {
+    return Status::InvalidArgument("sgd state count mismatch");
+  }
+  velocity_.clear();
+  for (size_t i = 0; i < params.size() && per == 1; ++i) {
+    const Matrix& vel = state.tensors[i];
+    if (vel.rows() != params[i]->value.rows() ||
+        vel.cols() != params[i]->value.cols()) {
+      return Status::InvalidArgument("sgd velocity shape mismatch");
+    }
+    velocity_[params[i]] = vel;
+  }
+  return Status::OK();
+}
+
+OptimizerState Adam::ExportState(const std::vector<Parameter*>& params) const {
+  OptimizerState state;
+  state.tensors.reserve(2 * params.size());
+  state.steps.reserve(params.size());
+  for (const Parameter* p : params) {
+    auto it = slots_.find(p);
+    if (it != slots_.end()) {
+      state.tensors.push_back(it->second.m);
+      state.tensors.push_back(it->second.v);
+      state.steps.push_back(static_cast<int64_t>(it->second.step));
+    } else {
+      state.tensors.emplace_back(p->value.rows(), p->value.cols());
+      state.tensors.emplace_back(p->value.rows(), p->value.cols());
+      state.steps.push_back(0);
+    }
+  }
+  return state;
+}
+
+Status Adam::ImportState(const std::vector<Parameter*>& params,
+                         const OptimizerState& state) {
+  if (state.tensors.size() != 2 * params.size() ||
+      state.steps.size() != params.size()) {
+    return Status::InvalidArgument("adam state count mismatch");
+  }
+  slots_.clear();
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Matrix& m = state.tensors[2 * i];
+    const Matrix& v = state.tensors[2 * i + 1];
+    if (m.rows() != params[i]->value.rows() ||
+        m.cols() != params[i]->value.cols() || v.rows() != m.rows() ||
+        v.cols() != m.cols()) {
+      return Status::InvalidArgument("adam slot shape mismatch");
+    }
+    Slot& slot = slots_[params[i]];
+    slot.m = m;
+    slot.v = v;
+    slot.step = static_cast<long>(state.steps[i]);
+  }
+  return Status::OK();
+}
+
 void Sgd::ApplyUpdate(Parameter& param) {
   if (momentum_ == 0.0f) {
     param.value.Axpy(-lr_, param.grad);

@@ -1,12 +1,24 @@
 #ifndef HIGNN_NN_OPTIMIZER_H_
 #define HIGNN_NN_OPTIMIZER_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "nn/layers.h"
+#include "util/status.h"
 
 namespace hignn {
+
+/// \brief Serializable optimizer state: the per-parameter auxiliary
+/// tensors (momentum / Adam moments) and step counts, laid out in the
+/// order of the parameter vector handed to ExportState. Persisted by the
+/// training checkpointer so a resumed run continues the exact update
+/// trajectory of the interrupted one.
+struct OptimizerState {
+  std::vector<Matrix> tensors;  ///< `tensors_per_param()` entries per param
+  std::vector<int64_t> steps;   ///< one entry per param (0 if unused)
+};
 
 /// \brief Base class for gradient-descent optimizers.
 ///
@@ -29,6 +41,21 @@ class Optimizer {
   float learning_rate() const { return lr_; }
   void set_learning_rate(float lr) { lr_ = lr; }
 
+  /// \brief Auxiliary tensors kept per parameter (0 for plain SGD, 1 for
+  /// SGD+momentum, 2 for Adam's m/v pair).
+  virtual int32_t tensors_per_param() const { return 0; }
+
+  /// \brief Snapshots the auxiliary state for `params` (in that order).
+  /// Parameters never stepped yet export zero tensors / step 0.
+  virtual OptimizerState ExportState(
+      const std::vector<Parameter*>& params) const;
+
+  /// \brief Restores state captured by ExportState for the same parameter
+  /// vector (matched by order and shape). Returns InvalidArgument on any
+  /// shape or count mismatch.
+  virtual Status ImportState(const std::vector<Parameter*>& params,
+                             const OptimizerState& state);
+
  protected:
   explicit Optimizer(float lr) : lr_(lr) {}
 
@@ -45,6 +72,14 @@ class Sgd : public Optimizer {
   explicit Sgd(float lr, float momentum = 0.0f)
       : Optimizer(lr), momentum_(momentum) {}
 
+  int32_t tensors_per_param() const override {
+    return momentum_ == 0.0f ? 0 : 1;
+  }
+  OptimizerState ExportState(
+      const std::vector<Parameter*>& params) const override;
+  Status ImportState(const std::vector<Parameter*>& params,
+                     const OptimizerState& state) override;
+
  protected:
   void ApplyUpdate(Parameter& param) override;
 
@@ -59,6 +94,12 @@ class Adam : public Optimizer {
   explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
                 float epsilon = 1e-8f)
       : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+  int32_t tensors_per_param() const override { return 2; }
+  OptimizerState ExportState(
+      const std::vector<Parameter*>& params) const override;
+  Status ImportState(const std::vector<Parameter*>& params,
+                     const OptimizerState& state) override;
 
  protected:
   void ApplyUpdate(Parameter& param) override;

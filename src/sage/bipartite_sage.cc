@@ -1,5 +1,7 @@
 #include "sage/bipartite_sage.h"
 
+#include "core/training_monitor.h"
+
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
@@ -353,7 +355,8 @@ VarId BipartiteSage::ScoreEdges(Tape& tape, VarId left_rows, VarId right_rows,
 Result<double> BipartiteSage::TrainStep(const BipartiteGraph& graph,
                                         const Matrix& left_features,
                                         const Matrix& right_features,
-                                        Optimizer& optimizer, Rng& rng) {
+                                        Optimizer& optimizer, Rng& rng,
+                                        TrainingMonitor* monitor) {
   if (graph.num_edges() == 0) {
     return Status::FailedPrecondition("graph has no edges to train on");
   }
@@ -445,7 +448,14 @@ Result<double> BipartiteSage::TrainStep(const BipartiteGraph& graph,
   const double loss_value = tape.value(loss)(0, 0);
   tape.Backward(loss);
   AccumulateGrads(tape);
-  optimizer.Step(Params());
+  std::vector<Parameter*> params = Params();
+  if (monitor != nullptr && !monitor->GradientsFinite(params)) {
+    // Poisoned gradients (NaN/inf) would corrupt the weights and the Adam
+    // moments; drop the update, keep the parameters intact.
+    for (Parameter* p : params) p->grad.Fill(0.0f);
+    return loss_value;
+  }
+  optimizer.Step(params);
   return loss_value;
 }
 

@@ -15,6 +15,8 @@
 
 namespace hignn {
 
+class TrainingMonitor;
+
 /// \brief How the similarity function f of Eq. 5 / Eq. 12 scores a
 /// (z_left, z_right, edge-weight) triple.
 enum class EdgeScorer {
@@ -109,11 +111,13 @@ class BipartiteSage {
 
   /// \brief Runs one minibatch optimization step on `graph`; returns the
   /// batch loss. `left_features`/`right_features` are the level inputs
-  /// (X_u, X_i).
+  /// (X_u, X_i). With a monitor, updates whose gradients contain NaN/inf
+  /// are dropped (gradients zeroed, weights untouched) and counted as
+  /// skipped steps.
   Result<double> TrainStep(const BipartiteGraph& graph,
                            const Matrix& left_features,
                            const Matrix& right_features, Optimizer& optimizer,
-                           Rng& rng);
+                           Rng& rng, TrainingMonitor* monitor = nullptr);
 
   /// \brief Full training loop; returns the mean loss of the final 10% of
   /// steps (useful as a convergence indicator in tests).

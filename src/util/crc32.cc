@@ -1,0 +1,36 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace hignn {
+
+namespace {
+
+// Reflected table for polynomial 0xEDB88320, built once at first use.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t state, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = Crc32Table();
+  for (size_t i = 0; i < len; ++i) {
+    state = (state >> 8) ^ table[(state ^ bytes[i]) & 0xFFu];
+  }
+  return state;
+}
+
+}  // namespace hignn

@@ -1,0 +1,30 @@
+#ifndef HIGNN_UTIL_CRC32_H_
+#define HIGNN_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hignn {
+
+/// \brief Incremental CRC-32 (IEEE 802.3 polynomial, the zlib/ethernet
+/// variant). Used by the binary container format to detect truncated or
+/// bit-flipped artifacts before any payload is parsed.
+///
+/// Streaming use: start from `kCrc32Init`, feed chunks through
+/// `Crc32Extend`, finish with `Crc32Finish`. One-shot use: `Crc32`.
+inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+/// \brief Folds `len` bytes into a running CRC state.
+uint32_t Crc32Extend(uint32_t state, const void* data, size_t len);
+
+/// \brief Final xor that turns a running state into the checksum value.
+inline uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+/// \brief Checksum of a single buffer.
+inline uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Finish(Crc32Extend(kCrc32Init, data, len));
+}
+
+}  // namespace hignn
+
+#endif  // HIGNN_UTIL_CRC32_H_

@@ -1,0 +1,146 @@
+#include "util/fault_injection.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hignn {
+namespace fault {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+enum class Action { kFail, kCrash };
+
+struct Site {
+  Action action = Action::kFail;
+  int64_t trigger_hit = 1;  // 1-based occurrence that fires
+  int64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// Parses "site=action[@hit]" into the registry; ignores bad entries.
+void ParseSpecLocked(Registry& registry, const std::string& spec) {
+  registry.sites.clear();
+  for (const std::string& raw : Split(spec, ',')) {
+    const std::string entry = Trim(raw);
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      HIGNN_LOG(kWarning) << "fault: ignoring malformed spec entry '"
+                          << entry << "'";
+      continue;
+    }
+    const std::string name = Trim(entry.substr(0, eq));
+    std::string action = Trim(entry.substr(eq + 1));
+    Site site;
+    const size_t at = action.find('@');
+    if (at != std::string::npos) {
+      const std::string hit = action.substr(at + 1);
+      action = action.substr(0, at);
+      char* end = nullptr;
+      const long long parsed = std::strtoll(hit.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || parsed < 1) {
+        HIGNN_LOG(kWarning) << "fault: bad hit count in '" << entry << "'";
+        continue;
+      }
+      site.trigger_hit = parsed;
+    }
+    if (action == "fail") {
+      site.action = Action::kFail;
+    } else if (action == "crash") {
+      site.action = Action::kCrash;
+    } else {
+      HIGNN_LOG(kWarning) << "fault: unknown action in '" << entry << "'";
+      continue;
+    }
+    registry.sites[name] = site;
+  }
+}
+
+// Returns the armed action if this call is the trigger hit of `site`.
+bool HitSite(const char* site, Action* action) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) return false;
+  ++it->second.hits;
+  if (it->second.hits != it->second.trigger_hit) return false;
+  *action = it->second.action;
+  return true;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool ShouldFailSlow(const char* site) {
+  Action action;
+  if (!HitSite(site, &action)) return false;
+  if (action == Action::kCrash) {
+    HIGNN_LOG(kWarning) << "fault: injected crash at site '" << site << "'";
+    _exit(kCrashExitCode);
+  }
+  HIGNN_LOG(kWarning) << "fault: injected failure at site '" << site << "'";
+  return true;
+}
+
+void MaybeCrashSlow(const char* site) {
+  Action action;
+  if (!HitSite(site, &action)) return;
+  if (action != Action::kCrash) return;
+  HIGNN_LOG(kWarning) << "fault: injected crash at site '" << site << "'";
+  _exit(kCrashExitCode);
+}
+
+}  // namespace internal
+
+void Configure(const std::string& spec) {
+  Registry& registry = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    ParseSpecLocked(registry, spec);
+    internal::g_enabled.store(!registry.sites.empty(),
+                              std::memory_order_relaxed);
+  }
+}
+
+int64_t HitCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+}  // namespace fault
+
+namespace fault_internal_init {
+// Translation-unit initializer: arm from the environment before main so
+// sites hit during static setup still honor HIGNN_FAULT_INJECT.
+struct EnvInit {
+  EnvInit() {
+    const char* spec = std::getenv("HIGNN_FAULT_INJECT");
+    if (spec != nullptr && spec[0] != '\0') fault::Configure(spec);
+  }
+};
+static EnvInit env_init;
+}  // namespace fault_internal_init
+
+}  // namespace hignn

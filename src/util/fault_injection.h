@@ -1,0 +1,78 @@
+#ifndef HIGNN_UTIL_FAULT_INJECTION_H_
+#define HIGNN_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hignn {
+namespace fault {
+
+/// \brief Deterministic fault injection for crash-safety tests.
+///
+/// Production code marks *labeled sites* with `ShouldFail("site")` (caller
+/// turns a `true` into an IOError / aborted run) or `MaybeCrash("site")`
+/// (simulated process death via `_exit(kCrashExitCode)`). Sites are
+/// armed either from the `HIGNN_FAULT_INJECT` environment variable at
+/// first use, or programmatically via `Configure` in tests.
+///
+/// Spec grammar (comma-separated list):
+///
+///   HIGNN_FAULT_INJECT="checkpoint.saved=crash@2,io.writer.close=fail"
+///
+/// Each entry is `site=action[@hit]` with action `fail` or `crash` and
+/// `hit` the 1-based occurrence at which the site triggers (default 1).
+/// Triggers are one-shot: exactly the `hit`-th call fires; earlier and
+/// later calls pass through, so a resumed run that re-traverses the site
+/// is not re-killed.
+///
+/// Disabled (the default) the checks are a single relaxed atomic load —
+/// effectively zero cost on hot paths.
+
+/// \brief Exit code used by `MaybeCrash` so harnesses can tell an injected
+/// crash from a genuine failure.
+inline constexpr int kCrashExitCode = 86;
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+
+bool ShouldFailSlow(const char* site);
+void MaybeCrashSlow(const char* site);
+}  // namespace internal
+
+/// \brief True when any site is armed (env or Configure).
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// \brief True when this call is the armed occurrence of a `fail` site.
+/// The caller is expected to return an error (usually Status::IOError).
+inline bool ShouldFail(const char* site) {
+  if (!Enabled()) return false;
+  return internal::ShouldFailSlow(site);
+}
+
+/// \brief Terminates the process with `kCrashExitCode` when this call is
+/// the armed occurrence of a `crash` site; otherwise a no-op. Counts as a
+/// hit for `fail` specs too (but never fails — pair sites with the action
+/// you mean).
+inline void MaybeCrash(const char* site) {
+  if (!Enabled()) return;
+  internal::MaybeCrashSlow(site);
+}
+
+/// \brief (Re)arms sites from a spec string, replacing any existing
+/// configuration, and resets all hit counters. An empty spec disables
+/// injection entirely. Invalid entries are ignored with a warning log.
+/// Intended for tests; production configuration goes through the
+/// HIGNN_FAULT_INJECT environment variable.
+void Configure(const std::string& spec);
+
+/// \brief Number of times `site` has been evaluated since the last
+/// Configure (armed sites only; unarmed sites are not counted).
+int64_t HitCount(const std::string& site);
+
+}  // namespace fault
+}  // namespace hignn
+
+#endif  // HIGNN_UTIL_FAULT_INJECTION_H_

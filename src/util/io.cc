@@ -1,81 +1,244 @@
 #include "util/io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
+
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
 
 namespace hignn {
 
 namespace {
 
 constexpr char kMagic[4] = {'H', 'G', 'N', 'N'};
-constexpr uint32_t kFormatVersion = 1;
+constexpr char kFooterMagic[4] = {'H', 'G', 'N', 'C'};
+constexpr uint32_t kFormatVersion = 2;
+
+// Footer tail after the section entries: u32 count, u32 crc, magic.
+constexpr size_t kFooterTailBytes = 4 + 4 + sizeof(kFooterMagic);
+constexpr size_t kSectionEntryBytes = 8 + 4;  // u64 length + u32 crc
+constexpr uint32_t kMaxSections = 1u << 20;
+
+// fsyncs a path (file contents) so a following rename is durable.
+Status SyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("open for fsync failed: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failed: " + path);
+  return Status::OK();
+}
+
+// fsyncs the directory containing `path` so the rename itself is durable.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IOError("open dir for fsync failed: " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync dir failed: " + dir);
+  return Status::OK();
+}
 
 }  // namespace
 
 BinaryWriter::BinaryWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc) {}
+    : final_path_(path),
+      tmp_path_(StrFormat("%s.tmp.%d", path.c_str(),
+                          static_cast<int>(::getpid()))),
+      out_(tmp_path_, std::ios::binary | std::ios::trunc),
+      section_crc_(kCrc32Init) {}
+
+BinaryWriter::~BinaryWriter() {
+  if (!closed_) {
+    // Abandoned writer (caller bailed before Close): leave no debris.
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void BinaryWriter::Append(const void* data, size_t count) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(count));
+  section_crc_ = Crc32Extend(section_crc_, data, count);
+  section_length_ += count;
+}
+
+void BinaryWriter::NextSection() {
+  if (section_length_ == 0) return;
+  sections_.push_back({section_length_, Crc32Finish(section_crc_)});
+  section_length_ = 0;
+  section_crc_ = kCrc32Init;
+}
 
 void BinaryWriter::WriteHeader(uint32_t tag) {
-  out_.write(kMagic, sizeof(kMagic));
+  Append(kMagic, sizeof(kMagic));
   WriteU32(kFormatVersion);
   WriteU32(tag);
+  NextSection();
 }
 
-void BinaryWriter::WriteU32(uint32_t value) {
-  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+void BinaryWriter::WriteU32(uint32_t value) { Append(&value, sizeof(value)); }
 
-void BinaryWriter::WriteU64(uint64_t value) {
-  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+void BinaryWriter::WriteU64(uint64_t value) { Append(&value, sizeof(value)); }
 
-void BinaryWriter::WriteI32(int32_t value) {
-  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+void BinaryWriter::WriteI32(int32_t value) { Append(&value, sizeof(value)); }
 
-void BinaryWriter::WriteI64(int64_t value) {
-  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+void BinaryWriter::WriteI64(int64_t value) { Append(&value, sizeof(value)); }
 
-void BinaryWriter::WriteF32(float value) {
-  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+void BinaryWriter::WriteF32(float value) { Append(&value, sizeof(value)); }
 
-void BinaryWriter::WriteF64(double value) {
-  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+void BinaryWriter::WriteF64(double value) { Append(&value, sizeof(value)); }
 
 void BinaryWriter::WriteString(const std::string& value) {
   WriteU64(value.size());
-  out_.write(value.data(), static_cast<std::streamsize>(value.size()));
+  Append(value.data(), value.size());
 }
 
 void BinaryWriter::WriteFloats(const float* data, size_t count) {
   WriteU64(count);
-  out_.write(reinterpret_cast<const char*>(data),
-             static_cast<std::streamsize>(count * sizeof(float)));
+  Append(data, count * sizeof(float));
 }
 
 void BinaryWriter::WriteI32s(const int32_t* data, size_t count) {
   WriteU64(count);
-  out_.write(reinterpret_cast<const char*>(data),
-             static_cast<std::streamsize>(count * sizeof(int32_t)));
+  Append(data, count * sizeof(int32_t));
 }
 
 Status BinaryWriter::Close() {
+  closed_ = true;
+  NextSection();
+
+  // Footer: section table, count, footer crc, footer magic. The footer
+  // crc covers the table and the count so a flipped bit anywhere in the
+  // trailer is caught even before section checks run.
+  uint32_t footer_crc = kCrc32Init;
+  for (const Section& section : sections_) {
+    out_.write(reinterpret_cast<const char*>(&section.length),
+               sizeof(section.length));
+    footer_crc = Crc32Extend(footer_crc, &section.length,
+                             sizeof(section.length));
+    out_.write(reinterpret_cast<const char*>(&section.crc),
+               sizeof(section.crc));
+    footer_crc = Crc32Extend(footer_crc, &section.crc, sizeof(section.crc));
+  }
+  const uint32_t count = static_cast<uint32_t>(sections_.size());
+  out_.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  footer_crc = Crc32Extend(footer_crc, &count, sizeof(count));
+  const uint32_t footer_checksum = Crc32Finish(footer_crc);
+  out_.write(reinterpret_cast<const char*>(&footer_checksum),
+             sizeof(footer_checksum));
+  out_.write(kFooterMagic, sizeof(kFooterMagic));
+
   out_.flush();
-  if (!out_) return Status::IOError("write failed");
+  if (!out_ || fault::ShouldFail("io.writer.close")) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+    return Status::IOError("write failed: " + tmp_path_);
+  }
   out_.close();
+
+  // Durability + atomicity: contents to disk, then rename, then the
+  // directory entry to disk. A crash before the rename leaves only the
+  // tmp file; after it, the complete new artifact.
+  if (Status status = SyncPath(tmp_path_); !status.ok()) {
+    std::remove(tmp_path_.c_str());
+    return status;
+  }
+  fault::MaybeCrash("io.writer.rename");
+  if (fault::ShouldFail("io.writer.rename") ||
+      std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return Status::IOError("rename failed: " + final_path_);
+  }
+  fault::MaybeCrash("io.writer.renamed");
+  return SyncParentDir(final_path_);
+}
+
+BinaryReader::BinaryReader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return;
+  const std::streamsize size = in.tellg();
+  if (size < 0) return;
+  in.seekg(0, std::ios::beg);
+  buffer_.resize(static_cast<size_t>(size));
+  if (size > 0) {
+    in.read(buffer_.data(), size);
+    if (!in) return;
+  }
+  ok_ = true;
+}
+
+Status BinaryReader::VerifyContainer() {
+  const size_t n = buffer_.size();
+  if (n < kFooterTailBytes) {
+    return Status::IOError("corrupt artifact: too small for footer");
+  }
+  if (std::memcmp(buffer_.data() + n - sizeof(kFooterMagic), kFooterMagic,
+                  sizeof(kFooterMagic)) != 0) {
+    return Status::IOError(
+        "corrupt artifact: missing integrity footer (truncated file or "
+        "pre-v2 format)");
+  }
+  uint32_t stored_footer_crc = 0;
+  std::memcpy(&stored_footer_crc, buffer_.data() + n - 8, 4);
+  uint32_t count = 0;
+  std::memcpy(&count, buffer_.data() + n - 12, 4);
+  if (count == 0 || count > kMaxSections) {
+    return Status::IOError("corrupt artifact: bad section count");
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(count) * kSectionEntryBytes;
+  if (table_bytes + kFooterTailBytes > n) {
+    return Status::IOError("corrupt artifact: footer larger than file");
+  }
+  const size_t table_start = n - kFooterTailBytes - table_bytes;
+  // Footer crc covers the table plus the count field (contiguous bytes).
+  const uint32_t footer_crc =
+      Crc32(buffer_.data() + table_start, table_bytes + 4);
+  if (footer_crc != stored_footer_crc) {
+    return Status::IOError("corrupt artifact: footer checksum mismatch");
+  }
+
+  uint64_t offset = 0;
+  for (uint32_t s = 0; s < count; ++s) {
+    uint64_t length = 0;
+    uint32_t crc = 0;
+    std::memcpy(&length, buffer_.data() + table_start + s * kSectionEntryBytes,
+                8);
+    std::memcpy(&crc,
+                buffer_.data() + table_start + s * kSectionEntryBytes + 8, 4);
+    if (length > table_start - offset) {
+      return Status::IOError("corrupt artifact: section overruns payload");
+    }
+    if (Crc32(buffer_.data() + offset, length) != crc) {
+      return Status::IOError(StrFormat(
+          "corrupt artifact: checksum mismatch in section %u of %u", s,
+          count));
+    }
+    offset += length;
+  }
+  if (offset != table_start) {
+    return Status::IOError("corrupt artifact: payload/footer size mismatch");
+  }
+  payload_size_ = static_cast<size_t>(offset);
+  verified_ = true;
   return Status::OK();
 }
 
-BinaryReader::BinaryReader(const std::string& path)
-    : in_(path, std::ios::binary) {}
-
 Status BinaryReader::ReadHeader(uint32_t expected_tag) {
-  if (!in_) return Status::IOError("cannot open file");
+  if (!ok_) return Status::IOError("cannot open file");
+  if (!verified_) HIGNN_RETURN_IF_ERROR(VerifyContainer());
   char magic[4];
-  in_.read(magic, sizeof(magic));
-  if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  HIGNN_RETURN_IF_ERROR(Pull(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::IOError("bad magic (not a HiGNN artifact)");
   }
   HIGNN_ASSIGN_OR_RETURN(uint32_t version, ReadU32());
@@ -89,12 +252,20 @@ Status BinaryReader::ReadHeader(uint32_t expected_tag) {
   return Status::OK();
 }
 
-#define HIGNN_DEFINE_READ(Name, Type)                        \
-  Result<Type> BinaryReader::Name() {                        \
-    Type value;                                              \
-    in_.read(reinterpret_cast<char*>(&value), sizeof(value)); \
-    if (!in_) return Status::IOError("truncated input");     \
-    return value;                                            \
+Status BinaryReader::Pull(void* dst, size_t count) {
+  if (count > payload_size_ - pos_) {
+    return Status::IOError("truncated input");
+  }
+  std::memcpy(dst, buffer_.data() + pos_, count);
+  pos_ += count;
+  return Status::OK();
+}
+
+#define HIGNN_DEFINE_READ(Name, Type)               \
+  Result<Type> BinaryReader::Name() {               \
+    Type value;                                     \
+    HIGNN_RETURN_IF_ERROR(Pull(&value, sizeof(value))); \
+    return value;                                   \
   }
 
 HIGNN_DEFINE_READ(ReadU32, uint32_t)
@@ -110,27 +281,20 @@ Result<std::string> BinaryReader::ReadString() {
   HIGNN_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
   if (size > (1ULL << 32)) return Status::IOError("unreasonable string size");
   std::string value(size, '\0');
-  in_.read(value.data(), static_cast<std::streamsize>(size));
-  if (!in_) return Status::IOError("truncated string");
+  HIGNN_RETURN_IF_ERROR(Pull(value.data(), size));
   return value;
 }
 
 Status BinaryReader::ReadFloats(float* data, size_t count) {
   HIGNN_ASSIGN_OR_RETURN(uint64_t stored, ReadU64());
   if (stored != count) return Status::IOError("float array size mismatch");
-  in_.read(reinterpret_cast<char*>(data),
-           static_cast<std::streamsize>(count * sizeof(float)));
-  if (!in_) return Status::IOError("truncated float array");
-  return Status::OK();
+  return Pull(data, count * sizeof(float));
 }
 
 Status BinaryReader::ReadI32s(int32_t* data, size_t count) {
   HIGNN_ASSIGN_OR_RETURN(uint64_t stored, ReadU64());
   if (stored != count) return Status::IOError("int array size mismatch");
-  in_.read(reinterpret_cast<char*>(data),
-           static_cast<std::streamsize>(count * sizeof(int32_t)));
-  if (!in_) return Status::IOError("truncated int array");
-  return Status::OK();
+  return Pull(data, count * sizeof(int32_t));
 }
 
 }  // namespace hignn

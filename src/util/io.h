@@ -11,19 +11,45 @@
 namespace hignn {
 
 /// \brief Little-endian binary serialization helpers with a tagged,
-/// versioned container format. Used by the model/graph Save/Load methods
-/// so trained artifacts can be cached between runs.
+/// versioned, checksummed container format. Used by the model/graph/
+/// checkpoint Save/Load methods so trained artifacts can be cached
+/// between runs and survive crashes.
 ///
-/// Format of a container: magic "HGNN", u32 version, u32 tag (per
-/// payload type), then payload. Readers verify magic and tag.
+/// Container layout (format version 2):
+///
+///   payload:  magic "HGNN", u32 version, u32 tag, then typed payload,
+///             split into one or more *sections* (header is section 0;
+///             writers insert boundaries with NextSection())
+///   footer:   per-section (u64 length, u32 crc32), u32 section count,
+///             u32 footer crc32, magic "HGNC"
+///
+/// Writers are atomic: bytes go to `<path>.tmp.<pid>`, and Close()
+/// fsyncs, renames over the destination, and fsyncs the directory, so a
+/// crash mid-write never leaves a partial artifact under the final name.
+/// Readers verify the footer and every section checksum *before* any
+/// payload is parsed, so truncated or bit-flipped files are rejected with
+/// Status::IOError instead of being decoded into garbage.
 class BinaryWriter {
  public:
-  /// \brief Opens `path` for writing; check ok() before use.
+  /// \brief Opens the temporary file for `path`; check ok() before use.
+  /// Nothing appears at `path` itself until Close() succeeds.
   explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
 
   bool ok() const { return static_cast<bool>(out_); }
 
+  /// \brief Writes magic/version/tag and closes the header section.
   void WriteHeader(uint32_t tag);
+
+  /// \brief Ends the current checksum section; subsequent bytes start a
+  /// new one. Section granularity is the unit of corruption reporting —
+  /// callers typically break at logical payload boundaries (per level,
+  /// per tensor group).
+  void NextSection();
+
   void WriteU32(uint32_t value);
   void WriteU64(uint64_t value);
   void WriteI32(int32_t value);
@@ -34,22 +60,41 @@ class BinaryWriter {
   void WriteFloats(const float* data, size_t count);
   void WriteI32s(const int32_t* data, size_t count);
 
-  /// \brief Flushes and reports any accumulated stream error.
+  /// \brief Writes the integrity footer, fsyncs, and atomically renames
+  /// the temporary file over the destination. On any failure the
+  /// temporary file is removed and the previous artifact (if any) is left
+  /// untouched.
   Status Close();
 
  private:
+  void Append(const void* data, size_t count);
+
+  std::string final_path_;
+  std::string tmp_path_;
   std::ofstream out_;
+  bool closed_ = false;
+
+  struct Section {
+    uint64_t length;
+    uint32_t crc;
+  };
+  std::vector<Section> sections_;
+  uint64_t section_length_ = 0;
+  uint32_t section_crc_ = 0;  // running state, kCrc32Init-based
 };
 
-/// \brief Reader counterpart; every method returns an error on truncated
-/// or mismatched input instead of reading garbage.
+/// \brief Reader counterpart. The whole file is loaded and its footer and
+/// section checksums verified inside ReadHeader(); every subsequent read
+/// is bounds-checked against the verified payload, so no method ever
+/// returns bytes from a corrupt or truncated file.
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
 
-  bool ok() const { return static_cast<bool>(in_); }
+  bool ok() const { return ok_; }
 
-  /// \brief Verifies magic/version and that the payload tag matches.
+  /// \brief Verifies the integrity footer, every section checksum, the
+  /// magic/version, and that the payload tag matches.
   Status ReadHeader(uint32_t expected_tag);
   Result<uint32_t> ReadU32();
   Result<uint64_t> ReadU64();
@@ -62,13 +107,22 @@ class BinaryReader {
   Status ReadI32s(int32_t* data, size_t count);
 
  private:
-  std::ifstream in_;
+  Status VerifyContainer();
+  Status Pull(void* dst, size_t count);
+
+  std::vector<char> buffer_;
+  size_t pos_ = 0;
+  size_t payload_size_ = 0;
+  bool ok_ = false;
+  bool verified_ = false;
 };
 
 /// Payload tags for the container header.
 inline constexpr uint32_t kTagMatrix = 1;
 inline constexpr uint32_t kTagBipartiteGraph = 2;
 inline constexpr uint32_t kTagHignnModel = 3;
+inline constexpr uint32_t kTagCheckpoint = 4;
+inline constexpr uint32_t kTagManifest = 5;
 
 }  // namespace hignn
 

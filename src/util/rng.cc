@@ -100,6 +100,20 @@ size_t Rng::Discrete(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 AliasSampler::AliasSampler(const std::vector<double>& weights) {
   const size_t n = weights.size();
   prob_.resize(n);

@@ -7,6 +7,15 @@
 
 namespace hignn {
 
+/// \brief Snapshot of a generator's full internal state, used by the
+/// training checkpointer so a resumed run consumes the random stream from
+/// exactly where the interrupted run left off.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// \brief Fast deterministic pseudo-random number generator
 /// (xoshiro256** seeded via splitmix64).
 ///
@@ -56,6 +65,14 @@ class Rng {
 
   /// \brief Forks an independent generator (for per-thread streams).
   Rng Fork();
+
+  /// \brief Captures the complete generator state (stream position plus
+  /// the Box-Muller cache) for checkpointing.
+  RngState SaveState() const;
+
+  /// \brief Restores a state captured with SaveState(); the subsequent
+  /// draw sequence is bitwise identical to the original generator's.
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

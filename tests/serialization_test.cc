@@ -175,5 +175,30 @@ TEST(SerializationTest, TsvRejectsMalformedLines) {
   EXPECT_FALSE(LoadBipartiteGraphTsv(path).ok());
 }
 
+TEST(SerializationTest, TsvRejectsPartialNumbersAndBadWeights) {
+  const std::string path = TempPath("bad_fields.tsv");
+  const char* bad_lines[] = {
+      "12abc\t0\n",      // trailing garbage in an id
+      "0\t3.5\n",        // fractional id
+      "0\t1\t2.5xyz\n",  // trailing garbage in a weight
+      "0\t1\tnan\n",     // non-finite weight
+      "0\t1\tinf\n",     // non-finite weight
+      "0\t1\t-2.0\n",    // negative weight
+  };
+  for (const char* line : bad_lines) {
+    SCOPED_TRACE(line);
+    {
+      std::ofstream out(path);
+      out << "0\t0\t1.0\n" << line;  // valid first line, bad second
+    }
+    auto loaded = LoadBipartiteGraphTsv(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    // The error pinpoints the offending line.
+    EXPECT_NE(loaded.status().ToString().find(":2"), std::string::npos)
+        << loaded.status().ToString();
+  }
+}
+
 }  // namespace
 }  // namespace hignn

@@ -19,8 +19,10 @@
 #include <fstream>
 #include <string>
 
+#include "core/checkpoint.h"
 #include "core/hignn.h"
 #include "core/serialization.h"
+#include "core/training_monitor.h"
 #include "data/synthetic.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -47,6 +49,12 @@ commands:
              [--batch 256] [--lr 0.003] [--ch] [--seed S] [--verbose]
              [--threads N]  (0 = all cores, 1 = single-threaded;
                              results are identical for any N)
+             [--checkpoint-dir DIR]  (save training state per level)
+             [--checkpoint-every N]  (also every N SAGE steps; 0 = off)
+             [--checkpoint-keep K]   (retain newest K checkpoints; 3)
+             [--resume]              (continue from DIR's latest
+                                      checkpoint; bitwise-identical to
+                                      an uninterrupted run)
   info       print a model summary            --model MODEL.hgnn
   embed      dump hierarchical embeddings     --model MODEL.hgnn
              --side left|right  --out FILE.tsv  [--levels K]
@@ -129,9 +137,12 @@ int RunFit(const CommandLine& cl) {
   auto lr = cl.GetDouble("lr", 3e-3);
   auto seed = cl.GetInt("seed", 1234);
   auto threads = cl.GetInt("threads", 0);
+  auto ckpt_every = cl.GetInt("checkpoint-every", 0);
+  auto ckpt_keep = cl.GetInt("checkpoint-keep", 3);
   for (const Status& status :
        {levels.status(), dim.status(), alpha.status(), steps.status(),
-        batch.status(), lr.status(), seed.status(), threads.status()}) {
+        batch.status(), lr.status(), seed.status(), threads.status(),
+        ckpt_every.status(), ckpt_keep.status()}) {
     if (!status.ok()) return Fail(status);
   }
   config.levels = static_cast<int32_t>(levels.value());
@@ -146,12 +157,21 @@ int RunFit(const CommandLine& cl) {
   config.seed = static_cast<uint64_t>(seed.value());
   config.num_threads = static_cast<int32_t>(threads.value());
 
+  CheckpointOptions ckpt;
+  ckpt.dir = cl.GetString("checkpoint-dir");
+  ckpt.step_interval = static_cast<int32_t>(ckpt_every.value());
+  ckpt.keep_last = static_cast<int32_t>(ckpt_keep.value());
+  ckpt.resume = cl.GetBool("resume");
+  if (ckpt.resume && ckpt.dir.empty()) {
+    return Fail(Status::InvalidArgument("--resume needs --checkpoint-dir"));
+  }
+
   const Matrix left_features = StructuralFeatures(graph.value(), true);
   const Matrix right_features = StructuralFeatures(graph.value(), false);
 
   WallTimer timer;
-  auto model =
-      Hignn::Fit(graph.value(), left_features, right_features, config);
+  auto model = Hignn::Fit(graph.value(), left_features, right_features,
+                          config, ckpt, TrainingMonitorConfig());
   if (!model.ok()) return Fail(model.status());
   if (Status status = SaveHignnModel(model.value(), out); !status.ok()) {
     return Fail(status);
