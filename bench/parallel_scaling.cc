@@ -11,7 +11,6 @@
 // container every configuration collapses to ~1x).
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "core/hignn.h"
 #include "data/synthetic.h"
 #include "nn/matrix.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -173,22 +173,23 @@ int Run() {
                   ? "identical assignments and embeddings (deterministic)"
                   : "MISMATCH — determinism contract violated!");
 
-  std::ofstream json("BENCH_parallel.json", std::ios::trunc);
-  json << "{\n";
-  json << StrFormat("  \"hardware_concurrency\": %u,\n", hw);
-  json << StrFormat("  \"scale\": %.2f,\n", bench::Scale());
-  json << StrFormat("  \"workload\": {\"users\": %d, \"items\": %d, "
+  std::string json = "{\n";
+  json += StrFormat("  \"hardware_concurrency\": %u,\n", hw);
+  json += StrFormat("  \"scale\": %.2f,\n", bench::Scale());
+  json += StrFormat("  \"workload\": {\"users\": %d, \"items\": %d, "
                     "\"edges\": %lld},\n",
                     graph.num_left(), graph.num_right(),
                     static_cast<long long>(graph.num_edges()));
-  json << JsonTimings("fit", fit_secs) << ",\n";
-  json << JsonTimings("matmul", matmul_secs) << ",\n";
-  json << JsonTimings("kmeans", kmeans_secs) << ",\n";
-  json << StrFormat("  \"deterministic_1_vs_4\": %s\n",
+  json += JsonTimings("fit", fit_secs) + ",\n";
+  json += JsonTimings("matmul", matmul_secs) + ",\n";
+  json += JsonTimings("kmeans", kmeans_secs) + ",\n";
+  json += StrFormat("  \"deterministic_1_vs_4\": %s\n",
                     deterministic ? "true" : "false");
-  json << "}\n";
-  if (!json) {
-    std::fprintf(stderr, "failed to write BENCH_parallel.json\n");
+  json += "}\n";
+  if (Status status = AtomicWriteTextFile("BENCH_parallel.json", json);
+      !status.ok()) {
+    std::fprintf(stderr, "failed to write BENCH_parallel.json: %s\n",
+                 status.ToString().c_str());
     return 1;
   }
   std::printf("wrote BENCH_parallel.json\n");

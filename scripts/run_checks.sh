@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# One-shot pre-merge gate: build, unit tests, static analysis, clang-tidy.
+#
+#   scripts/run_checks.sh [build-dir]
+#
+# Runs, in order:
+#   1. configure + build (exports compile_commands.json)
+#   2. the full ctest suite (unit, tsan-labelled, asan-labelled — in this
+#      plain build they run without sanitizer runtimes; use
+#      scripts/run_tsan.sh / run_asan.sh for the instrumented versions)
+#   3. the `lint` label: hignn_lint fixture tests + whole-tree scan
+#   4. clang-tidy over src/ via compile_commands.json, when clang-tidy is
+#      installed (skipped with a notice otherwise, so the gate stays green
+#      in minimal containers)
+#
+# Exits non-zero on the first failing stage.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure + build"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== unit tests"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== static analysis (hignn_lint)"
+ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure -j "$(nproc)"
+
+echo "== clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  mapfile -t TIDY_SOURCES < <(git ls-files 'src/*.cc' 'tools/*.cc')
+  clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_SOURCES[@]}"
+else
+  echo "clang-tidy not installed; skipping (configs in .clang-tidy)"
+fi
+
+echo "== all checks passed"

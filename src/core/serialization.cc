@@ -250,16 +250,13 @@ Result<BipartiteGraph> LoadBipartiteGraphTsv(const std::string& path,
 
 Status SaveBipartiteGraphTsv(const BipartiteGraph& graph,
                              const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path);
+  std::ostringstream out;
   out << "# left_id\tright_id\tweight\n";
   for (int64_t k = 0; k < graph.num_edges(); ++k) {
     const WeightedEdge edge = graph.EdgeAt(k);
     out << edge.u << '\t' << edge.i << '\t' << edge.weight << '\n';
   }
-  out.flush();
-  if (!out) return Status::IOError("write failed");
-  return Status::OK();
+  return AtomicWriteTextFile(path, out.str());
 }
 
 }  // namespace hignn

@@ -1,8 +1,11 @@
 #include "graph/coarsen.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "util/logging.h"
+#include "util/ordered.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -131,20 +134,31 @@ Result<CoarsenedGraph> CoarsenBipartiteGraph(
           }
         }
       });
-  std::unordered_map<int64_t, double> coarse_weights;
-  if (chunks == 1) {
-    // Single chunk: keep the scan's own map so the insertion (and thus
-    // edge) order matches the sequential path exactly.
-    coarse_weights = std::move(partials[0]);
-  } else {
-    coarse_weights.reserve(static_cast<size_t>(graph.num_edges()) / 4 + 16);
-    for (auto& local : partials) {
-      for (const auto& [key, weight] : local) coarse_weights[key] += weight;
+  // Merge the per-chunk partials into a single key-sorted run list. Each
+  // chunk's entries are extracted in sorted key order and the stable sort
+  // keeps ascending chunk order within a key, so both the per-key
+  // summation order and the edge emission order are fixed — the coarse
+  // graph (and anything serialized from it) is byte-stable at any thread
+  // count and across libstdc++ hash implementations.
+  std::vector<std::pair<int64_t, double>> entries;
+  entries.reserve(static_cast<size_t>(graph.num_edges()) / 4 + 16);
+  for (const auto& local : partials) {
+    for (const auto& [key, weight] : SortedEntries(local)) {
+      entries.emplace_back(key, weight);
     }
   }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
 
   BipartiteGraphBuilder builder(num_left_clusters, num_right_clusters);
-  for (const auto& [key, weight] : coarse_weights) {
+  for (size_t e = 0; e < entries.size();) {
+    const int64_t key = entries[e].first;
+    double weight = 0.0;
+    for (; e < entries.size() && entries[e].first == key; ++e) {
+      weight += entries[e].second;
+    }
     const int32_t cu = static_cast<int32_t>(key / num_right_clusters);
     const int32_t ci = static_cast<int32_t>(key % num_right_clusters);
     HIGNN_RETURN_IF_ERROR(

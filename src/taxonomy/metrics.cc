@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/ordered.h"
 #include "util/rng.h"
 
 namespace hignn {
@@ -25,20 +26,23 @@ double NormalizedMutualInformation(const std::vector<int32_t>& a,
     pab[(static_cast<int64_t>(a[i]) << 32) ^
         static_cast<uint32_t>(b[i])] += 1.0;
   }
+  // Entropy/MI sums run over key-sorted entries so the floating-point
+  // accumulation order — and therefore the reported NMI — is identical
+  // across hash implementations.
   double ha = 0.0;
-  for (auto& [label, count] : pa) {
+  for (const auto& [label, count] : SortedEntries(pa)) {
     (void)label;
     const double p = count / n;
     ha -= p * std::log(p);
   }
   double hb = 0.0;
-  for (auto& [label, count] : pb) {
+  for (const auto& [label, count] : SortedEntries(pb)) {
     (void)label;
     const double p = count / n;
     hb -= p * std::log(p);
   }
   double mi = 0.0;
-  for (auto& [key, count] : pab) {
+  for (const auto& [key, count] : SortedEntries(pab)) {
     const int32_t la = static_cast<int32_t>(key >> 32);
     const int32_t lb = static_cast<int32_t>(key & 0xFFFFFFFF);
     const double pxy = count / n;
@@ -136,11 +140,7 @@ Result<TaxonomyQuality> EvaluateTaxonomy(const QueryDataset& dataset,
         ++votes[tree.AncestorAtLevel(
             item_leaf[static_cast<size_t>(item)], matched_tree_level)];
       }
-      int32_t majority = 0;
-      for (const auto& [label, count] : votes) {
-        (void)label;
-        majority = std::max(majority, count);
-      }
+      const int32_t majority = MaxValueEntry(votes).second;
       total_purity += static_cast<double>(majority) /
                       static_cast<double>(members.size());
     }

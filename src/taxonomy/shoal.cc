@@ -6,6 +6,7 @@
 
 #include "cluster/agglomerative.h"
 #include "util/logging.h"
+#include "util/ordered.h"
 
 namespace hignn {
 
@@ -75,15 +76,9 @@ Result<Taxonomy> BuildTaxonomyShoal(const QueryDataset& dataset,
     for (int32_t q = 0; q < num_queries; ++q) {
       const auto& vote = votes[static_cast<size_t>(q)];
       if (!vote.empty()) {
-        int32_t best = -1;
-        float best_weight = -1.0f;
-        for (const auto& [t, w] : vote) {
-          if (w > best_weight) {
-            best_weight = w;
-            best = t;
-          }
-        }
-        level.query_assignment[static_cast<size_t>(q)] = best;
+        // Deterministic argmax: ties go to the smallest topic id.
+        level.query_assignment[static_cast<size_t>(q)] =
+            MaxValueEntry(vote).first;
         continue;
       }
       const std::vector<float> embedding =

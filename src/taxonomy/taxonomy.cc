@@ -7,6 +7,7 @@
 
 #include "text/bm25.h"
 #include "util/logging.h"
+#include "util/ordered.h"
 #include "util/string_util.h"
 
 namespace hignn {
@@ -26,15 +27,10 @@ std::vector<int32_t> Taxonomy::ParentsOfLevel(int32_t level) const {
   }
   std::vector<int32_t> parents(static_cast<size_t>(fine.num_topics), -1);
   for (int32_t t = 0; t < fine.num_topics; ++t) {
-    int32_t best = -1;
-    int32_t best_count = 0;
-    for (const auto& [p, count] : votes[static_cast<size_t>(t)]) {
-      if (count > best_count) {
-        best_count = count;
-        best = p;
-      }
-    }
-    parents[static_cast<size_t>(t)] = best;
+    // Deterministic argmax: ties go to the smallest parent id instead of
+    // whichever entry hashed first.
+    parents[static_cast<size_t>(t)] =
+        MaxValueEntry(votes[static_cast<size_t>(t)], {-1, 0}).first;
   }
   return parents;
 }
@@ -92,12 +88,9 @@ Result<Taxonomy> BuildTaxonomyFromHignn(const HignnModel& model) {
       for (size_t k = 0; k < span.size; ++k) {
         votes[model.RightClusterAt(span.ids[k], l)] += span.weights[k];
       }
-      float best_weight = -1.0f;
-      for (const auto& [topic, weight] : votes) {
-        if (weight > best_weight) {
-          best_weight = weight;
-          level.query_assignment[static_cast<size_t>(q)] = topic;
-        }
+      if (!votes.empty()) {
+        level.query_assignment[static_cast<size_t>(q)] =
+            MaxValueEntry(votes).first;
       }
     }
     taxonomy.levels.push_back(std::move(level));
@@ -155,8 +148,11 @@ Result<std::vector<std::string>> TopicDescriptionMatcher::MatchLevel(
           level.item_assignment[static_cast<size_t>(edge.i)];
       weights[static_cast<size_t>(t)][edge.u] += edge.weight;
     }
+    // Candidate order feeds the best-query argmax below (strict '>', so
+    // the first of equals wins) — extract in sorted query order.
     for (int32_t t = 0; t < num_topics; ++t) {
-      for (const auto& [q, w] : weights[static_cast<size_t>(t)]) {
+      for (const auto& [q, w] :
+           SortedEntries(weights[static_cast<size_t>(t)])) {
         (void)w;
         topic_candidates[static_cast<size_t>(t)].push_back(q);
       }
@@ -188,6 +184,7 @@ Result<std::vector<std::string>> TopicDescriptionMatcher::MatchLevel(
   for (int32_t t = 0; t < num_topics; ++t) {
     const auto& tf = topic_tf[static_cast<size_t>(t)];
     int64_t topic_tokens = 0;
+    // hignn-lint: allow(unordered-iter) order-insensitive int64 count sum
     for (const auto& [token, count] : tf) {
       (void)token;
       topic_tokens += count;

@@ -1,11 +1,11 @@
 #include "util/csv_writer.h"
 
+#include "util/io.h"
 #include "util/string_util.h"
 
 namespace hignn {
 
-CsvWriter::CsvWriter(const std::string& path)
-    : out_(path, std::ios::trunc) {}
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {}
 
 std::string CsvWriter::EscapeField(const std::string& field) {
   const bool needs_quoting =
@@ -22,10 +22,10 @@ std::string CsvWriter::EscapeField(const std::string& field) {
 
 void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   for (size_t f = 0; f < fields.size(); ++f) {
-    if (f > 0) out_ << ',';
-    out_ << EscapeField(fields[f]);
+    if (f > 0) buffer_ += ',';
+    buffer_ += EscapeField(fields[f]);
   }
-  out_ << '\n';
+  buffer_ += '\n';
   ++rows_written_;
 }
 
@@ -37,11 +37,6 @@ void CsvWriter::WriteRow(const std::string& label,
   WriteRow(fields);
 }
 
-Status CsvWriter::Close() {
-  out_.flush();
-  if (!out_) return Status::IOError("csv write failed");
-  out_.close();
-  return Status::OK();
-}
+Status CsvWriter::Close() { return AtomicWriteTextFile(path_, buffer_); }
 
 }  // namespace hignn

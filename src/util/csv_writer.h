@@ -1,7 +1,6 @@
 #ifndef HIGNN_UTIL_CSV_WRITER_H_
 #define HIGNN_UTIL_CSV_WRITER_H_
 
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -12,6 +11,10 @@ namespace hignn {
 /// \brief RFC-4180-style CSV emitter for experiment results (fields with
 /// commas, quotes or newlines are quoted; embedded quotes doubled).
 ///
+/// Rows are buffered in memory and Close() lands them through the atomic
+/// util/io write path (tmp + fsync + rename), so a crash mid-experiment
+/// never leaves a truncated results file under the final name.
+///
 /// ```cpp
 /// CsvWriter csv("results.csv");
 /// csv.WriteRow({"method", "auc"});
@@ -20,13 +23,13 @@ namespace hignn {
 /// ```
 class CsvWriter {
  public:
-  /// \brief Opens `path` for writing (truncates). Check with Close().
+  /// \brief Records the destination; nothing touches disk until Close().
   explicit CsvWriter(const std::string& path);
 
   CsvWriter(const CsvWriter&) = delete;
   CsvWriter& operator=(const CsvWriter&) = delete;
 
-  /// \brief Writes one row; fields are escaped as needed.
+  /// \brief Buffers one row; fields are escaped as needed.
   void WriteRow(const std::vector<std::string>& fields);
 
   /// \brief Convenience for numeric rows.
@@ -34,14 +37,16 @@ class CsvWriter {
 
   int64_t rows_written() const { return rows_written_; }
 
-  /// \brief Flushes and reports any stream error (including open failure).
+  /// \brief Atomically writes the buffered rows to the destination and
+  /// reports any IO error (including an unwritable path).
   Status Close();
 
   /// \brief Escapes a single field per RFC 4180 (exposed for tests).
   static std::string EscapeField(const std::string& field);
 
  private:
-  std::ofstream out_;
+  std::string path_;
+  std::string buffer_;
   int64_t rows_written_ = 0;
 };
 

@@ -162,6 +162,34 @@ Status BinaryWriter::Close() {
   return SyncParentDir(final_path_);
 }
 
+Status AtomicWriteTextFile(const std::string& path,
+                           const std::string& contents) {
+  const std::string tmp_path =
+      StrFormat("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp_path);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out || fault::ShouldFail("io.text.close")) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::IOError("write failed: " + tmp_path);
+    }
+  }
+  if (Status status = SyncPath(tmp_path); !status.ok()) {
+    std::remove(tmp_path.c_str());
+    return status;
+  }
+  fault::MaybeCrash("io.text.rename");
+  if (fault::ShouldFail("io.text.rename") ||
+      std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("rename failed: " + path);
+  }
+  return SyncParentDir(path);
+}
+
 BinaryReader::BinaryReader(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return;

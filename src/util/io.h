@@ -117,6 +117,15 @@ class BinaryReader {
   bool verified_ = false;
 };
 
+/// \brief Atomically replaces `path` with `contents` (text or bytes):
+/// writes to `<path>.tmp.<pid>`, fsyncs, renames over the destination and
+/// fsyncs the directory — the same crash-safety contract as BinaryWriter,
+/// for artifacts whose format is line-oriented (TSV, CSV, JSON) rather
+/// than the checksummed container. A crash mid-write never leaves a
+/// partial file under the final name.
+Status AtomicWriteTextFile(const std::string& path,
+                           const std::string& contents);
+
 /// Payload tags for the container header.
 inline constexpr uint32_t kTagMatrix = 1;
 inline constexpr uint32_t kTagBipartiteGraph = 2;

@@ -1,7 +1,6 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 

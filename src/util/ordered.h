@@ -1,0 +1,69 @@
+#ifndef HIGNN_UTIL_ORDERED_H_
+#define HIGNN_UTIL_ORDERED_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace hignn {
+
+/// \brief Deterministic extraction from unordered associative containers.
+///
+/// Hash-map iteration order is an implementation detail of the standard
+/// library: it varies across libstdc++ versions, load factors and insertion
+/// histories, so any float accumulation, serialized emission or tie-broken
+/// argmax driven by it is silently nondeterministic. This header is the one
+/// place in the tree allowed to iterate `std::unordered_map` /
+/// `std::unordered_set` (hignn_lint rule `unordered-iter` whitelists it):
+/// every helper either sorts what it extracted before returning or computes
+/// an order-insensitive result with an explicit key tiebreak, so callers
+/// never observe hash order.
+
+/// \brief Entries of a map sorted by ascending key. Use this instead of a
+/// raw range-for whenever the loop body accumulates floats, appends to
+/// serialized output, or feeds anything order-sensitive.
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+SortedEntries(const Map& map) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      entries;
+  entries.reserve(map.size());
+  for (const auto& [key, value] : map) entries.emplace_back(key, value);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+/// \brief Elements of a set sorted ascending.
+template <typename Set>
+std::vector<typename Set::key_type> SortedKeys(const Set& set) {
+  std::vector<typename Set::key_type> keys(set.begin(), set.end());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// \brief Deterministic argmax over a map's values: returns the entry with
+/// the largest value, ties broken by the smallest key. The result is
+/// independent of iteration order, so no sort is needed. Requires a
+/// non-empty map; returns `fallback` when the map is empty.
+template <typename Map>
+std::pair<typename Map::key_type, typename Map::mapped_type> MaxValueEntry(
+    const Map& map,
+    std::pair<typename Map::key_type, typename Map::mapped_type> fallback =
+        {}) {
+  bool found = false;
+  std::pair<typename Map::key_type, typename Map::mapped_type> best =
+      std::move(fallback);
+  for (const auto& [key, value] : map) {
+    if (!found || value > best.second ||
+        (value == best.second && key < best.first)) {
+      best = {key, value};
+      found = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace hignn
+
+#endif  // HIGNN_UTIL_ORDERED_H_

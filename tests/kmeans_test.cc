@@ -84,8 +84,8 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, KMeansAlgorithmTest,
                          ::testing::Values(KMeansAlgorithm::kLloyd,
                                            KMeansAlgorithm::kMiniBatch,
                                            KMeansAlgorithm::kSinglePass),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case KMeansAlgorithm::kLloyd:
                                return "Lloyd";
                              case KMeansAlgorithm::kMiniBatch:

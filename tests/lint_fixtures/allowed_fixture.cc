@@ -1,0 +1,37 @@
+// hignn_lint fixture: every rule suppressed via the annotation escape
+// hatch. lint_test.cc asserts zero violations and an exact allow tally.
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+struct FakePool {
+  template <typename F>
+  void ParallelFor(std::size_t lo, std::size_t hi, F f) {
+    f(lo, hi);
+  }
+};
+
+double Suppressed(const std::string& path, const std::vector<double>& xs) {
+  std::unordered_map<int, double> counts;
+  double sum = 0.0;
+  // hignn-lint: allow(unordered-iter) fixture: order-insensitive sum
+  for (const auto& [key, value] : counts) {
+    (void)key;
+    sum += value;
+  }
+  std::ofstream out(path);  // hignn-lint: allow(raw-write) fixture
+  out << sum;
+  sum += static_cast<double>(rand());  // hignn-lint: allow(nondet-source) fixture
+  std::thread worker([] {});  // hignn-lint: allow(naked-thread) fixture
+  worker.join();
+  FakePool pool;
+  double total = 0.0;
+  pool.ParallelFor(0, xs.size(), [&](std::size_t lo, std::size_t hi) {
+    // hignn-lint: allow(parallel-float-reduction) fixture
+    for (std::size_t i = lo; i < hi; ++i) total += xs[i];
+  });
+  return sum + total;
+}

@@ -1,0 +1,38 @@
+// hignn_lint fixture: idiomatic code that every rule should pass without
+// any annotation. lint_test.cc asserts exit 0 and "allowed: none".
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct FakePool {
+  template <typename F>
+  void ParallelForChunks(std::size_t lo, std::size_t hi, std::size_t c, F f) {
+    (void)c;
+    f(0, lo, hi);
+  }
+};
+
+double Clean(const std::vector<double>& xs,
+             const std::vector<std::pair<int, double>>& sorted_entries) {
+  // Lookup-only unordered maps are fine; only iteration is order-sensitive.
+  std::unordered_map<int, double> lookup;
+  lookup[1] = 2.0;
+  double sum = lookup.count(1) != 0 ? lookup[1] : 0.0;
+
+  // Sorted extraction (the util/ordered.h idiom) iterates a vector.
+  for (const auto& [key, value] : sorted_entries) {
+    (void)key;
+    sum += value;
+  }
+
+  // Fixed-chunk partials merged in chunk order: the blessed reduction.
+  FakePool pool;
+  std::vector<double> partials(4, 0.0);
+  pool.ParallelForChunks(
+      0, xs.size(), 4, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) partials[c] += xs[i];
+      });
+  for (double p : partials) sum += p;
+  return sum;
+}

@@ -1,0 +1,37 @@
+// hignn_lint fixture: rule parallel-float-reduction. Never compiled —
+// scanned by hignn_lint in lint_test.cc, which asserts the lines below.
+#include <cstddef>
+#include <vector>
+
+struct FakePool {
+  template <typename F>
+  void ParallelFor(std::size_t lo, std::size_t hi, F f) {
+    f(lo, hi);
+  }
+  template <typename F>
+  void ParallelForChunks(std::size_t lo, std::size_t hi, std::size_t c, F f) {
+    (void)c;
+    f(0, lo, hi);
+  }
+};
+
+double Violations(const std::vector<double>& xs) {
+  FakePool pool;
+  double total = 0.0;
+  pool.ParallelFor(0, xs.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) total += xs[i];  // line 22
+  });
+  return total;
+}
+
+double NotViolations(const std::vector<double>& xs) {
+  FakePool pool;
+  std::vector<double> partials(4, 0.0);
+  pool.ParallelForChunks(
+      0, xs.size(), 4, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) partials[c] += xs[i];
+      });
+  double merged = 0.0;
+  for (double p : partials) merged += p;  // sequential merge: fine
+  return merged;
+}

@@ -1,0 +1,19 @@
+// hignn_lint fixture: rule naked-thread. Never compiled — scanned by
+// hignn_lint in lint_test.cc, which asserts the exact line numbers below.
+#include <future>
+#include <thread>
+
+void Violations(int n) {
+  std::thread worker([] {});  // line 7: raw std::thread
+  worker.join();
+  auto task = std::async([] { return 1; });  // line 9: std::async
+  task.get();
+#pragma omp parallel for  // line 11: OpenMP scheduling
+  for (int i = 0; i < n; ++i) {
+  }
+}
+
+unsigned NotViolations() {
+  // Capacity query, not thread creation: fine.
+  return std::thread::hardware_concurrency();
+}

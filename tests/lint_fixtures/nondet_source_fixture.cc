@@ -1,0 +1,22 @@
+// hignn_lint fixture: rule nondet-source. Never compiled — scanned by
+// hignn_lint in lint_test.cc, which asserts the exact line numbers below.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned Violations() {
+  std::random_device device;  // line 9: hardware entropy
+  unsigned value = device() + static_cast<unsigned>(rand());  // line 10: rand
+  value += static_cast<unsigned>(time(nullptr));  // line 11: wall clock
+  const auto tick = std::chrono::steady_clock::now();  // line 12: ::now()
+  (void)tick;
+  return value;
+}
+
+unsigned NotViolations(unsigned seed) {
+  unsigned state = seed;  // deterministic seeding through util/rng: fine
+  state = state * 6364136223846793005u + 1442695040888963407u;
+  int timeout = 30;  // the word 'time' inside 'timeout': fine
+  return state + static_cast<unsigned>(timeout);
+}

@@ -1,0 +1,21 @@
+// hignn_lint fixture: rule raw-write. Never compiled — scanned by
+// hignn_lint in lint_test.cc, which asserts the exact line numbers below.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void Violations(const std::string& path) {
+  std::ofstream out(path);  // line 8: raw ofstream
+  out << "hello\n";
+  FILE* handle = nullptr;  // line 10: raw FILE* handle
+  handle = fopen(path.c_str(), "w");  // line 11: fopen call
+  if (handle != nullptr) {
+    std::fclose(handle);
+  }
+}
+
+void NotViolations(const std::string& path) {
+  std::ifstream in(path);  // reading is fine; the rule guards writers
+  std::string profile = "user profile";  // 'fopen' inside a string: fine
+  (void)profile;
+}

@@ -1,0 +1,40 @@
+// hignn_lint fixture: rule unordered-iter. Never compiled — scanned by
+// hignn_lint in lint_test.cc, which asserts the exact line numbers below.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+void Violations() {
+  std::unordered_map<int, double> counts;
+  std::unordered_set<int> seen;
+  std::vector<std::unordered_map<int, int>> votes(3);
+  for (const auto& [key, value] : counts) {  // line 11: direct map
+    (void)key;
+    (void)value;
+  }
+  for (int id : seen) {  // line 15: direct set
+    (void)id;
+  }
+  for (const auto& [k, v] : votes[0]) {  // line 18: element-of-container
+    (void)k;
+    (void)v;
+  }
+  const auto& alias = votes[1];
+  for (const auto& [k, v] : alias) {  // line 23: auto alias of element
+    (void)k;
+    (void)v;
+  }
+}
+
+void NotViolations() {
+  std::vector<std::unordered_map<int, int>> votes(3);
+  std::vector<int> ordered = {1, 2, 3};
+  for (const auto& m : votes) {  // outer vector is ordered: fine
+    (void)m;
+  }
+  for (int x : ordered) {  // plain vector: fine
+    (void)x;
+  }
+  std::unordered_map<int, double> lookup;
+  lookup[4] = 2.0;  // point lookups without iteration: fine
+}

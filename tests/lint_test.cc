@@ -1,0 +1,179 @@
+// Fixture tests for the hignn_lint static-analysis binary.
+//
+// Each fixture under tests/lint_fixtures/ contains known violations at
+// pinned line numbers (plus near-miss code that must NOT fire). The tests
+// run the real binary via popen and assert its entire stdout byte-for-byte:
+// diagnostic lines in `path:line: [rule] message` form, the allow tally,
+// and the summary/exit-code contract. This pins both the rule logic and
+// the output format that scripts/run_lint.sh and CI parse.
+//
+// HIGNN_LINT_BIN and HIGNN_LINT_FIXTURE_DIR are injected by CMake.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun RunLint(const std::string& args) {
+  const std::string command =
+      std::string(HIGNN_LINT_BIN) + " " + args + " 2>&1";
+  LintRun run;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return run;
+  char buffer[4096];
+  size_t got = 0;
+  while ((got = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    run.output.append(buffer, got);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+LintRun RunOnFixtures(const std::string& paths) {
+  return RunLint("--root " HIGNN_LINT_FIXTURE_DIR " " + paths);
+}
+
+TEST(LintTest, UnorderedIterFiresOnEveryPattern) {
+  const LintRun run = RunOnFixtures("unordered_iter_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string advice =
+      "use an ordered container or util/ordered.h "
+      "(SortedEntries/SortedKeys/MaxValueEntry)\n";
+  EXPECT_EQ(run.output,
+            "unordered_iter_fixture.cc:11: [unordered-iter] range-for over "
+            "unordered container 'counts'; " + advice +
+            "unordered_iter_fixture.cc:15: [unordered-iter] range-for over "
+            "unordered container 'seen'; " + advice +
+            "unordered_iter_fixture.cc:18: [unordered-iter] range-for over "
+            "unordered container 'votes'; " + advice +
+            "unordered_iter_fixture.cc:23: [unordered-iter] range-for over "
+            "unordered container 'alias'; " + advice +
+            "allowed: none\n"
+            "checked 1 files: 4 violation(s)\n");
+}
+
+TEST(LintTest, RawWriteFiresOnStreamsHandlesAndFopen) {
+  const LintRun run = RunOnFixtures("raw_write_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string advice =
+      "outside util/io; use BinaryWriter or AtomicWriteTextFile\n";
+  EXPECT_EQ(run.output,
+            "raw_write_fixture.cc:8: [raw-write] raw 'std::ofstream' write " +
+                advice +
+                "raw_write_fixture.cc:10: [raw-write] raw 'FILE*' handle " +
+                advice +
+                "raw_write_fixture.cc:11: [raw-write] raw 'fopen' write " +
+                advice +
+                "allowed: none\n"
+                "checked 1 files: 3 violation(s)\n");
+}
+
+TEST(LintTest, NondetSourceFiresOnEntropyClockAndNow) {
+  const LintRun run = RunOnFixtures("nondet_source_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string advice =
+      "is a nondeterministic source; use util/rng.h for randomness and "
+      "util/timer.h for timing\n";
+  EXPECT_EQ(run.output,
+            "nondet_source_fixture.cc:9: [nondet-source] "
+            "'std::random_device' is nondeterministic; seed a util/rng.h "
+            "Rng explicitly\n"
+            "nondet_source_fixture.cc:10: [nondet-source] 'rand()' " + advice +
+            "nondet_source_fixture.cc:11: [nondet-source] 'time()' " + advice +
+            "nondet_source_fixture.cc:12: [nondet-source] clock '::now()' "
+            "outside util/timer.h; use WallTimer so time never feeds "
+            "deterministic state\n"
+            "allowed: none\n"
+            "checked 1 files: 4 violation(s)\n");
+}
+
+TEST(LintTest, NakedThreadFiresOnThreadAsyncAndOmp) {
+  const LintRun run = RunOnFixtures("naked_thread_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string advice =
+      "outside util/thread_pool; submit work to GlobalThreadPool() "
+      "instead\n";
+  EXPECT_EQ(run.output,
+            "naked_thread_fixture.cc:7: [naked-thread] raw 'std::thread' " +
+                advice +
+                "naked_thread_fixture.cc:9: [naked-thread] raw "
+                "'std::async' " + advice +
+                "naked_thread_fixture.cc:11: [naked-thread] '#pragma omp' "
+                "outside util/thread_pool; OpenMP scheduling is not "
+                "deterministic — use ParallelForChunks\n"
+                "allowed: none\n"
+                "checked 1 files: 3 violation(s)\n");
+}
+
+TEST(LintTest, ParallelFloatReductionFiresInsideParallelForOnly) {
+  const LintRun run = RunOnFixtures("float_reduction_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.output,
+            "float_reduction_fixture.cc:22: [parallel-float-reduction] "
+            "floating-point accumulation into 'total' inside a ParallelFor "
+            "body; use ParallelForChunks with a fixed-order merge\n"
+            "allowed: none\n"
+            "checked 1 files: 1 violation(s)\n");
+}
+
+TEST(LintTest, AllowAnnotationSuppressesEveryRuleAndIsTallied) {
+  const LintRun run = RunOnFixtures("allowed_fixture.cc");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.output,
+            "allowed: naked-thread=1 nondet-source=1 "
+            "parallel-float-reduction=1 raw-write=1 unordered-iter=1 "
+            "(5 total)\n"
+            "checked 1 files: 0 violation(s)\n");
+}
+
+TEST(LintTest, CleanIdiomaticCodePassesWithoutAnnotations) {
+  const LintRun run = RunOnFixtures("clean_fixture.cc");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.output,
+            "allowed: none\n"
+            "checked 1 files: 0 violation(s)\n");
+}
+
+TEST(LintTest, DirectoryScanAggregatesAndSortsAcrossFiles) {
+  const LintRun run = RunOnFixtures(".");
+  EXPECT_EQ(run.exit_code, 1);
+  // 4 + 3 + 4 + 3 + 1 pinned violations across the five violating
+  // fixtures; the allowed fixture contributes 5 tallied suppressions.
+  EXPECT_NE(run.output.find("checked 7 files: 15 violation(s)\n"),
+            std::string::npos);
+  // Diagnostics are sorted by path, so the float-reduction fixture's
+  // single finding leads the report.
+  EXPECT_EQ(run.output.rfind("float_reduction_fixture.cc:22:", 0), 0u);
+  EXPECT_NE(run.output.find("allowed: naked-thread=1 nondet-source=1 "
+                            "parallel-float-reduction=1 raw-write=1 "
+                            "unordered-iter=1 (5 total)\n"),
+            std::string::npos);
+}
+
+TEST(LintTest, ListRulesPrintsTheCatalog) {
+  const LintRun run = RunLint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const char* rule :
+       {"unordered-iter", "raw-write", "nondet-source", "naked-thread",
+        "parallel-float-reduction"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos)
+        << "missing rule id: " << rule;
+  }
+}
+
+TEST(LintTest, MissingPathIsAUsageError) {
+  const LintRun run = RunOnFixtures("no_such_fixture.cc");
+  EXPECT_EQ(run.exit_code, 2);
+}
+
+}  // namespace

@@ -265,8 +265,8 @@ INSTANTIATE_TEST_SUITE_P(AllScorers, ScorerVariantTest,
                          ::testing::Values(EdgeScorer::kConcatMlp,
                                            EdgeScorer::kHadamardMlp,
                                            EdgeScorer::kDot),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case EdgeScorer::kConcatMlp:
                                return "ConcatMlp";
                              case EdgeScorer::kHadamardMlp:

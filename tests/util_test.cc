@@ -3,12 +3,17 @@
 #include <array>
 #include <atomic>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 #include <thread>
 #include <vector>
 
 #include "util/csv_writer.h"
+#include "util/io.h"
+#include "util/ordered.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -402,6 +407,65 @@ TEST(CsvWriterTest, CloseReportsOpenFailure) {
   CsvWriter csv("/nonexistent-dir/foo.csv");
   csv.WriteRow({"x"});
   EXPECT_FALSE(csv.Close().ok());
+}
+
+// ----------------------------------------------------------- Atomic IO --
+
+TEST(AtomicWriteTextFileTest, WritesExactContents) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/atomic_out.txt";
+  EXPECT_TRUE(AtomicWriteTextFile(path, "alpha\nbeta\n").ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "alpha\nbeta\n");
+}
+
+TEST(AtomicWriteTextFileTest, ReplacesExistingFileWholesale) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/atomic_replace.txt";
+  ASSERT_TRUE(AtomicWriteTextFile(path, "a much longer first version").ok());
+  ASSERT_TRUE(AtomicWriteTextFile(path, "v2").ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "v2");
+}
+
+TEST(AtomicWriteTextFileTest, ReportsUnwritableDestination) {
+  EXPECT_FALSE(
+      AtomicWriteTextFile("/nonexistent-dir/out.txt", "payload").ok());
+}
+
+// ------------------------------------------------------------- Ordered --
+
+TEST(OrderedTest, SortedEntriesSortsByKey) {
+  std::unordered_map<int32_t, double> map = {{7, 0.5}, {1, 2.0}, {4, -1.0}};
+  const auto entries = SortedEntries(map);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], (std::pair<int32_t, double>{1, 2.0}));
+  EXPECT_EQ(entries[1], (std::pair<int32_t, double>{4, -1.0}));
+  EXPECT_EQ(entries[2], (std::pair<int32_t, double>{7, 0.5}));
+}
+
+TEST(OrderedTest, SortedKeysSortsSetElements) {
+  std::unordered_set<int32_t> set = {9, -3, 5};
+  EXPECT_EQ(SortedKeys(set), (std::vector<int32_t>{-3, 5, 9}));
+}
+
+TEST(OrderedTest, MaxValueEntryBreaksTiesTowardSmallestKey) {
+  std::unordered_map<int32_t, int32_t> votes = {
+      {10, 3}, {2, 5}, {8, 5}, {1, 4}};
+  const auto best = MaxValueEntry(votes);
+  EXPECT_EQ(best.first, 2);
+  EXPECT_EQ(best.second, 5);
+}
+
+TEST(OrderedTest, MaxValueEntryReturnsFallbackWhenEmpty) {
+  const std::unordered_map<int32_t, float> empty;
+  const auto best = MaxValueEntry(empty, {-1, 0.0f});
+  EXPECT_EQ(best.first, -1);
+  EXPECT_EQ(best.second, 0.0f);
 }
 
 // --------------------------------------------------------------- Timer --

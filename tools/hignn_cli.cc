@@ -16,7 +16,7 @@
 // to bootstrap from pure graph structure.
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/checkpoint.h"
@@ -25,6 +25,7 @@
 #include "core/training_monitor.h"
 #include "data/synthetic.h"
 #include "util/flags.h"
+#include "util/io.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -222,8 +223,7 @@ int RunEmbed(const CommandLine& cl) {
                 static_cast<int32_t>(max_levels.value()))
           : model.value().AllHierarchicalRight(
                 static_cast<int32_t>(max_levels.value()));
-  std::ofstream stream(out, std::ios::trunc);
-  if (!stream) return Fail(Status::IOError("cannot open " + out));
+  std::ostringstream stream;
   for (size_t r = 0; r < embeddings.rows(); ++r) {
     stream << r;
     for (size_t c = 0; c < embeddings.cols(); ++c) {
@@ -231,7 +231,9 @@ int RunEmbed(const CommandLine& cl) {
     }
     stream << '\n';
   }
-  if (!stream) return Fail(Status::IOError("write failed"));
+  if (Status status = AtomicWriteTextFile(out, stream.str()); !status.ok()) {
+    return Fail(status);
+  }
   std::printf("wrote %zu x %zu embeddings to %s\n", embeddings.rows(),
               embeddings.cols(), out.c_str());
   return 0;
@@ -252,8 +254,7 @@ int RunClusters(const CommandLine& cl) {
   const int32_t n = side == "left"
                         ? model.value().levels().front().graph.num_left()
                         : model.value().levels().front().graph.num_right();
-  std::ofstream stream(out, std::ios::trunc);
-  if (!stream) return Fail(Status::IOError("cannot open " + out));
+  std::ostringstream stream;
   for (int32_t v = 0; v < n; ++v) {
     const int32_t cluster =
         side == "left"
@@ -263,7 +264,9 @@ int RunClusters(const CommandLine& cl) {
                   v, static_cast<int32_t>(level.value()));
     stream << v << '\t' << cluster << '\n';
   }
-  if (!stream) return Fail(Status::IOError("write failed"));
+  if (Status status = AtomicWriteTextFile(out, stream.str()); !status.ok()) {
+    return Fail(status);
+  }
   std::printf("wrote %d assignments (level %lld, %s side) to %s\n", n,
               static_cast<long long>(level.value()), side.c_str(),
               out.c_str());

@@ -1,0 +1,899 @@
+// hignn_lint — determinism-and-safety static analysis for the hignn tree.
+//
+// The invariant catalog (DESIGN.md §9) encodes guarantees earlier work
+// bought at runtime: bitwise-deterministic parallel kernels and atomic,
+// checksummed artifact IO. This tool makes violating them a build failure
+// instead of a code-review hope. It is a token-level analyzer (comments and
+// string literals stripped, balanced-bracket matching, no full AST) over
+// the file list given on the command line or extracted from a
+// compile_commands.json.
+//
+// Rules:
+//   unordered-iter            range-for over std::unordered_map/set —
+//                             hash order leaks into float sums, serialized
+//                             bytes or argmax ties. Whitelist:
+//                             src/util/ordered.h (sorted extraction).
+//   raw-write                 std::ofstream / fopen / FILE* outside
+//                             src/util/io.cc — artifact writes must use
+//                             the atomic tmp+fsync+rename path.
+//   nondet-source             rand() / std::random_device / time() /
+//                             ::now() outside util/rng.h + util/timer.h.
+//   naked-thread              std::thread / std::async / #pragma omp —
+//                             concurrency only via util/thread_pool.
+//   parallel-float-reduction  += / -= into a file-scope float/double
+//                             inside a ParallelFor body — reductions must
+//                             be fixed-order ParallelForChunks merges.
+//
+// Escape hatch: `// hignn-lint: allow(<rule>) <justification>` on the
+// violating line or the line above suppresses the diagnostic; suppressions
+// are tallied and reported so audits can review every exemption.
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Diagnostic {
+  std::string path;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+  std::vector<std::string> allowed_paths;  // suffix match, '/'-normalized
+};
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"unordered-iter",
+       "no iteration over std::unordered_map/std::unordered_set in "
+       "order-sensitive code; use ordered containers or util/ordered.h "
+       "sorted extraction",
+       {"src/util/ordered.h"}},
+      {"raw-write",
+       "no raw std::ofstream/fopen/FILE* writes; artifact writes go "
+       "through the atomic util/io API",
+       {"src/util/io.cc", "src/util/io.h"}},
+      {"nondet-source",
+       "no rand()/std::random_device/time()/::now(); randomness via "
+       "util/rng.h, timing via util/timer.h",
+       {"src/util/rng.h", "src/util/rng.cc", "src/util/timer.h"}},
+      {"naked-thread",
+       "no std::thread/std::async/#pragma omp; concurrency only via "
+       "util/thread_pool",
+       {"src/util/thread_pool.h", "src/util/thread_pool.cc"}},
+      {"parallel-float-reduction",
+       "no floating-point reductions in ParallelFor bodies; use "
+       "ParallelForChunks with a fixed-order merge",
+       {}},
+  };
+  return kRules;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsWordBoundedAt(const std::string& text, size_t pos, size_t len) {
+  if (pos > 0 && IsWordChar(text[pos - 1])) return false;
+  if (pos + len < text.size() && IsWordChar(text[pos + len])) return false;
+  return true;
+}
+
+size_t SkipSpaces(const std::string& text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Last non-space position strictly before `pos`, or npos.
+size_t PrevNonSpace(const std::string& text, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) return pos;
+  }
+  return std::string::npos;
+}
+
+/// A source file reduced to analyzable form: `code` mirrors the original
+/// byte-for-byte except comment and string/char-literal contents are
+/// blanked to spaces (newlines preserved, so offsets map to lines), and
+/// `comments` holds each line's comment text for allow() parsing.
+struct StrippedFile {
+  std::string code;
+  std::vector<std::string> comments;  // 1-indexed by line (index 0 unused)
+  std::vector<size_t> line_starts;    // offset of each line's first char
+};
+
+StrippedFile StripCommentsAndStrings(const std::string& raw) {
+  StrippedFile out;
+  out.code = raw;
+  out.comments.assign(2, "");
+  out.line_starts.push_back(0);
+
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;
+  int line = 1;
+  auto comment_at = [&](int l) -> std::string& {
+    while (static_cast<int>(out.comments.size()) <= l) {
+      out.comments.emplace_back();
+    }
+    return out.comments[static_cast<size_t>(l)];
+  };
+
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+    if (c == '\n') {
+      ++line;
+      out.line_starts.push_back(i + 1);
+      if (state == State::kLine) state = State::kCode;
+      continue;  // newline survives in code in every state
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out.code[i] = out.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out.code[i] = out.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim" raw string?
+          if (i > 0 && raw[i - 1] == 'R' &&
+              (i < 2 || !IsWordChar(raw[i - 2]))) {
+            size_t p = i + 1;
+            while (p < raw.size() && raw[p] != '(' && raw[p] != '\n') ++p;
+            if (p < raw.size() && raw[p] == '(') {
+              raw_delim = ")" + raw.substr(i + 1, p - i - 1) + "\"";
+              state = State::kRaw;
+              for (size_t b = i; b <= p; ++b) {
+                if (out.code[b] != '\n') out.code[b] = ' ';
+              }
+              i = p;
+              break;
+            }
+          }
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !IsWordChar(raw[i - 1]))) {
+          // The word-char guard keeps C++14 digit separators (1'000'000)
+          // from opening a bogus char-literal state.
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+      case State::kBlock:
+        comment_at(line) += c;
+        if (state == State::kBlock && c == '*' && next == '/') {
+          out.code[i] = out.code[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else {
+          out.code[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out.code[i] = ' ';
+          if (i + 1 < raw.size() && raw[i + 1] != '\n') {
+            out.code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == quote) {
+          state = State::kCode;  // keep closing quote char
+        } else {
+          out.code[i] = ' ';
+        }
+        break;
+      }
+      case State::kRaw:
+        if (raw.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t b = 0; b < raw_delim.size(); ++b) out.code[i + b] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (out.code[i] != '\n') {
+          out.code[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+int LineOf(const StrippedFile& file, size_t pos) {
+  auto it = std::upper_bound(file.line_starts.begin(), file.line_starts.end(),
+                             pos);
+  return static_cast<int>(it - file.line_starts.begin());
+}
+
+// Position just past the bracket that closes the one at `open` (which must
+// hold `open_ch`), or npos if unbalanced.
+size_t MatchBracket(const std::string& code, size_t open, char open_ch,
+                    char close_ch) {
+  int depth = 0;
+  for (size_t i = open; i < code.size(); ++i) {
+    if (code[i] == open_ch) {
+      ++depth;
+    } else if (code[i] == close_ch) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+// Closes the template argument list whose '<' is at `open`. Treats '>'
+// inside "->" as an arrow, not a close.
+size_t MatchAngle(const std::string& code, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '<') {
+      ++depth;
+    } else if (code[i] == '>' && (i == 0 || code[i - 1] != '-')) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+std::string TrailingIdentifier(const std::string& expr) {
+  size_t end = expr.size();
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(expr[end - 1]))) {
+    --end;
+  }
+  size_t begin = end;
+  while (begin > 0 && IsWordChar(expr[begin - 1])) --begin;
+  return expr.substr(begin, end - begin);
+}
+
+/// Per-file analysis context.
+class FileLinter {
+ public:
+  FileLinter(std::string display_path, const std::string& raw)
+      : path_(std::move(display_path)), file_(StripCommentsAndStrings(raw)) {}
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  const std::map<std::string, int>& allow_counts() const {
+    return allow_counts_;
+  }
+
+  void Run(const std::set<std::string>& active_rules) {
+    if (active_rules.count("unordered-iter")) CheckUnorderedIter();
+    if (active_rules.count("raw-write")) CheckRawWrite();
+    if (active_rules.count("nondet-source")) CheckNondetSource();
+    if (active_rules.count("naked-thread")) CheckNakedThread();
+    if (active_rules.count("parallel-float-reduction")) {
+      CheckParallelFloatReduction();
+    }
+  }
+
+ private:
+  void Report(size_t pos, const std::string& rule,
+              const std::string& message) {
+    const int line = LineOf(file_, pos);
+    if (IsAllowed(rule, line)) {
+      ++allow_counts_[rule];
+      return;
+    }
+    diagnostics_.push_back({path_, line, rule, message});
+  }
+
+  bool IsAllowed(const std::string& rule, int line) const {
+    const std::string needle = "hignn-lint: allow(" + rule + ")";
+    for (int l = line - 1; l <= line; ++l) {
+      if (l < 1 || l >= static_cast<int>(file_.comments.size())) continue;
+      if (file_.comments[static_cast<size_t>(l)].find(needle) !=
+          std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- rule: unordered-iter ----------------------------------------------
+
+  // Scans declarations of unordered containers. Names declared directly as
+  // unordered_{map,set} land in `direct_`; names whose *elements* are
+  // unordered (e.g. std::vector<std::unordered_map<...>> v) land in
+  // `element_`, so `for (x : v)` is fine but `for (x : v[i])` is flagged.
+  void CollectUnorderedNames() {
+    const std::string& code = file_.code;
+    for (const char* token : {"unordered_map<", "unordered_set<"}) {
+      const size_t token_len = std::strlen(token);
+      size_t pos = 0;
+      while ((pos = code.find(token, pos)) != std::string::npos) {
+        const size_t at = pos;
+        pos += token_len;
+        if (at > 0 && IsWordChar(code[at - 1])) continue;
+        // Nested inside another template's argument list?
+        size_t qual_begin = at;
+        while (qual_begin > 0 &&
+               (IsWordChar(code[qual_begin - 1]) ||
+                code[qual_begin - 1] == ':')) {
+          --qual_begin;
+        }
+        const size_t before = PrevNonSpace(code, qual_begin);
+        const bool nested =
+            before != std::string::npos &&
+            (code[before] == '<' || code[before] == ',');
+        // Close this container's own template argument list.
+        size_t after = MatchAngle(code, at + token_len - 1);
+        if (after == std::string::npos) continue;
+        // Consume outer closers and declarator decorations.
+        while (after < code.size() &&
+               (code[after] == '>' || code[after] == '&' ||
+                code[after] == '*' ||
+                std::isspace(static_cast<unsigned char>(code[after])))) {
+          ++after;
+        }
+        size_t id_end = after;
+        while (id_end < code.size() && IsWordChar(code[id_end])) ++id_end;
+        if (id_end == after) continue;
+        const std::string name = code.substr(after, id_end - after);
+        (nested ? element_ : direct_).insert(name);
+      }
+    }
+    CollectAutoAliases();
+  }
+
+  // `auto& x = votes[q];` binds x to an unordered element; track the alias
+  // so iterating it is caught. Single top-down pass — declarations precede
+  // uses, so chained aliases resolve naturally.
+  void CollectAutoAliases() {
+    const std::string& code = file_.code;
+    size_t pos = 0;
+    while ((pos = code.find("auto", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 4;
+      if (!IsWordBoundedAt(code, at, 4)) continue;
+      size_t p = at + 4;
+      while (p < code.size() &&
+             (code[p] == '&' || code[p] == '*' ||
+              std::isspace(static_cast<unsigned char>(code[p])))) {
+        ++p;
+      }
+      size_t id_end = p;
+      while (id_end < code.size() && IsWordChar(code[id_end])) ++id_end;
+      if (id_end == p) continue;
+      const std::string name = code.substr(p, id_end - p);
+      size_t eq = SkipSpaces(code, id_end);
+      if (eq >= code.size() || code[eq] != '=' ||
+          (eq + 1 < code.size() && code[eq + 1] == '=')) {
+        continue;
+      }
+      const size_t semi = code.find(';', eq);
+      if (semi == std::string::npos) continue;
+      std::string expr = code.substr(eq + 1, semi - eq - 1);
+      bool had_index = false;
+      size_t end = expr.find_last_not_of(" \t\n");
+      while (end != std::string::npos && expr[end] == ']') {
+        int d = 0;
+        size_t open = end;
+        while (open > 0) {
+          if (expr[open] == ']') ++d;
+          else if (expr[open] == '[' && --d == 0) break;
+          --open;
+        }
+        expr = expr.substr(0, open);
+        had_index = true;
+        end = expr.find_last_not_of(" \t\n");
+      }
+      if (end == std::string::npos || expr[end] == ')') continue;
+      const std::string base = TrailingIdentifier(expr);
+      if (base.empty()) continue;
+      if ((had_index && element_.count(base)) ||
+          (!had_index && direct_.count(base))) {
+        direct_.insert(name);
+      }
+    }
+  }
+
+  void CheckUnorderedIter() {
+    CollectUnorderedNames();
+    const std::string& code = file_.code;
+    size_t pos = 0;
+    while ((pos = code.find("for", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 3;
+      if (!IsWordBoundedAt(code, at, 3)) continue;
+      const size_t paren = SkipSpaces(code, at + 3);
+      if (paren >= code.size() || code[paren] != '(') continue;
+      const size_t close = MatchBracket(code, paren, '(', ')');
+      if (close == std::string::npos) continue;
+      // Top-level ':' (not '::') marks a range-for.
+      size_t colon = std::string::npos;
+      int depth = 0;
+      for (size_t i = paren + 1; i + 1 < close; ++i) {
+        const char c = code[i];
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        else if (c == ')' || c == ']' || c == '}') --depth;
+        else if (c == ':' && depth == 0) {
+          if (code[i + 1] == ':' || code[i - 1] == ':') continue;
+          colon = i;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      std::string range = code.substr(colon + 1, close - 1 - (colon + 1));
+      // Direct mention (e.g. a cast or inline construction).
+      const bool mentions_unordered =
+          range.find("unordered_map") != std::string::npos ||
+          range.find("unordered_set") != std::string::npos;
+      // Strip trailing subscripts to find the base name.
+      bool had_index = false;
+      size_t end = range.find_last_not_of(" \t\n");
+      while (end != std::string::npos && range[end] == ']') {
+        int d = 0;
+        size_t open = end;
+        while (open > 0) {
+          if (range[open] == ']') ++d;
+          else if (range[open] == '[' && --d == 0) break;
+          --open;
+        }
+        range = range.substr(0, open);
+        had_index = true;
+        end = range.find_last_not_of(" \t\n");
+      }
+      if (end != std::string::npos && range[end] == ')') {
+        // Function-call result (e.g. SortedEntries(...)): fresh, ordered
+        // by contract — not this rule's business.
+        if (!mentions_unordered) continue;
+      }
+      const std::string base = TrailingIdentifier(range);
+      const bool hits = mentions_unordered ||
+                        (!base.empty() &&
+                         ((had_index && element_.count(base)) ||
+                          (!had_index && direct_.count(base))));
+      if (!hits) continue;
+      Report(at, "unordered-iter",
+             "range-for over unordered container '" +
+                 (base.empty() ? std::string("<expr>") : base) +
+                 "'; use an ordered container or util/ordered.h "
+                 "(SortedEntries/SortedKeys/MaxValueEntry)");
+    }
+  }
+
+  // ---- rule: raw-write ---------------------------------------------------
+
+  void CheckRawWrite() {
+    FlagWord("ofstream", "raw-write",
+             "raw 'std::ofstream' write outside util/io; use "
+             "BinaryWriter or AtomicWriteTextFile");
+    FlagCall("fopen", "raw-write",
+             "raw 'fopen' write outside util/io; use BinaryWriter or "
+             "AtomicWriteTextFile");
+    FlagCall("freopen", "raw-write",
+             "raw 'freopen' outside util/io; use BinaryWriter or "
+             "AtomicWriteTextFile");
+    // FILE* / FILE * declarations.
+    const std::string& code = file_.code;
+    size_t pos = 0;
+    while ((pos = code.find("FILE", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 4;
+      if (!IsWordBoundedAt(code, at, 4)) continue;
+      const size_t star = SkipSpaces(code, at + 4);
+      if (star < code.size() && code[star] == '*') {
+        Report(at, "raw-write",
+               "raw 'FILE*' handle outside util/io; use BinaryWriter or "
+               "AtomicWriteTextFile");
+      }
+    }
+  }
+
+  // ---- rule: nondet-source ----------------------------------------------
+
+  void CheckNondetSource() {
+    FlagWord("random_device", "nondet-source",
+             "'std::random_device' is nondeterministic; seed a "
+             "util/rng.h Rng explicitly");
+    for (const char* fn : {"rand", "srand", "time", "clock",
+                           "gettimeofday"}) {
+      FlagCall(fn, "nondet-source",
+               std::string("'") + fn +
+                   "()' is a nondeterministic source; use util/rng.h for "
+                   "randomness and util/timer.h for timing");
+    }
+    // Any clock's ::now().
+    const std::string& code = file_.code;
+    size_t pos = 0;
+    while ((pos = code.find("::now", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 5;
+      if (at + 5 < code.size() && IsWordChar(code[at + 5])) continue;
+      const size_t paren = SkipSpaces(code, at + 5);
+      if (paren < code.size() && code[paren] == '(') {
+        Report(at, "nondet-source",
+               "clock '::now()' outside util/timer.h; use WallTimer so "
+               "time never feeds deterministic state");
+      }
+    }
+  }
+
+  // ---- rule: naked-thread ------------------------------------------------
+
+  void CheckNakedThread() {
+    const std::string& code = file_.code;
+    for (const char* token : {"std::thread", "std::jthread"}) {
+      const size_t token_len = std::strlen(token);
+      size_t pos = 0;
+      while ((pos = code.find(token, pos)) != std::string::npos) {
+        const size_t at = pos;
+        pos += token_len;
+        if (at + token_len < code.size() && IsWordChar(code[at + token_len])) {
+          continue;
+        }
+        // Capacity queries are fine; only thread creation is banned.
+        const size_t after = SkipSpaces(code, at + token_len);
+        if (code.compare(after, 22, "::hardware_concurrency") == 0) continue;
+        Report(at, "naked-thread",
+               std::string("raw '") + token +
+                   "' outside util/thread_pool; submit work to "
+                   "GlobalThreadPool() instead");
+      }
+    }
+    FlagWord("std::async", "naked-thread",
+             "raw 'std::async' outside util/thread_pool; submit work to "
+             "GlobalThreadPool() instead");
+    FlagCall("pthread_create", "naked-thread",
+             "raw 'pthread_create' outside util/thread_pool; submit work "
+             "to GlobalThreadPool() instead");
+    size_t pos = 0;
+    while ((pos = code.find("#pragma", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 7;
+      const size_t word = SkipSpaces(code, at + 7);
+      if (code.compare(word, 3, "omp") == 0 &&
+          IsWordBoundedAt(code, word, 3)) {
+        Report(at, "naked-thread",
+               "'#pragma omp' outside util/thread_pool; OpenMP scheduling "
+               "is not deterministic — use ParallelForChunks");
+      }
+    }
+  }
+
+  // ---- rule: parallel-float-reduction ------------------------------------
+
+  bool DeclaredAsFloatInFile(const std::string& name) const {
+    const std::string& code = file_.code;
+    for (const char* type : {"float", "double"}) {
+      const size_t type_len = std::strlen(type);
+      size_t pos = 0;
+      while ((pos = code.find(type, pos)) != std::string::npos) {
+        const size_t at = pos;
+        pos += type_len;
+        if (!IsWordBoundedAt(code, at, type_len)) continue;
+        size_t id = SkipSpaces(code, at + type_len);
+        if (code.compare(id, name.size(), name) != 0) continue;
+        if (!IsWordBoundedAt(code, id, name.size())) continue;
+        const size_t after = SkipSpaces(code, id + name.size());
+        if (after < code.size() &&
+            (code[after] == '=' || code[after] == ';' ||
+             code[after] == ',' || code[after] == ')' ||
+             code[after] == '{')) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // A declaration of `name` between `begin` and `limit` (any type/auto)
+  // makes the accumulator chunk-local, which is fine.
+  bool DeclaredLocally(const std::string& name, size_t begin,
+                       size_t limit) const {
+    const std::string& code = file_.code;
+    size_t pos = begin;
+    while ((pos = code.find(name, pos)) != std::string::npos && pos < limit) {
+      const size_t at = pos;
+      pos += name.size();
+      if (!IsWordBoundedAt(code, at, name.size())) continue;
+      const size_t prev = PrevNonSpace(code, at);
+      if (prev == std::string::npos || !IsWordChar(code[prev])) continue;
+      size_t type_begin = prev + 1;
+      while (type_begin > begin && IsWordChar(code[type_begin - 1])) {
+        --type_begin;
+      }
+      const std::string prev_word =
+          code.substr(type_begin, prev + 1 - type_begin);
+      static const std::set<std::string> kTypeWords = {
+          "float", "double", "auto", "int", "long", "unsigned", "short",
+          "size_t", "int32_t", "int64_t", "uint32_t", "uint64_t", "const"};
+      if (kTypeWords.count(prev_word)) return true;
+    }
+    return false;
+  }
+
+  void CheckParallelFloatReduction() {
+    const std::string& code = file_.code;
+    size_t pos = 0;
+    while ((pos = code.find("ParallelFor", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 11;
+      if (at > 0 && IsWordChar(code[at - 1])) continue;
+      if (code.compare(at + 11, 6, "Chunks") == 0) continue;  // blessed
+      const size_t paren = SkipSpaces(code, at + 11);
+      if (paren >= code.size() || code[paren] != '(') continue;
+      const size_t close = MatchBracket(code, paren, '(', ')');
+      if (close == std::string::npos) continue;
+      for (size_t i = paren + 1; i + 1 < close; ++i) {
+        if (code[i + 1] != '=' || (code[i] != '+' && code[i] != '-')) {
+          continue;
+        }
+        const size_t lhs_end = PrevNonSpace(code, i);
+        if (lhs_end == std::string::npos) continue;
+        // Indexed or dereferenced targets are ownership-partitioned
+        // writes, not shared scalar reductions.
+        if (code[lhs_end] == ']' || code[lhs_end] == ')') continue;
+        if (!IsWordChar(code[lhs_end])) continue;
+        size_t lhs_begin = lhs_end + 1;
+        while (lhs_begin > 0 && IsWordChar(code[lhs_begin - 1])) {
+          --lhs_begin;
+        }
+        const std::string name =
+            code.substr(lhs_begin, lhs_end + 1 - lhs_begin);
+        if (name.empty() ||
+            std::isdigit(static_cast<unsigned char>(name[0]))) {
+          continue;
+        }
+        // Member access (x.sum / p->sum) is out of heuristic reach.
+        const size_t before = PrevNonSpace(code, lhs_begin);
+        if (before != std::string::npos &&
+            (code[before] == '.' || code[before] == '>')) {
+          continue;
+        }
+        if (DeclaredLocally(name, paren, i)) continue;
+        if (!DeclaredAsFloatInFile(name)) continue;
+        Report(i, "parallel-float-reduction",
+               "floating-point accumulation into '" + name +
+                   "' inside a ParallelFor body; use ParallelForChunks "
+                   "with a fixed-order merge");
+      }
+      pos = close;
+    }
+  }
+
+  // ---- shared matchers ---------------------------------------------------
+
+  // A preceding word character means we matched inside a longer
+  // identifier (`srand` for `rand`, `basic_ofstream` for `ofstream`); a
+  // preceding ':' is a namespace qualifier (`std::rand`) and still counts.
+  void FlagWord(const std::string& token, const std::string& rule,
+                const std::string& message) {
+    const std::string& code = file_.code;
+    size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += token.size();
+      if (at > 0 && IsWordChar(code[at - 1])) continue;
+      if (at + token.size() < code.size() &&
+          IsWordChar(code[at + token.size()])) {
+        continue;
+      }
+      Report(at, rule, message);
+    }
+  }
+
+  void FlagCall(const std::string& fn, const std::string& rule,
+                const std::string& message) {
+    const std::string& code = file_.code;
+    size_t pos = 0;
+    while ((pos = code.find(fn, pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += fn.size();
+      if (at > 0 && IsWordChar(code[at - 1])) continue;
+      if (at + fn.size() < code.size() && IsWordChar(code[at + fn.size()])) {
+        continue;
+      }
+      const size_t paren = SkipSpaces(code, at + fn.size());
+      if (paren >= code.size() || code[paren] != '(') continue;
+      Report(at, rule, message);
+    }
+  }
+
+  std::string path_;
+  StrippedFile file_;
+  std::set<std::string> direct_;
+  std::set<std::string> element_;
+  std::vector<Diagnostic> diagnostics_;
+  std::map<std::string, int> allow_counts_;
+};
+
+bool HasSourceExtension(const fs::path& path) {
+  static const std::set<std::string> kExts = {".cc", ".cpp", ".cxx", ".h",
+                                              ".hpp", ".hh", ".ipp"};
+  return kExts.count(path.extension().string()) > 0;
+}
+
+// Minimal extraction of "file" entries from a compile_commands.json — the
+// values are plain absolute paths, so a quoted-string scan suffices.
+std::vector<std::string> FilesFromCompileCommands(const std::string& path) {
+  std::vector<std::string> files;
+  std::ifstream in(path);
+  if (!in) return files;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  size_t pos = 0;
+  while ((pos = json.find("\"file\"", pos)) != std::string::npos) {
+    pos += 6;
+    const size_t colon = json.find(':', pos);
+    if (colon == std::string::npos) break;
+    const size_t open = json.find('"', colon);
+    if (open == std::string::npos) break;
+    const size_t close = json.find('"', open + 1);
+    if (close == std::string::npos) break;
+    files.push_back(json.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  return files;
+}
+
+std::string NormalizeDisplay(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (!ec && !rel.empty() && rel.native().rfind("..", 0) != 0) {
+    return rel.generic_string();
+  }
+  return path.generic_string();
+}
+
+bool RuleAllowsPath(const RuleInfo& rule, const std::string& display_path) {
+  for (const std::string& suffix : rule.allowed_paths) {
+    if (display_path.size() >= suffix.size() &&
+        display_path.compare(display_path.size() - suffix.size(),
+                             suffix.size(), suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hignn_lint [--root DIR] [--compile-commands FILE] "
+      "[--list-rules] [paths...]\n"
+      "  Scans the given files/directories (or the compile_commands.json\n"
+      "  file list) for violations of the hignn invariant catalog\n"
+      "  (DESIGN.md §9). Paths are resolved relative to --root.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string compile_commands;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = fs::path(argv[++i]);
+    } else if (arg == "--compile-commands" && i + 1 < argc) {
+      compile_commands = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& rule : Rules()) {
+        std::printf("%s: %s\n", rule.id, rule.summary);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty() && compile_commands.empty()) return Usage();
+
+  std::set<std::string> file_set;
+  auto add_path = [&](const fs::path& p) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && HasSourceExtension(it->path())) {
+          file_set.insert(it->path().lexically_normal().string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      file_set.insert(p.lexically_normal().string());
+    } else {
+      std::fprintf(stderr, "hignn_lint: no such path: %s\n",
+                   p.string().c_str());
+    }
+  };
+  for (const std::string& input : inputs) {
+    const fs::path p(input);
+    add_path(p.is_absolute() ? p : root / p);
+  }
+  if (!compile_commands.empty()) {
+    for (const std::string& file : FilesFromCompileCommands(compile_commands)) {
+      const fs::path p(file);
+      std::error_code ec;
+      if (fs::is_regular_file(p, ec)) {
+        file_set.insert(p.lexically_normal().string());
+      }
+    }
+  }
+  if (file_set.empty()) {
+    std::fprintf(stderr, "hignn_lint: nothing to scan\n");
+    return 2;
+  }
+
+  std::vector<Diagnostic> diagnostics;
+  std::map<std::string, int> allow_totals;
+  size_t files_scanned = 0;
+  for (const std::string& file : file_set) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "hignn_lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string display = NormalizeDisplay(fs::path(file), root);
+
+    std::set<std::string> active;
+    for (const RuleInfo& rule : Rules()) {
+      if (!RuleAllowsPath(rule, display)) active.insert(rule.id);
+    }
+    FileLinter linter(display, buffer.str());
+    linter.Run(active);
+    diagnostics.insert(diagnostics.end(), linter.diagnostics().begin(),
+                       linter.diagnostics().end());
+    for (const auto& [rule, count] : linter.allow_counts()) {
+      allow_totals[rule] += count;
+    }
+    ++files_scanned;
+  }
+
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const Diagnostic& d : diagnostics) {
+    std::printf("%s:%d: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+
+  int allow_total = 0;
+  std::string allow_breakdown;
+  for (const auto& [rule, count] : allow_totals) {
+    allow_total += count;
+    allow_breakdown += " " + rule + "=" + std::to_string(count);
+  }
+  if (allow_total > 0) {
+    std::printf("allowed:%s (%d total)\n", allow_breakdown.c_str(),
+                allow_total);
+  } else {
+    std::printf("allowed: none\n");
+  }
+  std::printf("checked %zu files: %zu violation(s)\n", files_scanned,
+              diagnostics.size());
+  return diagnostics.empty() ? 0 : 1;
+}
