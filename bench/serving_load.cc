@@ -1,0 +1,208 @@
+// Serving load generator: stands up the full online stack in one process
+// (store -> engine -> micro-batcher -> TCP server), drives it with
+// concurrent socket clients, and reports client-visible throughput and
+// latency percentiles. Writes BENCH_serving.json in the working
+// directory (consumed by CI as the serving performance artifact).
+//
+// Everything before the measurement is the same deterministic pipeline
+// `hignn export-store` runs; the measured section is real frames over
+// real loopback sockets, micro-batched like production traffic.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/hignn.h"
+#include "data/synthetic.h"
+#include "predict/cvr_model.h"
+#include "predict/features.h"
+#include "serve/client.h"
+#include "serve/embedding_store.h"
+#include "serve/engine.h"
+#include "serve/serve_metrics.h"
+#include "serve/server.h"
+#include "util/io.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace hignn {
+namespace {
+
+constexpr int32_t kClients = 4;
+constexpr int32_t kPairsPerRequest = 8;
+
+double PercentileUs(const std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_us.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us.size())));
+  return sorted_us[index];
+}
+
+int Run() {
+  bench::PrintHeader(
+      "Online serving load: micro-batched TCP scoring",
+      "Paper Sec. VI (online deployment); store/engine/server stack");
+
+  SyntheticConfig data_config = SyntheticConfig::Tiny();
+  data_config.num_users = bench::Scaled(400);
+  data_config.num_items = bench::Scaled(160);
+  data_config.num_days = 6;
+  data_config.mean_clicks_per_user_day = 3.0;
+  auto dataset = SyntheticDataset::Generate(data_config).ValueOrDie();
+
+  HignnConfig hignn_config;
+  hignn_config.levels = 2;
+  hignn_config.sage.dims = {8, 8};
+  hignn_config.sage.fanouts = {5, 3};
+  hignn_config.sage.train_steps = bench::Scaled(40);
+  hignn_config.min_clusters = 2;
+  auto model = Hignn::Fit(dataset.BuildTrainGraph(), dataset.user_features(),
+                          dataset.item_features(), hignn_config)
+                   .ValueOrDie();
+
+  const FeatureSpec spec = FeatureSpec::HiGnn(model.num_levels());
+  auto builder =
+      CvrFeatureBuilder::Create(&dataset, &model, spec).ValueOrDie();
+  const SampleSet samples = BuildSamples(dataset, true, 2024);
+  CvrModelConfig cvr_config;
+  cvr_config.hidden = {32, 16};
+  cvr_config.epochs = 2;
+  cvr_config.batch_size = 256;
+  auto cvr = CvrModel::Create(builder.dim(), cvr_config).ValueOrDie();
+  HIGNN_CHECK(cvr.Train(builder, samples.train).ok());
+
+  const std::string store_path = "BENCH_serving.hgnnstore";
+  HIGNN_CHECK(
+      ExportEmbeddingStore(model, dataset, spec, cvr, store_path).ok());
+  auto engine = std::move(PredictionEngine::Open(store_path).ValueOrDie());
+  ServeMetrics metrics;
+  auto server =
+      std::move(ScoringServer::Start(engine.get(), &metrics, ServerConfig())
+                    .ValueOrDie());
+  std::printf("store %s exported; server on port %d\n", store_path.c_str(),
+              server->port());
+
+  // Deterministic request stream: each client cycles through the
+  // test-day pairs at its own stride so concurrent batches mix users.
+  const int32_t requests_per_client = bench::Scaled(250);
+  std::vector<std::vector<ScoreRequest>> request_pool;
+  for (int64_t base = 0;
+       base < static_cast<int64_t>(kClients) * requests_per_client; ++base) {
+    std::vector<ScoreRequest> request;
+    for (int32_t j = 0; j < kPairsPerRequest; ++j) {
+      const LabeledSample& sample =
+          samples.test[static_cast<size_t>(base * kPairsPerRequest + j) %
+                       samples.test.size()];
+      request.push_back({sample.user, sample.item});
+    }
+    request_pool.push_back(std::move(request));
+  }
+
+  std::vector<std::vector<double>> latencies_us(kClients);
+  std::vector<Status> failures(kClients);
+  WallTimer wall;
+  // hignn-lint: allow(naked-thread) load clients block on sockets
+  std::vector<std::thread> clients;
+  for (int32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = ScoringClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        failures[static_cast<size_t>(c)] = client.status();
+        return;
+      }
+      latencies_us[static_cast<size_t>(c)].reserve(
+          static_cast<size_t>(requests_per_client));
+      for (int32_t r = 0; r < requests_per_client; ++r) {
+        const auto& request = request_pool[static_cast<size_t>(
+            c * requests_per_client + r)];
+        WallTimer request_timer;
+        auto scores = client.value().Score(request);
+        if (!scores.ok()) {
+          failures[static_cast<size_t>(c)] = scores.status();
+          return;
+        }
+        latencies_us[static_cast<size_t>(c)].push_back(
+            request_timer.Seconds() * 1e6);
+      }
+    });
+  }
+  // hignn-lint: allow(naked-thread) joining the load clients
+  for (std::thread& t : clients) t.join();
+  const double wall_seconds = wall.Seconds();
+  server->Stop();
+
+  for (int32_t c = 0; c < kClients; ++c) {
+    if (!failures[static_cast<size_t>(c)].ok()) {
+      std::fprintf(stderr, "client %d failed: %s\n", c,
+                   failures[static_cast<size_t>(c)].ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<double> all_us;
+  for (const std::vector<double>& per_client : latencies_us) {
+    all_us.insert(all_us.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  double sum_us = 0.0;
+  for (double v : all_us) sum_us += v;
+  const int64_t total_requests = static_cast<int64_t>(all_us.size());
+  const double qps =
+      wall_seconds > 0.0 ? total_requests / wall_seconds : 0.0;
+  const double p50 = PercentileUs(all_us, 0.50);
+  const double p95 = PercentileUs(all_us, 0.95);
+  const double p99 = PercentileUs(all_us, 0.99);
+  const double mean_us =
+      total_requests > 0 ? sum_us / static_cast<double>(total_requests) : 0.0;
+
+  std::printf("%-26s %12s %12s %12s %12s\n", "metric", "qps", "p50(us)",
+              "p95(us)", "p99(us)");
+  std::printf("%-26s %12.0f %12.0f %12.0f %12.0f\n", "score round trip",
+              qps, p50, p95, p99);
+  std::printf("served %lld requests (%d clients x %d, %d pairs each) "
+              "in %.2fs; %lld engine batches\n",
+              static_cast<long long>(total_requests), kClients,
+              requests_per_client, kPairsPerRequest, wall_seconds,
+              static_cast<long long>(metrics.batches_total()));
+
+  std::string json = "{\n";
+  json += StrFormat("  \"scale\": %.2f,\n", bench::Scale());
+  json += StrFormat(
+      "  \"workload\": {\"users\": %d, \"items\": %d, \"clients\": %d, "
+      "\"requests_per_client\": %d, \"pairs_per_request\": %d},\n",
+      data_config.num_users, data_config.num_items, kClients,
+      requests_per_client, kPairsPerRequest);
+  json += StrFormat("  \"wall_seconds\": %.4f,\n", wall_seconds);
+  json += StrFormat("  \"qps\": %.1f,\n", qps);
+  json += StrFormat(
+      "  \"latency_us\": {\"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, "
+      "\"p99\": %.1f},\n",
+      mean_us, p50, p95, p99);
+  json += StrFormat(
+      "  \"server\": {\"requests_total\": %lld, \"batches_total\": %lld, "
+      "\"shed_total\": %lld, \"errors_total\": %lld}\n",
+      static_cast<long long>(metrics.requests_total()),
+      static_cast<long long>(metrics.batches_total()),
+      static_cast<long long>(metrics.shed_total()),
+      static_cast<long long>(metrics.errors_total()));
+  json += "}\n";
+  if (Status status = AtomicWriteTextFile("BENCH_serving.json", json);
+      !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_serving.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hignn
+
+int main() { return hignn::Run(); }

@@ -30,6 +30,31 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 echo "== static analysis (hignn_lint)"
 ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure -j "$(nproc)"
 
+echo "== serving tests"
+ctest --test-dir "$BUILD_DIR" -L serve --output-on-failure
+
+echo "== hignn_serve smoke (export-store -> daemon -> client verbs)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$BUILD_DIR/tools/hignn" export-store --preset tiny --users 120 --items 60 \
+  --steps 30 --out "$SMOKE_DIR/store.hgnnstore"
+"$BUILD_DIR/tools/hignn_serve" serve --store "$SMOKE_DIR/store.hgnnstore" \
+  --port 0 --port-file "$SMOKE_DIR/port" \
+  --metrics-out "$SMOKE_DIR/metrics.json" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SMOKE_DIR/port" ] && break
+  sleep 0.1
+done
+PORT="$(cat "$SMOKE_DIR/port")"
+"$BUILD_DIR/tools/hignn_serve" health --port "$PORT"
+"$BUILD_DIR/tools/hignn_serve" score --port "$PORT" --user 3 --item 7
+"$BUILD_DIR/tools/hignn_serve" topk --port "$PORT" --user 3 --k 5
+"$BUILD_DIR/tools/hignn_serve" stats --port "$PORT"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+test -s "$SMOKE_DIR/metrics.json"
+
 echo "== clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t TIDY_SOURCES < <(git ls-files 'src/*.cc' 'tools/*.cc')

@@ -68,6 +68,11 @@ std::vector<Parameter*> Dense::Params() {
   return {&weight_, &bias_};
 }
 
+std::vector<const Parameter*> Dense::Params() const {
+  if (!use_bias_) return {&weight_};
+  return {&weight_, &bias_};
+}
+
 Mlp::Mlp(std::string name, const std::vector<size_t>& dims,
          Activation hidden_act, Activation output_act, Rng& rng) {
   HIGNN_CHECK_GE(dims.size(), 2u);
@@ -92,6 +97,14 @@ std::vector<Parameter*> Mlp::Params() {
   std::vector<Parameter*> out;
   for (auto& layer : layers_) {
     for (Parameter* p : layer.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<const Parameter*> Mlp::Params() const {
+  std::vector<const Parameter*> out;
+  for (const auto& layer : layers_) {
+    for (const Parameter* p : layer.Params()) out.push_back(p);
   }
   return out;
 }

@@ -55,6 +55,9 @@ class Dense {
   /// \brief Pointers for the optimizer.
   std::vector<Parameter*> Params();
 
+  /// \brief Read-only view, same order (serialization and inspection).
+  std::vector<const Parameter*> Params() const;
+
   size_t in_dim() const { return weight_.value.rows(); }
   size_t out_dim() const { return weight_.value.cols(); }
 
@@ -80,6 +83,7 @@ class Mlp {
   VarId Forward(Tape& tape, VarId x, bool train = true);
   void AccumulateGrads(const Tape& tape);
   std::vector<Parameter*> Params();
+  std::vector<const Parameter*> Params() const;
 
   size_t in_dim() const { return layers_.front().in_dim(); }
   size_t out_dim() const { return layers_.back().out_dim(); }

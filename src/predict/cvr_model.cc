@@ -105,13 +105,71 @@ Result<std::vector<float>> CvrModel::Predict(
   const size_t chunk = 4096;
   for (size_t begin = 0; begin < samples.size(); begin += chunk) {
     const size_t end = std::min(samples.size(), begin + chunk);
-    Tape tape;
-    VarId x = tape.Input(features.BuildBatch(samples, begin, end));
-    VarId probs = tape.Sigmoid(mlp_.Forward(tape, x, /*train=*/false));
-    const Matrix& values = tape.value(probs);
-    for (size_t r = 0; r < values.rows(); ++r) out.push_back(values(r, 0));
+    HIGNN_ASSIGN_OR_RETURN(
+        std::vector<float> probs,
+        PredictRows(features.BuildBatch(samples, begin, end)));
+    out.insert(out.end(), probs.begin(), probs.end());
   }
   return out;
+}
+
+Result<std::vector<float>> CvrModel::PredictRows(const Matrix& rows) {
+  if (rows.cols() != static_cast<size_t>(input_dim_)) {
+    return Status::InvalidArgument("feature dim != model input dim");
+  }
+  std::vector<float> out;
+  out.reserve(rows.rows());
+  if (rows.rows() == 0) return out;
+  Tape tape;
+  VarId x = tape.Input(rows);
+  VarId probs = tape.Sigmoid(mlp_.Forward(tape, x, /*train=*/false));
+  const Matrix& values = tape.value(probs);
+  for (size_t r = 0; r < values.rows(); ++r) out.push_back(values(r, 0));
+  return out;
+}
+
+void CvrModel::WriteWeightsPayload(BinaryWriter& writer) const {
+  writer.WriteI32(input_dim_);
+  writer.WriteU32(static_cast<uint32_t>(config_.hidden.size()));
+  for (int32_t h : config_.hidden) writer.WriteI32(h);
+  const std::vector<const Parameter*> params = mlp_.Params();
+  writer.WriteU32(static_cast<uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    writer.WriteU64(p->value.rows());
+    writer.WriteU64(p->value.cols());
+    writer.WriteFloats(p->value.data(), p->value.size());
+  }
+}
+
+Result<CvrModel> CvrModel::ReadWeightsPayload(BinaryReader& reader) {
+  HIGNN_ASSIGN_OR_RETURN(int32_t input_dim, reader.ReadI32());
+  HIGNN_ASSIGN_OR_RETURN(uint32_t num_hidden, reader.ReadU32());
+  if (input_dim <= 0 || num_hidden == 0 || num_hidden > 64) {
+    return Status::IOError("corrupt CVR weights: bad topology");
+  }
+  CvrModelConfig config;
+  config.hidden.clear();
+  for (uint32_t i = 0; i < num_hidden; ++i) {
+    HIGNN_ASSIGN_OR_RETURN(int32_t h, reader.ReadI32());
+    if (h <= 0) return Status::IOError("corrupt CVR weights: bad layer size");
+    config.hidden.push_back(h);
+  }
+  CvrModel model(input_dim, config);
+  const std::vector<Parameter*> params = model.mlp_.Params();
+  HIGNN_ASSIGN_OR_RETURN(uint32_t stored, reader.ReadU32());
+  if (stored != params.size()) {
+    return Status::IOError("corrupt CVR weights: parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    HIGNN_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
+    HIGNN_ASSIGN_OR_RETURN(uint64_t cols, reader.ReadU64());
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::IOError("corrupt CVR weights: shape mismatch");
+    }
+    HIGNN_RETURN_IF_ERROR(reader.ReadFloats(p->value.data(),
+                                            p->value.size()));
+  }
+  return model;
 }
 
 Result<double> CvrModel::EvaluateAuc(const CvrFeatureBuilder& features,

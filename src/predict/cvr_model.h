@@ -6,6 +6,7 @@
 
 #include "nn/layers.h"
 #include "predict/features.h"
+#include "util/io.h"
 #include "util/status.h"
 
 namespace hignn {
@@ -42,9 +43,25 @@ class CvrModel {
   Result<std::vector<float>> Predict(const CvrFeatureBuilder& features,
                                      const std::vector<LabeledSample>& samples);
 
+  /// \brief Probabilities for pre-assembled feature rows (one per row of
+  /// `rows`). This is the single forward-pass implementation Predict()
+  /// chunks over; every output row depends only on its own input row, so
+  /// a probability is bitwise identical no matter how rows are batched —
+  /// the property the online serving path's parity guarantee rests on.
+  Result<std::vector<float>> PredictRows(const Matrix& rows);
+
   /// \brief AUC of Predict() against the sample labels.
   Result<double> EvaluateAuc(const CvrFeatureBuilder& features,
                              const std::vector<LabeledSample>& samples);
+
+  /// \brief Serializes topology + exact float weights into the writer's
+  /// current checksum section (no header; composes into larger
+  /// containers, like the serialization payload codecs).
+  void WriteWeightsPayload(BinaryWriter& writer) const;
+
+  /// \brief Reconstructs a model whose forwards are bitwise identical to
+  /// the serialized one. Assumes the container was already verified.
+  static Result<CvrModel> ReadWeightsPayload(BinaryReader& reader);
 
   int32_t input_dim() const { return input_dim_; }
 

@@ -10,6 +10,27 @@
 
 namespace hignn {
 
+std::vector<Recommendation> TopKByScore(const std::vector<int32_t>& items,
+                                        const std::vector<float>& scores,
+                                        int32_t k) {
+  HIGNN_CHECK_EQ(items.size(), scores.size());
+  if (k <= 0) return {};
+  std::vector<size_t> order(items.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t top = std::min<size_t>(static_cast<size_t>(k), order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(top),
+                    order.end(), [&](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return items[a] < items[b];
+                    });
+  std::vector<Recommendation> out;
+  out.reserve(top);
+  for (size_t i = 0; i < top; ++i) {
+    out.push_back(Recommendation{items[order[i]], scores[order[i]]});
+  }
+  return out;
+}
+
 TopKRecommender::TopKRecommender(CvrModel* model,
                                  const CvrFeatureBuilder* features,
                                  int32_t num_items)
@@ -38,20 +59,12 @@ Result<std::vector<Recommendation>> TopKRecommender::Recommend(
   HIGNN_ASSIGN_OR_RETURN(std::vector<float> scores,
                          model_->Predict(*features_, candidates));
 
-  std::vector<size_t> order(candidates.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  const size_t top = std::min<size_t>(static_cast<size_t>(k), order.size());
-  std::partial_sort(order.begin(), order.begin() + static_cast<long>(top),
-                    order.end(), [&scores](size_t a, size_t b) {
-                      return scores[a] > scores[b];
-                    });
-  std::vector<Recommendation> out;
-  out.reserve(top);
-  for (size_t i = 0; i < top; ++i) {
-    out.push_back(
-        Recommendation{candidates[order[i]].item, scores[order[i]]});
+  std::vector<int32_t> items;
+  items.reserve(candidates.size());
+  for (const LabeledSample& candidate : candidates) {
+    items.push_back(candidate.item);
   }
-  return out;
+  return TopKByScore(items, scores, k);
 }
 
 Result<TopKMetrics> EvaluateTopK(const TopKRecommender& recommender,

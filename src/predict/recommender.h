@@ -16,7 +16,20 @@ namespace hignn {
 struct Recommendation {
   int32_t item = -1;
   float score = 0.0f;  ///< predicted purchase probability
+
+  friend bool operator==(const Recommendation& a, const Recommendation& b) {
+    return a.item == b.item && a.score == b.score;
+  }
 };
+
+/// \brief Ranks (item, score) pairs and returns the k best, the one
+/// ranking implementation shared by the offline TopKRecommender and the
+/// online serving engine's recommend-topk verb. Order: score descending,
+/// ties broken by ascending item id — a total order, so the result is
+/// deterministic for any candidate ordering and thread count.
+std::vector<Recommendation> TopKByScore(const std::vector<int32_t>& items,
+                                        const std::vector<float>& scores,
+                                        int32_t k);
 
 /// \brief Top-K recommendation serving on a trained CVR model — the
 /// "personalized recommendation list" task the paper's introduction
@@ -31,10 +44,18 @@ class TopKRecommender {
                   int32_t num_items);
 
   /// \brief Returns the top-k items for `user`, optionally excluding a
-  /// set of items (e.g. already-purchased ones). Scores descending.
+  /// set of items (e.g. already-purchased ones). Scores descending, ties
+  /// by ascending item id.
   Result<std::vector<Recommendation>> Recommend(
       int32_t user, int32_t k,
       const std::vector<int32_t>* exclude = nullptr) const;
+
+  /// \brief Recommend() without exclusions — the reusable serving-facing
+  /// entry point (the TCP server's recommend-topk verb and the offline
+  /// experiment loop both land here).
+  Result<std::vector<Recommendation>> TopK(int32_t user, int32_t k) const {
+    return Recommend(user, k);
+  }
 
  private:
   CvrModel* model_;

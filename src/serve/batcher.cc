@@ -1,0 +1,145 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace hignn {
+
+MicroBatcher::MicroBatcher(PredictionEngine* engine, ServeMetrics* metrics,
+                           const BatcherConfig& config)
+    : engine_(engine), metrics_(metrics), config_(config) {
+  HIGNN_CHECK(engine_ != nullptr);
+  HIGNN_CHECK(metrics_ != nullptr);
+  HIGNN_CHECK_GT(config_.max_batch, 0);
+  HIGNN_CHECK_GE(config_.max_delay_us, 0);
+  HIGNN_CHECK_GT(config_.max_queue_rows, 0);
+  // hignn-lint: allow(naked-thread) long-blocking collector (batcher.h)
+  collector_ = std::thread([this] { CollectorLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+void MicroBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  job_arrived_.notify_all();
+  if (collector_.joinable()) collector_.join();
+}
+
+int64_t MicroBatcher::queued_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_rows_;
+}
+
+Result<std::vector<float>> MicroBatcher::Score(
+    const std::vector<ScoreRequest>& requests) {
+  if (requests.empty()) return std::vector<float>{};
+  // Validate before queueing so one bad id rejects only its own request,
+  // never a coalesced batch containing other callers' rows.
+  const EmbeddingStore& store = engine_->store();
+  for (const ScoreRequest& request : requests) {
+    if (request.user < 0 || request.user >= store.num_users() ||
+        request.item < 0 || request.item >= store.num_items()) {
+      return Status::InvalidArgument(
+          StrFormat("invalid pair (user=%d, item=%d)", request.user,
+                    request.item));
+    }
+  }
+
+  auto job = std::make_shared<Job>();
+  job->requests = requests;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("batcher is shutting down");
+    }
+    const int64_t rows = static_cast<int64_t>(requests.size());
+    if (queued_rows_ + rows > config_.max_queue_rows) {
+      metrics_->RecordShed();
+      return Status::FailedPrecondition(
+          StrFormat("overloaded: %lld rows queued (limit %d)",
+                    static_cast<long long>(queued_rows_),
+                    config_.max_queue_rows));
+    }
+    queue_.push_back(job);
+    queued_rows_ += rows;
+    job_arrived_.notify_one();
+    job_finished_.wait(lock, [&] { return job->done; });
+  }
+  HIGNN_RETURN_IF_ERROR(job->status);
+  return std::move(job->scores);
+}
+
+void MicroBatcher::CollectorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    job_arrived_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // drained — graceful exit
+      continue;
+    }
+
+    // Batching window: from the first waiting job, give companions up to
+    // max_delay_us to arrive (or until max_batch rows are ready). Under
+    // shutdown the window collapses so draining is prompt.
+    const double delay_seconds =
+        static_cast<double>(config_.max_delay_us) * 1e-6;
+    WallTimer window;
+    while (!stopping_ && queued_rows_ < config_.max_batch) {
+      const double remaining = delay_seconds - window.Seconds();
+      if (remaining <= 0.0) break;
+      job_arrived_.wait_for(lock,
+                            std::chrono::duration<double>(remaining));
+    }
+
+    // Close the batch: whole jobs up to max_batch rows, always at least
+    // one (a single oversized request runs alone).
+    std::vector<std::shared_ptr<Job>> batch;
+    int64_t batch_rows = 0;
+    while (!queue_.empty()) {
+      const int64_t rows =
+          static_cast<int64_t>(queue_.front()->requests.size());
+      if (!batch.empty() && batch_rows + rows > config_.max_batch) break;
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+      batch_rows += rows;
+      queued_rows_ -= rows;
+    }
+
+    std::vector<ScoreRequest> combined;
+    combined.reserve(static_cast<size_t>(batch_rows));
+    for (const auto& job : batch) {
+      combined.insert(combined.end(), job->requests.begin(),
+                      job->requests.end());
+    }
+
+    lock.unlock();
+    Result<std::vector<float>> scores = engine_->ScoreBatch(combined);
+    metrics_->RecordBatch(batch_rows);
+    lock.lock();
+
+    size_t offset = 0;
+    for (const auto& job : batch) {
+      if (scores.ok()) {
+        const std::vector<float>& all = scores.value();
+        job->scores.assign(all.begin() + static_cast<long>(offset),
+                           all.begin() + static_cast<long>(
+                                             offset + job->requests.size()));
+      } else {
+        job->status = scores.status();
+      }
+      offset += job->requests.size();
+      job->done = true;
+    }
+    job_finished_.notify_all();
+  }
+}
+
+}  // namespace hignn

@@ -1,0 +1,97 @@
+#ifndef HIGNN_SERVE_BATCHER_H_
+#define HIGNN_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/serve_metrics.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Micro-batching knobs.
+struct BatcherConfig {
+  /// Target rows per engine forward. A batch closes as soon as it holds
+  /// this many rows (a single larger request still runs whole — requests
+  /// are never split, so each caller's scores come from one forward).
+  int32_t max_batch = 64;
+
+  /// Batching window: after the first row arrives, the collector waits
+  /// at most this long for companions before closing the batch. The
+  /// classic throughput/latency dial — 0 degenerates to per-request
+  /// forwards.
+  int32_t max_delay_us = 1000;
+
+  /// Overload bound on rows waiting in the queue. A request that would
+  /// push past it is shed immediately (fast-fail with kOverloaded) —
+  /// bounded queues keep p99 honest instead of letting latency grow
+  /// without limit under overload.
+  int32_t max_queue_rows = 4096;
+};
+
+/// \brief Coalesces concurrent scoring requests into bounded batches for
+/// the engine — the serving analogue of training minibatches: one MLP
+/// forward amortizes over every request that arrived within the window.
+///
+/// Batch composition never changes scores (every engine kernel is
+/// per-row independent), so batching is purely a throughput optimization
+/// with a bounded, configurable latency cost.
+class MicroBatcher {
+ public:
+  /// \param engine, metrics  borrowed; must outlive the batcher.
+  MicroBatcher(PredictionEngine* engine, ServeMetrics* metrics,
+               const BatcherConfig& config);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// \brief Scores `requests`, blocking until the batch containing them
+  /// completes. Thread-safe. Fails fast with FailedPrecondition when the
+  /// queue is full (overload shed) or the batcher is stopping; invalid
+  /// ids fail with InvalidArgument before entering the queue.
+  Result<std::vector<float>> Score(const std::vector<ScoreRequest>& requests);
+
+  /// \brief Graceful shutdown: new requests are rejected, queued ones
+  /// are drained and answered, then the collector exits. Idempotent.
+  void Stop();
+
+  int64_t queued_rows() const;
+
+ private:
+  struct Job {
+    std::vector<ScoreRequest> requests;
+    std::vector<float> scores;
+    Status status;
+    bool done = false;
+  };
+
+  void CollectorLoop();
+
+  PredictionEngine* engine_;
+  ServeMetrics* metrics_;
+  BatcherConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable job_arrived_;   // signalled to the collector
+  std::condition_variable job_finished_;  // signalled to waiting callers
+  std::deque<std::shared_ptr<Job>> queue_;
+  int64_t queued_rows_ = 0;
+  bool stopping_ = false;
+
+  // The collector blocks on its cv for whole batching windows; parking
+  // it on a GlobalThreadPool worker would starve (and can deadlock) the
+  // engine's ParallelFor kernels, so it owns a dedicated thread.
+  // hignn-lint: allow(naked-thread) long-blocking collector, see above
+  std::thread collector_;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_SERVE_BATCHER_H_

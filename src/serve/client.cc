@@ -1,0 +1,154 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/wire.h"
+#include "util/string_util.h"
+
+namespace hignn {
+
+Result<ScoringClient> ScoringClient::Connect(const std::string& host,
+                                             int32_t port) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("invalid host address '%s'", host.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(StrFormat("connect to %s:%d failed: %s",
+                                     host.c_str(), port, error.c_str()));
+  }
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return ScoringClient(fd);
+}
+
+ScoringClient::ScoringClient(ScoringClient&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+ScoringClient& ScoringClient::operator=(ScoringClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+ScoringClient::~ScoringClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::vector<char>> ScoringClient::RoundTrip(
+    const std::vector<char>& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is disconnected");
+  HIGNN_RETURN_IF_ERROR(SendFrame(fd_, request));
+  HIGNN_ASSIGN_OR_RETURN(std::vector<char> response, RecvFrame(fd_));
+  WireReader reader(response);
+  HIGNN_ASSIGN_OR_RETURN(const uint8_t code, reader.TakeU8());
+  if (static_cast<WireStatus>(code) == WireStatus::kOk) {
+    // Strip the status byte; the caller parses the verb-specific body.
+    return std::vector<char>(response.begin() + 1, response.end());
+  }
+  HIGNN_ASSIGN_OR_RETURN(const std::string message, reader.TakeString());
+  switch (static_cast<WireStatus>(code)) {
+    case WireStatus::kBadRequest:
+      return Status::InvalidArgument(message);
+    case WireStatus::kOverloaded:
+      return Status::FailedPrecondition(message);
+    default:
+      return Status::Internal(message);
+  }
+}
+
+Result<std::vector<float>> ScoringClient::Score(
+    const std::vector<ScoreRequest>& requests) {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(WireVerb::kScore));
+  writer.PutU32(static_cast<uint32_t>(requests.size()));
+  for (const ScoreRequest& request : requests) {
+    writer.PutI32(request.user);
+    writer.PutI32(request.item);
+  }
+  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
+                         RoundTrip(writer.bytes()));
+  WireReader reader(body);
+  HIGNN_ASSIGN_OR_RETURN(const uint32_t count, reader.TakeU32());
+  if (count != requests.size()) {
+    return Status::IOError("score response count mismatch");
+  }
+  std::vector<float> scores;
+  scores.reserve(count);
+  for (uint32_t r = 0; r < count; ++r) {
+    HIGNN_ASSIGN_OR_RETURN(const float score, reader.TakeF32());
+    scores.push_back(score);
+  }
+  return scores;
+}
+
+Result<std::vector<Recommendation>> ScoringClient::TopK(int32_t user,
+                                                        int32_t k) {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(WireVerb::kTopK));
+  writer.PutI32(user);
+  writer.PutI32(k);
+  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
+                         RoundTrip(writer.bytes()));
+  WireReader reader(body);
+  HIGNN_ASSIGN_OR_RETURN(const uint32_t count, reader.TakeU32());
+  std::vector<Recommendation> top;
+  top.reserve(count);
+  for (uint32_t r = 0; r < count; ++r) {
+    Recommendation rec;
+    HIGNN_ASSIGN_OR_RETURN(rec.item, reader.TakeI32());
+    HIGNN_ASSIGN_OR_RETURN(rec.score, reader.TakeF32());
+    top.push_back(rec);
+  }
+  return top;
+}
+
+Status ScoringClient::Health() {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(WireVerb::kHealth));
+  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
+                         RoundTrip(writer.bytes()));
+  WireReader reader(body);
+  HIGNN_ASSIGN_OR_RETURN(const uint8_t alive, reader.TakeU8());
+  if (alive != 1) return Status::Internal("server reported unhealthy");
+  return Status::OK();
+}
+
+Result<std::string> ScoringClient::Stats() {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(WireVerb::kStats));
+  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
+                         RoundTrip(writer.bytes()));
+  WireReader reader(body);
+  return reader.TakeString();
+}
+
+}  // namespace hignn

@@ -1,0 +1,59 @@
+#ifndef HIGNN_SERVE_CLIENT_H_
+#define HIGNN_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predict/recommender.h"
+#include "serve/engine.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Blocking TCP client for the scoring server — one connection,
+/// one request in flight. Used by the tests, the load generator, and the
+/// `hignn_serve` request mode; it is also the reference implementation
+/// for anyone speaking the wire.h protocol from another language.
+///
+/// Server-reported failures come back as the matching Status category:
+/// kBadRequest → InvalidArgument, kOverloaded → FailedPrecondition,
+/// kInternal → Internal. Transport failures are IOError.
+class ScoringClient {
+ public:
+  /// \brief Connects to `host:port` (numeric IPv4 host).
+  static Result<ScoringClient> Connect(const std::string& host,
+                                       int32_t port);
+
+  ScoringClient(ScoringClient&& other) noexcept;
+  ScoringClient& operator=(ScoringClient&& other) noexcept;
+  ScoringClient(const ScoringClient&) = delete;
+  ScoringClient& operator=(const ScoringClient&) = delete;
+  ~ScoringClient();
+
+  /// \brief Scores (user, item) pairs; result aligns with `requests`.
+  Result<std::vector<float>> Score(const std::vector<ScoreRequest>& requests);
+
+  /// \brief Top-k recommendations for `user`, ranked like the offline
+  /// recommender (score descending, ties by ascending item id).
+  Result<std::vector<Recommendation>> TopK(int32_t user, int32_t k);
+
+  /// \brief Liveness probe.
+  Status Health();
+
+  /// \brief Server metrics snapshot as JSON.
+  Result<std::string> Stats();
+
+ private:
+  explicit ScoringClient(int fd) : fd_(fd) {}
+
+  /// \brief One request/response round trip; returns the response body
+  /// after mapping the wire status byte to a Status.
+  Result<std::vector<char>> RoundTrip(const std::vector<char>& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_SERVE_CLIENT_H_

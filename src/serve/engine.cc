@@ -1,0 +1,114 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "nn/matrix.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace hignn {
+
+namespace {
+
+// Forward chunk size, matching CvrModel::Predict's offline chunking. The
+// value has no effect on results (rows are independent); it only bounds
+// tape memory for huge batches.
+constexpr size_t kForwardChunk = 4096;
+
+// Below this many rows the ParallelFor dispatch overhead exceeds the
+// row-assembly work itself.
+constexpr size_t kParallelRowCutoff = 32;
+
+}  // namespace
+
+Result<std::unique_ptr<PredictionEngine>> PredictionEngine::Open(
+    const std::string& store_path) {
+  HIGNN_ASSIGN_OR_RETURN(std::unique_ptr<EmbeddingStore> store,
+                         EmbeddingStore::Open(store_path));
+  CvrModel model = store->model();  // private copy: forwards mutate state
+  return std::unique_ptr<PredictionEngine>(
+      new PredictionEngine(std::move(store), std::move(model)));
+}
+
+PredictionEngine::PredictionEngine(std::unique_ptr<EmbeddingStore> store,
+                                   CvrModel model)
+    : store_(std::move(store)), model_(std::move(model)) {}
+
+Result<std::vector<float>> PredictionEngine::ScoreBatch(
+    const std::vector<ScoreRequest>& batch) {
+  if (batch.empty()) return std::vector<float>{};
+  for (const ScoreRequest& request : batch) {
+    if (request.user < 0 || request.user >= store_->num_users()) {
+      return Status::InvalidArgument(
+          StrFormat("user id %d out of range [0, %d)", request.user,
+                    store_->num_users()));
+    }
+    if (request.item < 0 || request.item >= store_->num_items()) {
+      return Status::InvalidArgument(
+          StrFormat("item id %d out of range [0, %d)", request.item,
+                    store_->num_items()));
+    }
+  }
+  return ScoreValidated(batch);
+}
+
+std::vector<float> PredictionEngine::ScoreValidated(
+    const std::vector<ScoreRequest>& batch) {
+  const size_t dim = static_cast<size_t>(store_->feature_dim());
+  Matrix rows(batch.size(), dim);
+  const auto fill = [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      const Status status =
+          store_->FillFeatureRow(batch[r].user, batch[r].item, rows.row(r));
+      HIGNN_CHECK(status.ok());  // ids were validated by the caller
+    }
+  };
+  if (batch.size() < kParallelRowCutoff) {
+    fill(0, batch.size());
+  } else {
+    GlobalThreadPool().ParallelFor(0, batch.size(), fill);
+  }
+
+  std::vector<float> scores;
+  scores.reserve(batch.size());
+  std::lock_guard<std::mutex> lock(model_mu_);
+  if (batch.size() <= kForwardChunk) {
+    Result<std::vector<float>> batch_scores = model_.PredictRows(rows);
+    HIGNN_CHECK(batch_scores.ok());
+    return std::move(batch_scores).value();
+  }
+  for (size_t begin = 0; begin < batch.size(); begin += kForwardChunk) {
+    const size_t end = std::min(batch.size(), begin + kForwardChunk);
+    Matrix chunk(end - begin, dim);
+    std::copy(rows.row(begin), rows.row(begin) + (end - begin) * dim,
+              chunk.row(0));
+    Result<std::vector<float>> chunk_scores = model_.PredictRows(chunk);
+    // PredictRows only fails on shape mismatch, which the store rules out.
+    HIGNN_CHECK(chunk_scores.ok());
+    const std::vector<float>& values = chunk_scores.value();
+    scores.insert(scores.end(), values.begin(), values.end());
+  }
+  return scores;
+}
+
+Result<std::vector<Recommendation>> PredictionEngine::RecommendTopK(
+    int32_t user, int32_t k) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (user < 0 || user >= store_->num_users()) {
+    return Status::InvalidArgument(StrFormat(
+        "user id %d out of range [0, %d)", user, store_->num_users()));
+  }
+  std::vector<ScoreRequest> batch;
+  batch.reserve(static_cast<size_t>(store_->num_items()));
+  std::vector<int32_t> items;
+  items.reserve(batch.capacity());
+  for (int32_t item = 0; item < store_->num_items(); ++item) {
+    batch.push_back(ScoreRequest{user, item});
+    items.push_back(item);
+  }
+  const std::vector<float> scores = ScoreValidated(batch);
+  return TopKByScore(items, scores, k);
+}
+
+}  // namespace hignn

@@ -1,0 +1,64 @@
+#ifndef HIGNN_SERVE_ENGINE_H_
+#define HIGNN_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "predict/recommender.h"
+#include "serve/embedding_store.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief One scoring request: predict P(purchase | click) for a
+/// (user, item) pair.
+struct ScoreRequest {
+  int32_t user = 0;
+  int32_t item = 0;
+};
+
+/// \brief In-process scoring engine over an EmbeddingStore: assembles
+/// feature rows (thread-pool parallel) and runs the stored CVR MLP.
+///
+/// Every kernel on this path is per-row independent with a fixed
+/// accumulation order, so a pair's score is bitwise identical no matter
+/// how requests are batched or how many threads serve them — and
+/// identical to the offline CvrModel::Predict on the same pair. That is
+/// the property the serving tests pin down.
+class PredictionEngine {
+ public:
+  /// \brief Opens `store_path` (integrity-checked) and readies the model.
+  static Result<std::unique_ptr<PredictionEngine>> Open(
+      const std::string& store_path);
+
+  /// \brief Scores a batch of pairs; result[i] belongs to batch[i].
+  /// Invalid ids fail the whole batch with InvalidArgument before any
+  /// forward runs (the caller — the micro-batcher — validates per
+  /// request, so a mixed batch never reaches the model).
+  Result<std::vector<float>> ScoreBatch(
+      const std::vector<ScoreRequest>& batch);
+
+  /// \brief Scores every item for `user` and returns the k best via the
+  /// same TopKByScore ranking the offline recommender uses (score
+  /// descending, ties by ascending item id).
+  Result<std::vector<Recommendation>> RecommendTopK(int32_t user, int32_t k);
+
+  const EmbeddingStore& store() const { return *store_; }
+
+ private:
+  PredictionEngine(std::unique_ptr<EmbeddingStore> store, CvrModel model);
+
+  /// \brief Parallel row assembly + chunked forward. Ids must be valid.
+  std::vector<float> ScoreValidated(const std::vector<ScoreRequest>& batch);
+
+  std::unique_ptr<EmbeddingStore> store_;
+  CvrModel model_;        ///< forwards record tape state → guarded
+  std::mutex model_mu_;   ///< serializes PredictRows calls
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_SERVE_ENGINE_H_

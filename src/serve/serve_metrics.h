@@ -1,0 +1,94 @@
+#ifndef HIGNN_SERVE_SERVE_METRICS_H_
+#define HIGNN_SERVE_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Fixed-bucket histogram: counts per half-open bucket
+/// (prev_bound, bound], plus one overflow bucket past the last bound.
+/// Fixed bounds keep Record() allocation-free and make percentile
+/// estimates deterministic functions of the counts — no reservoir
+/// sampling, no randomness, no unordered iteration.
+class FixedHistogram {
+ public:
+  explicit FixedHistogram(std::vector<double> bounds);
+
+  void Record(double value);
+  int64_t count() const { return total_; }
+
+  /// \brief Percentile estimate for `p` in [0, 1]: locates the bucket
+  /// holding the p-th sample and interpolates linearly between its
+  /// bounds. Values in the overflow bucket report the last finite bound
+  /// (a floor, which is the honest direction for tail latency).
+  double Percentile(double p) const;
+
+  /// \brief `{"bounds": [...], "counts": [...]}` (overflow count last).
+  std::string ToJson() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;  // bounds_.size() + 1 entries
+  int64_t total_ = 0;
+};
+
+/// \brief Request verbs the scoring server exposes; also the index into
+/// the per-verb counter arrays.
+enum class ServeVerbStat : int32_t {
+  kScore = 0,
+  kTopK = 1,
+  kHealth = 2,
+  kStats = 3,
+};
+inline constexpr int32_t kNumServeVerbs = 4;
+const char* ServeVerbStatName(ServeVerbStat verb);
+
+/// \brief Serve-side observability: request/error counters per verb,
+/// a fixed-bucket request-latency histogram with p50/p95/p99, shed
+/// (overload fast-fail) counts, and the micro-batcher's batch-size
+/// distribution. All methods are thread-safe (one mutex; the serving
+/// request rate is orders of magnitude below the kernel hot paths, so
+/// contention is irrelevant next to a forward pass).
+class ServeMetrics {
+ public:
+  ServeMetrics();
+
+  /// \brief One finished request: verb, wall latency, success flag.
+  void RecordRequest(ServeVerbStat verb, double latency_us, bool ok);
+
+  /// \brief One request rejected by overload shedding (fast-fail).
+  void RecordShed();
+
+  /// \brief One engine forward issued by the batcher with `rows` rows.
+  void RecordBatch(int64_t rows);
+
+  int64_t requests_total() const;
+  int64_t errors_total() const;
+  int64_t shed_total() const;
+  int64_t batches_total() const;
+  double LatencyPercentile(double p) const;
+
+  /// \brief Full JSON snapshot (stable key order).
+  std::string ToJson() const;
+
+  /// \brief Atomically writes ToJson() to `path` (crash-safe like every
+  /// other artifact writer).
+  Status DumpJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  int64_t requests_[kNumServeVerbs] = {};
+  int64_t errors_[kNumServeVerbs] = {};
+  int64_t shed_ = 0;
+  FixedHistogram latency_us_;
+  FixedHistogram batch_rows_;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_SERVE_SERVE_METRICS_H_

@@ -1,0 +1,289 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/wire.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace hignn {
+
+namespace {
+
+// How often the accept loop wakes to check the stop flag.
+constexpr int kAcceptPollMs = 50;
+
+// Per-frame request row bound: protocol sanity, distinct from the
+// batcher's queue bound (which governs overload, not parsing).
+constexpr uint32_t kMaxRequestRows = 1u << 20;
+
+WireStatus WireStatusForError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return WireStatus::kBadRequest;
+    case StatusCode::kFailedPrecondition:
+      return WireStatus::kOverloaded;
+    default:
+      return WireStatus::kInternal;
+  }
+}
+
+std::vector<char> ErrorResponse(WireStatus code, const std::string& message) {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(code));
+  writer.PutString(message);
+  return writer.bytes();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ScoringServer>> ScoringServer::Start(
+    PredictionEngine* engine, ServeMetrics* metrics,
+    const ServerConfig& config) {
+  if (engine == nullptr || metrics == nullptr) {
+    return Status::InvalidArgument("engine and metrics must not be null");
+  }
+  if (config.num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (config.port < 0 || config.port > 65535) {
+    return Status::InvalidArgument("port out of range");
+  }
+
+  std::unique_ptr<ScoringServer> server(
+      new ScoringServer(engine, metrics, config));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  server->listen_fd_ = fd;
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config.port));
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("invalid host address '%s'", config.host.c_str()));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError(StrFormat("bind to %s:%d failed: %s",
+                                     config.host.c_str(), config.port,
+                                     std::strerror(errno)));
+  }
+  if (::listen(fd, 128) < 0) {
+    return Status::IOError(
+        StrFormat("listen failed: %s", std::strerror(errno)));
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    return Status::IOError(
+        StrFormat("getsockname failed: %s", std::strerror(errno)));
+  }
+  server->port_ = static_cast<int32_t>(ntohs(bound.sin_port));
+
+  server->batcher_ = std::make_unique<MicroBatcher>(engine, metrics,
+                                                    config.batcher);
+  // hignn-lint: allow(naked-thread) long-blocking accept thread (server.h)
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  for (int32_t t = 0; t < config.num_threads; ++t) {
+    // hignn-lint: allow(naked-thread) long-blocking handlers (server.h)
+    server->handlers_.emplace_back([s = server.get()] { s->HandlerLoop(); });
+  }
+  return server;
+}
+
+ScoringServer::ScoringServer(PredictionEngine* engine, ServeMetrics* metrics,
+                             const ServerConfig& config)
+    : engine_(engine), metrics_(metrics), config_(config) {}
+
+ScoringServer::~ScoringServer() { Stop(); }
+
+void ScoringServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // Another caller already ran (or is running) shutdown; joins below
+    // must only happen once.
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  fd_ready_.notify_all();
+  // hignn-lint: allow(naked-thread) joining the handler threads
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : pending_fds_) ::close(fd);
+    pending_fds_.clear();
+  }
+  if (batcher_) batcher_->Stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ScoringServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR — recheck the flag
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    timeval timeout{};
+    timeout.tv_sec = config_.recv_timeout_ms / 1000;
+    timeout.tv_usec = (config_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const int nodelay = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_fds_.push_back(conn);
+    }
+    fd_ready_.notify_one();
+  }
+}
+
+void ScoringServer::HandlerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      fd_ready_.wait_for(lock, std::chrono::milliseconds(kAcceptPollMs),
+                         [&] {
+                           return stopping_.load() || !pending_fds_.empty();
+                         });
+      if (!pending_fds_.empty()) {
+        fd = pending_fds_.front();
+        pending_fds_.pop_front();
+      } else if (stopping_.load()) {
+        return;
+      }
+    }
+    if (fd >= 0) ServeConnection(fd);
+  }
+}
+
+void ScoringServer::ServeConnection(int fd) {
+  while (true) {
+    Result<std::vector<char>> frame = RecvFrame(fd);
+    if (!frame.ok()) {
+      if (IsRecvTimeout(frame.status()) && !stopping_.load()) continue;
+      break;  // closed, corrupt, or shutting down
+    }
+    const std::vector<char> response = HandleRequest(frame.value());
+    if (!SendFrame(fd, response).ok()) break;
+  }
+  ::close(fd);
+}
+
+std::vector<char> ScoringServer::HandleRequest(
+    const std::vector<char>& payload) {
+  WallTimer timer;
+  WireReader reader(payload);
+  Result<uint8_t> verb_byte = reader.TakeU8();
+  if (!verb_byte.ok()) {
+    return ErrorResponse(WireStatus::kBadRequest, "empty request frame");
+  }
+
+  const auto finish = [&](ServeVerbStat verb, bool ok,
+                          std::vector<char> response) {
+    metrics_->RecordRequest(verb, timer.Seconds() * 1e6, ok);
+    return response;
+  };
+
+  switch (static_cast<WireVerb>(verb_byte.value())) {
+    case WireVerb::kScore: {
+      Result<uint32_t> count = reader.TakeU32();
+      if (!count.ok() || count.value() > kMaxRequestRows) {
+        return finish(ServeVerbStat::kScore, false,
+                      ErrorResponse(WireStatus::kBadRequest,
+                                    "bad score request count"));
+      }
+      std::vector<ScoreRequest> requests;
+      requests.reserve(count.value());
+      for (uint32_t r = 0; r < count.value(); ++r) {
+        ScoreRequest request;
+        Result<int32_t> user = reader.TakeI32();
+        Result<int32_t> item = reader.TakeI32();
+        if (!user.ok() || !item.ok()) {
+          return finish(ServeVerbStat::kScore, false,
+                        ErrorResponse(WireStatus::kBadRequest,
+                                      "truncated score request"));
+        }
+        request.user = user.value();
+        request.item = item.value();
+        requests.push_back(request);
+      }
+      Result<std::vector<float>> scores = batcher_->Score(requests);
+      if (!scores.ok()) {
+        return finish(ServeVerbStat::kScore, false,
+                      ErrorResponse(WireStatusForError(scores.status()),
+                                    scores.status().message()));
+      }
+      WireWriter writer;
+      writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
+      writer.PutU32(static_cast<uint32_t>(scores.value().size()));
+      for (float score : scores.value()) writer.PutF32(score);
+      return finish(ServeVerbStat::kScore, true, writer.bytes());
+    }
+    case WireVerb::kTopK: {
+      Result<int32_t> user = reader.TakeI32();
+      Result<int32_t> k = reader.TakeI32();
+      if (!user.ok() || !k.ok()) {
+        return finish(ServeVerbStat::kTopK, false,
+                      ErrorResponse(WireStatus::kBadRequest,
+                                    "truncated topk request"));
+      }
+      Result<std::vector<Recommendation>> top =
+          engine_->RecommendTopK(user.value(), k.value());
+      if (!top.ok()) {
+        return finish(ServeVerbStat::kTopK, false,
+                      ErrorResponse(WireStatusForError(top.status()),
+                                    top.status().message()));
+      }
+      WireWriter writer;
+      writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
+      writer.PutU32(static_cast<uint32_t>(top.value().size()));
+      for (const Recommendation& rec : top.value()) {
+        writer.PutI32(rec.item);
+        writer.PutF32(rec.score);
+      }
+      return finish(ServeVerbStat::kTopK, true, writer.bytes());
+    }
+    case WireVerb::kHealth: {
+      WireWriter writer;
+      writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
+      writer.PutU8(1);
+      return finish(ServeVerbStat::kHealth, true, writer.bytes());
+    }
+    case WireVerb::kStats: {
+      WireWriter writer;
+      writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
+      writer.PutString(metrics_->ToJson());
+      return finish(ServeVerbStat::kStats, true, writer.bytes());
+    }
+  }
+  return ErrorResponse(WireStatus::kBadRequest, "unknown verb");
+}
+
+}  // namespace hignn

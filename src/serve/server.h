@@ -1,0 +1,99 @@
+#ifndef HIGNN_SERVE_SERVER_H_
+#define HIGNN_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/engine.h"
+#include "serve/serve_metrics.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief TCP scoring server knobs.
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int32_t port = 0;  ///< 0 = ephemeral; read the bound port via port()
+
+  /// Connection-handler threads = max concurrently served connections;
+  /// further accepted connections wait in a queue.
+  int32_t num_threads = 2;
+
+  /// Socket receive timeout — the cadence at which idle handlers notice
+  /// shutdown; also bounds how long a half-written frame can stall a
+  /// handler.
+  int32_t recv_timeout_ms = 200;
+
+  BatcherConfig batcher;
+};
+
+/// \brief The online scoring endpoint: speaks the wire.h protocol,
+/// funnels kScore requests through the MicroBatcher, answers kTopK from
+/// the engine, and serves health/stats probes. Scores returned over the
+/// wire are bit-exact copies of the engine's floats.
+class ScoringServer {
+ public:
+  /// \brief Binds, listens, and spins up the accept + handler threads.
+  /// `engine` and `metrics` are borrowed and must outlive the server.
+  static Result<std::unique_ptr<ScoringServer>> Start(
+      PredictionEngine* engine, ServeMetrics* metrics,
+      const ServerConfig& config);
+
+  ~ScoringServer();
+
+  ScoringServer(const ScoringServer&) = delete;
+  ScoringServer& operator=(const ScoringServer&) = delete;
+
+  /// \brief The actually-bound port (resolves port 0 to the kernel's
+  /// ephemeral choice).
+  int32_t port() const { return port_; }
+
+  /// \brief Graceful shutdown: stop accepting, let in-flight requests
+  /// finish, drain the batcher, join every thread. Idempotent; also run
+  /// by the destructor.
+  void Stop();
+
+ private:
+  ScoringServer(PredictionEngine* engine, ServeMetrics* metrics,
+                const ServerConfig& config);
+
+  void AcceptLoop();
+  void HandlerLoop();
+  void ServeConnection(int fd);
+
+  /// \brief Decodes one request frame and builds the response payload.
+  std::vector<char> HandleRequest(const std::vector<char>& payload);
+
+  PredictionEngine* engine_;
+  ServeMetrics* metrics_;
+  ServerConfig config_;
+  std::unique_ptr<MicroBatcher> batcher_;
+
+  int listen_fd_ = -1;
+  int32_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable fd_ready_;
+  std::deque<int> pending_fds_;
+
+  // Accept and handler threads spend their lives blocked in poll()/
+  // recv()/cv waits; GlobalThreadPool workers must stay available for
+  // the engine's row-assembly kernels, so the server owns its threads.
+  // hignn-lint: allow(naked-thread) long-blocking accept thread
+  std::thread accept_thread_;
+  // hignn-lint: allow(naked-thread) long-blocking connection handlers
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace hignn
+
+#endif  // HIGNN_SERVE_SERVER_H_

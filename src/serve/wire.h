@@ -1,0 +1,109 @@
+#ifndef HIGNN_SERVE_WIRE_H_
+#define HIGNN_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief The scoring server's wire protocol: little-endian,
+/// length-prefixed frames over TCP.
+///
+///   frame    := u32 payload_length, payload bytes
+///   request  := u8 verb, verb-specific body
+///   response := u8 status, body (scores / recommendations / JSON) on
+///               kOk, else u32-prefixed error message
+///
+/// Verb bodies:
+///   kScore  request  u32 n, then n x (i32 user, i32 item)
+///           response u32 n, then n x f32 probability (request order)
+///   kTopK   request  i32 user, i32 k
+///           response u32 n, then n x (i32 item, f32 score), ranked
+///   kHealth request  empty; response u8 1
+///   kStats  request  empty; response u32-prefixed JSON string
+///
+/// Floats travel as their IEEE-754 bit pattern in a u32, so a score is
+/// bit-exact across the wire — the parity tests compare for equality,
+/// not approximate closeness.
+enum class WireVerb : uint8_t {
+  kScore = 1,
+  kTopK = 2,
+  kHealth = 3,
+  kStats = 4,
+};
+
+/// \brief Response status on the wire.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,   ///< malformed frame or invalid ids — caller's fault
+  kOverloaded = 2,   ///< shed by the micro-batcher; retry with backoff
+  kInternal = 3,     ///< server-side failure
+};
+
+/// \brief Upper bound on a frame payload; a length prefix above this is
+/// treated as a protocol violation, not an allocation request.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 24;  // 16 MiB
+
+/// \brief Append-only payload builder (all little-endian).
+class WireWriter {
+ public:
+  void PutU8(uint8_t value) { bytes_.push_back(static_cast<char>(value)); }
+  void PutU32(uint32_t value);
+  void PutI32(int32_t value) { PutU32(static_cast<uint32_t>(value)); }
+  void PutF32(float value);
+  /// \brief u32 length prefix + raw bytes.
+  void PutString(const std::string& value);
+
+  const std::vector<char>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<char> bytes_;
+};
+
+/// \brief Bounds-checked payload parser; every read fails with
+/// InvalidArgument on truncation instead of reading past the frame.
+class WireReader {
+ public:
+  WireReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<char>& payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  Result<uint8_t> TakeU8();
+  Result<uint32_t> TakeU32();
+  Result<int32_t> TakeI32();
+  Result<float> TakeF32();
+  Result<std::string> TakeString();
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// \brief Writes one length-prefixed frame to a connected socket,
+/// looping over partial sends. IOError on any socket failure.
+Status SendFrame(int fd, const std::vector<char>& payload);
+
+/// \brief Reads one length-prefixed frame. Distinguishes the three
+/// interesting failures: clean EOF before any byte (NotFound — the peer
+/// closed), receive timeout (FailedPrecondition), and everything else
+/// (IOError). A length prefix above `max_bytes` is an IOError.
+Result<std::vector<char>> RecvFrame(int fd,
+                                    uint32_t max_bytes = kMaxFrameBytes);
+
+/// \brief True when the status came from RecvFrame hitting the socket
+/// receive timeout (SO_RCVTIMEO) rather than a real error.
+bool IsRecvTimeout(const Status& status);
+
+/// \brief True when RecvFrame saw a clean close before any frame byte.
+bool IsRecvClosed(const Status& status);
+
+}  // namespace hignn
+
+#endif  // HIGNN_SERVE_WIRE_H_

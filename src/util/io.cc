@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -109,6 +110,29 @@ void BinaryWriter::WriteFloats(const float* data, size_t count) {
 
 void BinaryWriter::WriteI32s(const int32_t* data, size_t count) {
   WriteU64(count);
+  Append(data, count * sizeof(int32_t));
+}
+
+uint64_t BinaryWriter::payload_bytes() const {
+  uint64_t total = section_length_;
+  for (const Section& section : sections_) total += section.length;
+  return total;
+}
+
+void BinaryWriter::AlignTo(size_t alignment) {
+  static constexpr char kZeros[64] = {};
+  while (payload_bytes() % alignment != 0) {
+    const size_t pad = std::min<size_t>(
+        sizeof(kZeros), alignment - payload_bytes() % alignment);
+    Append(kZeros, pad);
+  }
+}
+
+void BinaryWriter::WriteRawFloats(const float* data, size_t count) {
+  Append(data, count * sizeof(float));
+}
+
+void BinaryWriter::WriteRawI32s(const int32_t* data, size_t count) {
   Append(data, count * sizeof(int32_t));
 }
 
@@ -323,6 +347,40 @@ Status BinaryReader::ReadI32s(int32_t* data, size_t count) {
   HIGNN_ASSIGN_OR_RETURN(uint64_t stored, ReadU64());
   if (stored != count) return Status::IOError("int array size mismatch");
   return Pull(data, count * sizeof(int32_t));
+}
+
+Status BinaryReader::AlignTo(size_t alignment) {
+  const size_t rem = pos_ % alignment;
+  if (rem == 0) return Status::OK();
+  const size_t pad = alignment - rem;
+  if (pad > payload_size_ - pos_) return Status::IOError("truncated input");
+  pos_ += pad;
+  return Status::OK();
+}
+
+namespace {
+
+template <typename T>
+Result<const T*> BorrowImpl(const std::vector<char>& buffer, size_t payload,
+                            size_t& pos, size_t count) {
+  const size_t bytes = count * sizeof(T);
+  if (bytes > payload - pos) return Status::IOError("truncated input");
+  const char* at = buffer.data() + pos;
+  if (reinterpret_cast<uintptr_t>(at) % alignof(T) != 0) {
+    return Status::IOError("misaligned array (writer skipped AlignTo)");
+  }
+  pos += bytes;
+  return reinterpret_cast<const T*>(at);
+}
+
+}  // namespace
+
+Result<const float*> BinaryReader::BorrowFloats(size_t count) {
+  return BorrowImpl<float>(buffer_, payload_size_, pos_, count);
+}
+
+Result<const int32_t*> BinaryReader::BorrowI32s(size_t count) {
+  return BorrowImpl<int32_t>(buffer_, payload_size_, pos_, count);
 }
 
 }  // namespace hignn

@@ -60,6 +60,22 @@ class BinaryWriter {
   void WriteFloats(const float* data, size_t count);
   void WriteI32s(const int32_t* data, size_t count);
 
+  /// \brief Payload bytes emitted so far (header included, footer not).
+  /// Equals the file offset the next write lands at, which is what
+  /// AlignTo() and offset-indexed formats care about.
+  uint64_t payload_bytes() const;
+
+  /// \brief Zero-pads until payload_bytes() is a multiple of `alignment`
+  /// (a power of two). Offset-indexed formats call this before raw arrays
+  /// so readers can hand out properly aligned zero-copy pointers.
+  void AlignTo(size_t alignment);
+
+  /// \brief Raw arrays without the WriteFloats/WriteI32s count prefix —
+  /// the caller owns the count and (via AlignTo) the placement. Used by
+  /// the embedding store, whose readers alias rows in place.
+  void WriteRawFloats(const float* data, size_t count);
+  void WriteRawI32s(const int32_t* data, size_t count);
+
   /// \brief Writes the integrity footer, fsyncs, and atomically renames
   /// the temporary file over the destination. On any failure the
   /// temporary file is removed and the previous artifact (if any) is left
@@ -106,6 +122,22 @@ class BinaryReader {
   Status ReadFloats(float* data, size_t count);
   Status ReadI32s(int32_t* data, size_t count);
 
+  /// \brief Current read offset into the verified payload.
+  size_t position() const { return pos_; }
+
+  /// \brief Skips the zero padding a writer-side AlignTo(alignment)
+  /// emitted; fails on truncation like any other read.
+  Status AlignTo(size_t alignment);
+
+  /// \brief Zero-copy counterparts of ReadFloats/ReadI32s for
+  /// WriteRawFloats/WriteRawI32s payloads: bounds-check `count` elements,
+  /// return a pointer aliasing the verified in-memory payload, and
+  /// advance. The pointer is valid for the reader's lifetime (the reader
+  /// owns the buffer) and requires the offset to be element-aligned —
+  /// writers guarantee that with AlignTo().
+  Result<const float*> BorrowFloats(size_t count);
+  Result<const int32_t*> BorrowI32s(size_t count);
+
  private:
   Status VerifyContainer();
   Status Pull(void* dst, size_t count);
@@ -132,6 +164,7 @@ inline constexpr uint32_t kTagBipartiteGraph = 2;
 inline constexpr uint32_t kTagHignnModel = 3;
 inline constexpr uint32_t kTagCheckpoint = 4;
 inline constexpr uint32_t kTagManifest = 5;
+inline constexpr uint32_t kTagEmbeddingStore = 6;
 
 }  // namespace hignn
 

@@ -1,0 +1,24 @@
+// hignn_lint fixture: raw-write socket tokens OUTSIDE the src/serve/
+// scope. Never compiled — scanned by hignn_lint in lint_test.cc, which
+// asserts the exact line numbers below.
+#include <cstddef>
+
+extern "C" long write(int fd, const void* buf, unsigned long n);
+extern "C" long send(int fd, const void* buf, unsigned long n, int flags);
+
+void Violations(int fd, const char* buf, unsigned long n) {
+  ::write(fd, buf, n);  // line 10: raw ::write() outside src/serve/
+  ::send(fd, buf, n, 0);  // line 11: raw ::send() outside src/serve/
+}
+
+struct Framer {
+  void send(const char* buf, unsigned long n);
+  void write(const char* buf, unsigned long n);
+};
+
+void NotViolations(Framer& framer, const char* buf, unsigned long n) {
+  framer.send(buf, n);  // member call: fine
+  framer.write(buf, n);  // member call: fine
+  Framer* pointer = &framer;
+  pointer->send(buf, n);  // arrow member call: fine
+}

@@ -1,0 +1,21 @@
+// hignn_lint fixture: the raw-write socket allowance is scoped to
+// src/serve/ — this file sits inside that scope (relative to the fixture
+// root), so its ::write()/::send() calls are clean with no annotation.
+// The std::ofstream below must STILL be flagged: the scope exempts only
+// the socket tokens, never the rest of the raw-write rule. Never
+// compiled — scanned by hignn_lint in lint_test.cc.
+#include <fstream>
+#include <string>
+
+extern "C" long write(int fd, const void* buf, unsigned long n);
+extern "C" long send(int fd, const void* buf, unsigned long n, int flags);
+
+void ScopedSockets(int fd, const char* buf, unsigned long n) {
+  ::write(fd, buf, n);  // in scope: fine without annotation
+  ::send(fd, buf, n, 0);  // in scope: fine without annotation
+}
+
+void StillFlagged(const std::string& path) {
+  std::ofstream out(path);  // line 19: scope must not leak to ofstream
+  out << "x";
+}

@@ -78,6 +78,38 @@ TEST(LintTest, RawWriteFiresOnStreamsHandlesAndFopen) {
                 "checked 1 files: 3 violation(s)\n");
 }
 
+TEST(LintTest, RawSocketWritesFireOutsideTheServeScope) {
+  const LintRun run = RunOnFixtures("raw_socket_write_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.output,
+            "raw_socket_write_fixture.cc:10: [raw-write] raw '::write()' "
+            "byte output outside the serve wire layer; file IO goes "
+            "through util/io, frame IO through src/serve/wire\n"
+            "raw_socket_write_fixture.cc:11: [raw-write] raw '::send()' "
+            "socket write outside the serve wire layer; frame IO goes "
+            "through src/serve/wire\n"
+            "allowed: none\n"
+            "checked 1 files: 2 violation(s)\n");
+}
+
+TEST(LintTest, ServeScopeAllowsSocketsButNothingElseLeaks) {
+  // Inside src/serve/ (relative to --root) the socket tokens are exempt
+  // with no annotation, but the rest of raw-write stays active: the
+  // fixture's std::ofstream must still be the one and only finding.
+  const LintRun run = RunOnFixtures("src/serve/socket_scope_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.output,
+            "src/serve/socket_scope_fixture.cc:19: [raw-write] raw "
+            "'std::ofstream' write outside util/io; use BinaryWriter or "
+            "AtomicWriteTextFile\n"
+            "allowed: none\n"
+            "checked 1 files: 1 violation(s)\n");
+  EXPECT_EQ(run.output.find("socket_scope_fixture.cc:14"),
+            std::string::npos);
+  EXPECT_EQ(run.output.find("socket_scope_fixture.cc:15"),
+            std::string::npos);
+}
+
 TEST(LintTest, NondetSourceFiresOnEntropyClockAndNow) {
   const LintRun run = RunOnFixtures("nondet_source_fixture.cc");
   EXPECT_EQ(run.exit_code, 1);
@@ -147,9 +179,11 @@ TEST(LintTest, CleanIdiomaticCodePassesWithoutAnnotations) {
 TEST(LintTest, DirectoryScanAggregatesAndSortsAcrossFiles) {
   const LintRun run = RunOnFixtures(".");
   EXPECT_EQ(run.exit_code, 1);
-  // 4 + 3 + 4 + 3 + 1 pinned violations across the five violating
-  // fixtures; the allowed fixture contributes 5 tallied suppressions.
-  EXPECT_NE(run.output.find("checked 7 files: 15 violation(s)\n"),
+  // 4 + 3 + 4 + 3 + 1 + 2 + 1 pinned violations across the seven
+  // violating fixtures (the last two are the socket fixture and the
+  // ofstream inside the serve-scope fixture); the allowed fixture
+  // contributes 5 tallied suppressions.
+  EXPECT_NE(run.output.find("checked 9 files: 18 violation(s)\n"),
             std::string::npos);
   // Diagnostics are sorted by path, so the float-reduction fixture's
   // single finding leads the report.

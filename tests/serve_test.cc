@@ -1,0 +1,445 @@
+// Online serving subsystem tests: store export/load integrity, bitwise
+// offline-vs-online score parity, the full TCP round trip, concurrency
+// determinism, and overload behaviour.
+//
+// The parity tests are the heart: the serving path reassembles feature
+// rows from the store's precomputed pieces and runs the exported MLP, so
+// a (user, item) score over TCP must equal the offline
+// CvrModel::Predict float bit for bit — any batching, any thread count.
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hignn.h"
+#include "data/synthetic.h"
+#include "predict/cvr_model.h"
+#include "predict/features.h"
+#include "serve/batcher.h"
+#include "serve/client.h"
+#include "serve/embedding_store.h"
+#include "serve/engine.h"
+#include "serve/serve_metrics.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace hignn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// One trained pipeline shared by every test: dataset -> hierarchy ->
+// CVR network -> exported store. Mirrors what `hignn export-store` does.
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticConfig data_config = SyntheticConfig::Tiny();
+    data_config.num_users = 300;
+    data_config.num_items = 120;
+    data_config.num_days = 6;
+    data_config.mean_clicks_per_user_day = 3.0;
+    dataset_ = new SyntheticDataset(
+        SyntheticDataset::Generate(data_config).ValueOrDie());
+
+    HignnConfig hignn_config;
+    hignn_config.levels = 2;
+    hignn_config.sage.dims = {8, 8};
+    hignn_config.sage.fanouts = {5, 3};
+    hignn_config.sage.train_steps = 40;
+    hignn_config.min_clusters = 2;
+    model_ = new HignnModel(
+        Hignn::Fit(dataset_->BuildTrainGraph(), dataset_->user_features(),
+                   dataset_->item_features(), hignn_config)
+            .ValueOrDie());
+
+    spec_ = FeatureSpec::HiGnn(model_->num_levels());
+    builder_ = new CvrFeatureBuilder(
+        CvrFeatureBuilder::Create(dataset_, model_, spec_).ValueOrDie());
+    samples_ = new SampleSet(BuildSamples(*dataset_, true, 99));
+
+    CvrModelConfig cvr_config;
+    cvr_config.hidden = {32, 16};
+    cvr_config.epochs = 2;
+    cvr_config.batch_size = 256;
+    cvr_ = new CvrModel(
+        CvrModel::Create(builder_->dim(), cvr_config).ValueOrDie());
+    EXPECT_TRUE(cvr_->Train(*builder_, samples_->train).ok());
+
+    store_path_ = TempPath("serve_fixture.hgnnstore");
+    EXPECT_TRUE(
+        ExportEmbeddingStore(*model_, *dataset_, spec_, *cvr_, store_path_)
+            .ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete cvr_;
+    delete samples_;
+    delete builder_;
+    delete model_;
+    delete dataset_;
+    cvr_ = nullptr;
+    samples_ = nullptr;
+    builder_ = nullptr;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// First `count` test-day samples as serving requests.
+  static std::vector<ScoreRequest> TestPairs(size_t count) {
+    std::vector<ScoreRequest> pairs;
+    for (size_t i = 0; i < count && i < samples_->test.size(); ++i) {
+      pairs.push_back(
+          {samples_->test[i].user, samples_->test[i].item});
+    }
+    return pairs;
+  }
+
+  /// Offline reference scores for `pairs` through the original builder +
+  /// a fresh copy of the trained CVR network.
+  static std::vector<float> OfflineScores(
+      const std::vector<ScoreRequest>& pairs) {
+    std::vector<LabeledSample> samples;
+    for (const ScoreRequest& pair : pairs) {
+      samples.push_back({pair.user, pair.item, 0.0f});
+    }
+    CvrModel offline = *cvr_;
+    return offline.Predict(*builder_, samples).ValueOrDie();
+  }
+
+  static SyntheticDataset* dataset_;
+  static HignnModel* model_;
+  static CvrFeatureBuilder* builder_;
+  static SampleSet* samples_;
+  static CvrModel* cvr_;
+  static FeatureSpec spec_;
+  static std::string store_path_;
+};
+
+SyntheticDataset* ServeFixture::dataset_ = nullptr;
+HignnModel* ServeFixture::model_ = nullptr;
+CvrFeatureBuilder* ServeFixture::builder_ = nullptr;
+SampleSet* ServeFixture::samples_ = nullptr;
+CvrModel* ServeFixture::cvr_ = nullptr;
+FeatureSpec ServeFixture::spec_;
+std::string ServeFixture::store_path_;
+
+// ---------------------------------------------------------------- store --
+
+TEST_F(ServeFixture, StoreRoundTripsMetadataAndChains) {
+  auto store = std::move(EmbeddingStore::Open(store_path_).ValueOrDie());
+  EXPECT_EQ(store->num_users(), 300);
+  EXPECT_EQ(store->num_items(), 120);
+  EXPECT_EQ(store->level_dim(), model_->level_dim());
+  EXPECT_EQ(store->chain_levels(), model_->num_levels());
+  EXPECT_EQ(store->feature_dim(), builder_->dim());
+  EXPECT_EQ(store->spec().user_levels, spec_.user_levels);
+  EXPECT_EQ(store->spec().item_levels, spec_.item_levels);
+
+  for (int32_t level = 1; level <= store->chain_levels(); ++level) {
+    for (int32_t user = 0; user < store->num_users(); ++user) {
+      ASSERT_EQ(store->LeftClusterAt(user, level),
+                model_->LeftClusterAt(user, level))
+          << "user " << user << " level " << level;
+    }
+    for (int32_t item = 0; item < store->num_items(); ++item) {
+      ASSERT_EQ(store->RightClusterAt(item, level),
+                model_->RightClusterAt(item, level))
+          << "item " << item << " level " << level;
+    }
+  }
+}
+
+TEST_F(ServeFixture, StoreEmbeddingBlocksMatchModelBitwise) {
+  auto store = std::move(EmbeddingStore::Open(store_path_).ValueOrDie());
+  const Matrix user_hier =
+      model_->AllHierarchicalLeft(spec_.user_levels);
+  const Matrix item_hier =
+      model_->AllHierarchicalRight(spec_.item_levels);
+  for (int32_t user = 0; user < store->num_users(); ++user) {
+    ASSERT_EQ(0, std::memcmp(store->UserBlock(user),
+                             user_hier.row(static_cast<size_t>(user)),
+                             user_hier.cols() * sizeof(float)))
+        << "user " << user;
+  }
+  for (int32_t item = 0; item < store->num_items(); ++item) {
+    ASSERT_EQ(0, std::memcmp(store->ItemBlock(item),
+                             item_hier.row(static_cast<size_t>(item)),
+                             item_hier.cols() * sizeof(float)))
+        << "item " << item;
+  }
+}
+
+TEST_F(ServeFixture, FillFeatureRowMatchesOfflineBuilderBitwise) {
+  auto store = std::move(EmbeddingStore::Open(store_path_).ValueOrDie());
+  ASSERT_GE(samples_->test.size(), 64u);
+  std::vector<LabeledSample> probe(samples_->test.begin(),
+                                   samples_->test.begin() + 64);
+  const Matrix offline = builder_->BuildAll(probe);
+  ASSERT_EQ(offline.cols(), static_cast<size_t>(store->feature_dim()));
+  std::vector<float> row(static_cast<size_t>(store->feature_dim()));
+  for (size_t i = 0; i < probe.size(); ++i) {
+    ASSERT_TRUE(
+        store->FillFeatureRow(probe[i].user, probe[i].item, row.data())
+            .ok());
+    ASSERT_EQ(0, std::memcmp(row.data(), offline.row(i),
+                             row.size() * sizeof(float)))
+        << "row " << i << " (user " << probe[i].user << ", item "
+        << probe[i].item << ")";
+  }
+}
+
+TEST_F(ServeFixture, TruncatedStoreIsRejectedBeforeParsing) {
+  const std::string bytes = ReadBytes(store_path_);
+  ASSERT_GT(bytes.size(), 256u);
+  const std::string truncated_path = TempPath("serve_truncated.hgnnstore");
+  WriteBytes(truncated_path, bytes.substr(0, bytes.size() - 64));
+  auto store = EmbeddingStore::Open(truncated_path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIOError)
+      << store.status().ToString();
+}
+
+TEST_F(ServeFixture, BitFlippedStoreIsRejectedBeforeParsing) {
+  std::string bytes = ReadBytes(store_path_);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  const std::string corrupt_path = TempPath("serve_corrupt.hgnnstore");
+  WriteBytes(corrupt_path, bytes);
+  auto store = EmbeddingStore::Open(corrupt_path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIOError)
+      << store.status().ToString();
+}
+
+// --------------------------------------------------------------- engine --
+
+TEST_F(ServeFixture, EngineScoresMatchOfflinePredictBitwise) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  const std::vector<ScoreRequest> pairs = TestPairs(200);
+  const std::vector<float> expected = OfflineScores(pairs);
+  const std::vector<float> actual =
+      engine->ScoreBatch(pairs).ValueOrDie();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(actual[i], expected[i]) << "pair " << i;
+  }
+}
+
+TEST_F(ServeFixture, EngineScoresAreInvariantToBatchComposition) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  const std::vector<ScoreRequest> pairs = TestPairs(48);
+  const std::vector<float> together =
+      engine->ScoreBatch(pairs).ValueOrDie();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const std::vector<float> alone =
+        engine->ScoreBatch({pairs[i]}).ValueOrDie();
+    ASSERT_EQ(alone.size(), 1u);
+    ASSERT_EQ(alone[0], together[i]) << "pair " << i;
+  }
+}
+
+TEST_F(ServeFixture, EngineRejectsInvalidIds) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  auto bad_user = engine->ScoreBatch({{engine->store().num_users(), 0}});
+  ASSERT_FALSE(bad_user.ok());
+  EXPECT_EQ(bad_user.status().code(), StatusCode::kInvalidArgument);
+  auto bad_item = engine->ScoreBatch({{0, -1}});
+  ASSERT_FALSE(bad_item.ok());
+  EXPECT_EQ(bad_item.status().code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------------- batcher --
+
+TEST_F(ServeFixture, BatcherStopRejectsNewWorkAfterDraining) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  ServeMetrics metrics;
+  MicroBatcher batcher(engine.get(), &metrics, BatcherConfig());
+  EXPECT_TRUE(batcher.Score(TestPairs(4)).ok());
+  batcher.Stop();
+  auto after = batcher.Score(TestPairs(1));
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeFixture, BatcherShedsRequestsBeyondTheQueueBound) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  ServeMetrics metrics;
+  BatcherConfig config;
+  config.max_queue_rows = 8;
+  MicroBatcher batcher(engine.get(), &metrics, config);
+  auto shed = batcher.Score(TestPairs(16));  // 16 rows > bound of 8
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(metrics.shed_total(), 1);
+  EXPECT_TRUE(batcher.Score(TestPairs(4)).ok());  // still serving
+}
+
+// ----------------------------------------------------------- TCP server --
+
+TEST_F(ServeFixture, TcpRoundTripScoresMatchOfflineBitwise) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  ServeMetrics metrics;
+  auto server =
+      std::move(ScoringServer::Start(engine.get(), &metrics, ServerConfig())
+                    .ValueOrDie());
+  auto client =
+      std::move(ScoringClient::Connect("127.0.0.1", server->port())
+                    .ValueOrDie());
+
+  const std::vector<ScoreRequest> pairs = TestPairs(64);
+  const std::vector<float> expected = OfflineScores(pairs);
+  const std::vector<float> actual = client.Score(pairs).ValueOrDie();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(actual[i], expected[i]) << "pair " << i;
+  }
+
+  EXPECT_TRUE(client.Health().ok());
+  auto bad = client.Score({{-1, 0}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  server->Stop();
+}
+
+TEST_F(ServeFixture, TcpTopKMatchesEngineRanking) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  ServeMetrics metrics;
+  auto server =
+      std::move(ScoringServer::Start(engine.get(), &metrics, ServerConfig())
+                    .ValueOrDie());
+  auto client =
+      std::move(ScoringClient::Connect("127.0.0.1", server->port())
+                    .ValueOrDie());
+
+  for (int32_t user : {0, 7, 123}) {
+    const std::vector<Recommendation> expected =
+        engine->RecommendTopK(user, 5).ValueOrDie();
+    const std::vector<Recommendation> actual =
+        client.TopK(user, 5).ValueOrDie();
+    ASSERT_EQ(actual.size(), expected.size()) << "user " << user;
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i], expected[i]) << "user " << user << " rank " << i;
+    }
+  }
+  server->Stop();
+}
+
+TEST_F(ServeFixture, TcpStatsReportsServedTraffic) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  ServeMetrics metrics;
+  auto server =
+      std::move(ScoringServer::Start(engine.get(), &metrics, ServerConfig())
+                    .ValueOrDie());
+  auto client =
+      std::move(ScoringClient::Connect("127.0.0.1", server->port())
+                    .ValueOrDie());
+
+  EXPECT_TRUE(client.Score(TestPairs(8)).ok());
+  EXPECT_TRUE(client.Health().ok());
+  const std::string json = client.Stats().ValueOrDie();
+  EXPECT_NE(json.find("\"verbs\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"score\": {\"requests\": 1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"batch_rows\""), std::string::npos) << json;
+  EXPECT_GE(metrics.requests_total(), 2);
+  EXPECT_GE(metrics.batches_total(), 1);
+  server->Stop();
+}
+
+TEST_F(ServeFixture, TcpOverloadShedsWithFastFailure) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  ServeMetrics metrics;
+  ServerConfig config;
+  config.batcher.max_queue_rows = 8;
+  auto server =
+      std::move(
+      ScoringServer::Start(engine.get(), &metrics, config).ValueOrDie());
+  auto client =
+      std::move(ScoringClient::Connect("127.0.0.1", server->port())
+                    .ValueOrDie());
+
+  auto shed = client.Score(TestPairs(16));  // 16 rows > bound of 8
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_GE(metrics.shed_total(), 1);
+  EXPECT_TRUE(client.Score(TestPairs(4)).ok());  // recovered immediately
+  server->Stop();
+}
+
+// Scores must be identical whether one handler serializes every request
+// or four handlers interleave them — the determinism half of the serving
+// contract, checked end to end through real sockets.
+TEST_F(ServeFixture, ConcurrentClientsGetIdenticalScoresAtAnyThreadCount) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  const std::vector<ScoreRequest> pairs = TestPairs(32);
+  const std::vector<float> expected = OfflineScores(pairs);
+
+  for (int32_t num_threads : {1, 4}) {
+    ServeMetrics metrics;
+    ServerConfig config;
+    config.num_threads = num_threads;
+    auto server =
+        std::move(
+      ScoringServer::Start(engine.get(), &metrics, config).ValueOrDie());
+
+    constexpr int kClients = 4;
+    constexpr int kRoundsPerClient = 5;
+    std::vector<std::vector<float>> results(kClients);
+    std::vector<Status> statuses(kClients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        auto client = ScoringClient::Connect("127.0.0.1", server->port());
+        if (!client.ok()) {
+          statuses[c] = client.status();
+          return;
+        }
+        for (int round = 0; round < kRoundsPerClient; ++round) {
+          auto scores = client.value().Score(pairs);
+          if (!scores.ok()) {
+            statuses[c] = scores.status();
+            return;
+          }
+          if (round + 1 == kRoundsPerClient) {
+            results[c] = std::move(scores).value();
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    server->Stop();
+
+    for (int c = 0; c < kClients; ++c) {
+      ASSERT_TRUE(statuses[c].ok())
+          << "client " << c << " at " << num_threads << " threads: "
+          << statuses[c].ToString();
+      ASSERT_EQ(results[c].size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(results[c][i], expected[i])
+            << "client " << c << " pair " << i << " at " << num_threads
+            << " server threads";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hignn

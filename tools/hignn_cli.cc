@@ -24,6 +24,9 @@
 #include "core/serialization.h"
 #include "core/training_monitor.h"
 #include "data/synthetic.h"
+#include "predict/cvr_model.h"
+#include "predict/features.h"
+#include "serve/embedding_store.h"
 #include "util/flags.h"
 #include "util/io.h"
 #include "util/string_util.h"
@@ -61,6 +64,14 @@ commands:
              --side left|right  --out FILE.tsv  [--levels K]
   clusters   dump cluster assignments         --model MODEL.hgnn
              --side left|right  --level L  --out FILE.tsv
+  export-store
+             train the full pipeline on a synthetic preset and export
+             the online serving store (embeddings + cluster chains +
+             CVR weights; see src/serve/embedding_store.h)
+             --out STORE.hgnnstore
+             [--preset tiny] [--users N] [--items N] [--seed S]
+             [--levels 2] [--dim 16] [--steps 120] [--threads N]
+             [--cvr-epochs 2]
 )");
   return 2;
 }
@@ -273,6 +284,91 @@ int RunClusters(const CommandLine& cl) {
   return 0;
 }
 
+// Full offline pipeline in one verb: synthesize the dataset, fit the
+// hierarchy, train the CVR network, and hand everything to the serving
+// layer as one immutable store file. Deterministic for a given flag set,
+// so a store can always be rebuilt bit-for-bit from its provenance line.
+int RunExportStore(const CommandLine& cl) {
+  const std::string out = cl.GetString("out");
+  if (out.empty()) return Usage();
+  const std::string preset = cl.GetString("preset", "tiny");
+  SyntheticConfig data_config;
+  if (preset == "taobao1") {
+    data_config = SyntheticConfig::Taobao1();
+  } else if (preset == "taobao2") {
+    data_config = SyntheticConfig::Taobao2();
+  } else if (preset == "tiny") {
+    data_config = SyntheticConfig::Tiny();
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 2;
+  }
+  auto users = cl.GetInt("users", data_config.num_users);
+  auto items = cl.GetInt("items", data_config.num_items);
+  auto seed = cl.GetInt("seed", static_cast<int64_t>(data_config.seed));
+  auto levels = cl.GetInt("levels", 2);
+  auto dim = cl.GetInt("dim", 16);
+  auto steps = cl.GetInt("steps", 120);
+  auto threads = cl.GetInt("threads", 0);
+  auto cvr_epochs = cl.GetInt("cvr-epochs", 2);
+  for (const Status& status :
+       {users.status(), items.status(), seed.status(), levels.status(),
+        dim.status(), steps.status(), threads.status(),
+        cvr_epochs.status()}) {
+    if (!status.ok()) return Fail(status);
+  }
+  data_config.num_users = static_cast<int32_t>(users.value());
+  data_config.num_items = static_cast<int32_t>(items.value());
+  data_config.seed = static_cast<uint64_t>(seed.value());
+
+  WallTimer timer;
+  auto dataset = SyntheticDataset::Generate(data_config);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  HignnConfig hignn_config;
+  hignn_config.levels = static_cast<int32_t>(levels.value());
+  hignn_config.sage.dims = {static_cast<int32_t>(dim.value()),
+                            static_cast<int32_t>(dim.value())};
+  hignn_config.sage.train_steps = static_cast<int32_t>(steps.value());
+  hignn_config.min_clusters = 2;
+  hignn_config.num_threads = static_cast<int32_t>(threads.value());
+  hignn_config.seed = data_config.seed;
+  const BipartiteGraph graph = dataset.value().BuildTrainGraph();
+  auto model = Hignn::Fit(graph, dataset.value().user_features(),
+                          dataset.value().item_features(), hignn_config);
+  if (!model.ok()) return Fail(model.status());
+
+  const FeatureSpec spec = FeatureSpec::HiGnn(model.value().num_levels());
+  auto builder =
+      CvrFeatureBuilder::Create(&dataset.value(), &model.value(), spec);
+  if (!builder.ok()) return Fail(builder.status());
+  const SampleSet samples =
+      BuildSamples(dataset.value(), /*replicate_positives=*/true,
+                   data_config.seed);
+  CvrModelConfig cvr_config;
+  cvr_config.hidden = {32, 16};
+  cvr_config.batch_size = 256;
+  cvr_config.epochs = static_cast<int32_t>(cvr_epochs.value());
+  cvr_config.seed = data_config.seed;
+  auto cvr = CvrModel::Create(builder.value().dim(), cvr_config);
+  if (!cvr.ok()) return Fail(cvr.status());
+  auto loss = cvr.value().Train(builder.value(), samples.train);
+  if (!loss.ok()) return Fail(loss.status());
+
+  if (Status status = ExportEmbeddingStore(model.value(), dataset.value(),
+                                           spec, cvr.value(), out);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::printf(
+      "exported store %s in %.1fs: %d users x %d items, %d levels "
+      "(d = %d), feature dim %d, cvr train loss %.4f\n",
+      out.c_str(), timer.Seconds(), data_config.num_users,
+      data_config.num_items, model.value().num_levels(),
+      model.value().level_dim(), builder.value().dim(), loss.value());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   auto cl = CommandLine::Parse(argc, argv);
   if (!cl.ok()) return Fail(cl.status());
@@ -282,6 +378,7 @@ int Run(int argc, char** argv) {
   if (command == "info") return RunInfo(cl.value());
   if (command == "embed") return RunEmbed(cl.value());
   if (command == "clusters") return RunClusters(cl.value());
+  if (command == "export-store") return RunExportStore(cl.value());
   return Usage();
 }
 

@@ -57,6 +57,13 @@ struct RuleInfo {
   const char* id;
   const char* summary;
   std::vector<std::string> allowed_paths;  // suffix match, '/'-normalized
+  /// Directory-prefix scope for the rule's *scoped tokens* (currently the
+  /// raw-write socket syscalls ::write/::send): inside these directories
+  /// the scoped tokens are permitted wholesale — a reviewed architectural
+  /// exemption, not a per-line suppression — while every other token of
+  /// the rule stays active. Distinct from allowed_paths, which disables
+  /// the whole rule for a file.
+  std::vector<std::string> scoped_dirs;  // prefix match, '/'-normalized
 };
 
 const std::vector<RuleInfo>& Rules() {
@@ -65,22 +72,28 @@ const std::vector<RuleInfo>& Rules() {
        "no iteration over std::unordered_map/std::unordered_set in "
        "order-sensitive code; use ordered containers or util/ordered.h "
        "sorted extraction",
-       {"src/util/ordered.h"}},
+       {"src/util/ordered.h"},
+       {}},
       {"raw-write",
-       "no raw std::ofstream/fopen/FILE* writes; artifact writes go "
-       "through the atomic util/io API",
-       {"src/util/io.cc", "src/util/io.h"}},
+       "no raw std::ofstream/fopen/FILE* writes and no ::write()/::send() "
+       "byte output; artifact writes go through the atomic util/io API, "
+       "socket IO through the src/serve/ wire layer",
+       {"src/util/io.cc", "src/util/io.h"},
+       {"src/serve/"}},
       {"nondet-source",
        "no rand()/std::random_device/time()/::now(); randomness via "
        "util/rng.h, timing via util/timer.h",
-       {"src/util/rng.h", "src/util/rng.cc", "src/util/timer.h"}},
+       {"src/util/rng.h", "src/util/rng.cc", "src/util/timer.h"},
+       {}},
       {"naked-thread",
        "no std::thread/std::async/#pragma omp; concurrency only via "
        "util/thread_pool",
-       {"src/util/thread_pool.h", "src/util/thread_pool.cc"}},
+       {"src/util/thread_pool.h", "src/util/thread_pool.cc"},
+       {}},
       {"parallel-float-reduction",
        "no floating-point reductions in ParallelFor bodies; use "
        "ParallelForChunks with a fixed-order merge",
+       {},
        {}},
   };
   return kRules;
@@ -280,9 +293,14 @@ class FileLinter {
     return allow_counts_;
   }
 
-  void Run(const std::set<std::string>& active_rules) {
+  /// `scoped_rules` lists rule ids whose scoped tokens (RuleInfo::
+  /// scoped_dirs) are exempt for this file.
+  void Run(const std::set<std::string>& active_rules,
+           const std::set<std::string>& scoped_rules) {
     if (active_rules.count("unordered-iter")) CheckUnorderedIter();
-    if (active_rules.count("raw-write")) CheckRawWrite();
+    if (active_rules.count("raw-write")) {
+      CheckRawWrite(/*sockets_scoped=*/scoped_rules.count("raw-write") > 0);
+    }
     if (active_rules.count("nondet-source")) CheckNondetSource();
     if (active_rules.count("naked-thread")) CheckNakedThread();
     if (active_rules.count("parallel-float-reduction")) {
@@ -478,7 +496,7 @@ class FileLinter {
 
   // ---- rule: raw-write ---------------------------------------------------
 
-  void CheckRawWrite() {
+  void CheckRawWrite(bool sockets_scoped) {
     FlagWord("ofstream", "raw-write",
              "raw 'std::ofstream' write outside util/io; use "
              "BinaryWriter or AtomicWriteTextFile");
@@ -488,6 +506,18 @@ class FileLinter {
     FlagCall("freopen", "raw-write",
              "raw 'freopen' outside util/io; use BinaryWriter or "
              "AtomicWriteTextFile");
+    // Socket/file-descriptor byte output. Scoped (not per-line) allowance:
+    // the serve wire layer is the audited home of frame IO, so these two
+    // tokens — and only these — are exempt under src/serve/.
+    if (!sockets_scoped) {
+      FlagGlobalCall("write", "raw-write",
+                     "raw '::write()' byte output outside the serve wire "
+                     "layer; file IO goes through util/io, frame IO "
+                     "through src/serve/wire");
+      FlagGlobalCall("send", "raw-write",
+                     "raw '::send()' socket write outside the serve wire "
+                     "layer; frame IO goes through src/serve/wire");
+    }
     // FILE* / FILE * declarations.
     const std::string& code = file_.code;
     size_t pos = 0;
@@ -697,6 +727,30 @@ class FileLinter {
     }
   }
 
+  // Matches only the global-scope-qualified call form `::fn(` (the hignn
+  // style for POSIX syscalls), so member functions and namespace-qualified
+  // names (`writer.send(...)`, `std::write(...)`) never fire.
+  void FlagGlobalCall(const std::string& fn, const std::string& rule,
+                      const std::string& message) {
+    const std::string token = "::" + fn;
+    const std::string& code = file_.code;
+    size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += token.size();
+      if (at > 0 && (IsWordChar(code[at - 1]) || code[at - 1] == ':')) {
+        continue;  // qualified name (std::write), not global scope
+      }
+      if (at + token.size() < code.size() &&
+          IsWordChar(code[at + token.size()])) {
+        continue;
+      }
+      const size_t paren = SkipSpaces(code, at + token.size());
+      if (paren >= code.size() || code[paren] != '(') continue;
+      Report(at, rule, message);
+    }
+  }
+
   void FlagCall(const std::string& fn, const std::string& rule,
                 const std::string& message) {
     const std::string& code = file_.code;
@@ -768,6 +822,13 @@ bool RuleAllowsPath(const RuleInfo& rule, const std::string& display_path) {
                              suffix.size(), suffix) == 0) {
       return true;
     }
+  }
+  return false;
+}
+
+bool RuleScopesPath(const RuleInfo& rule, const std::string& display_path) {
+  for (const std::string& prefix : rule.scoped_dirs) {
+    if (display_path.rfind(prefix, 0) == 0) return true;
   }
   return false;
 }
@@ -857,11 +918,13 @@ int main(int argc, char** argv) {
     const std::string display = NormalizeDisplay(fs::path(file), root);
 
     std::set<std::string> active;
+    std::set<std::string> scoped;
     for (const RuleInfo& rule : Rules()) {
       if (!RuleAllowsPath(rule, display)) active.insert(rule.id);
+      if (RuleScopesPath(rule, display)) scoped.insert(rule.id);
     }
     FileLinter linter(display, buffer.str());
-    linter.Run(active);
+    linter.Run(active, scoped);
     diagnostics.insert(diagnostics.end(), linter.diagnostics().begin(),
                        linter.diagnostics().end());
     for (const auto& [rule, count] : linter.allow_counts()) {

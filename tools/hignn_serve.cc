@@ -1,0 +1,220 @@
+// hignn_serve — the online scoring daemon and its command-line client.
+//
+// Serve mode loads an immutable embedding store (built by
+// `hignn export-store`) and answers score/topk/health/stats requests over
+// the wire.h TCP protocol until SIGINT/SIGTERM, then shuts down
+// gracefully and dumps a metrics JSON snapshot:
+//
+//   hignn export-store --preset tiny --out /tmp/tiny.hgnnstore
+//   hignn_serve serve --store /tmp/tiny.hgnnstore --port 0 \
+//       --port-file /tmp/port --metrics-out /tmp/serve_metrics.json
+//
+// The remaining verbs are one-shot clients (also the CI smoke test):
+//
+//   hignn_serve score  --port $(cat /tmp/port) --user 3 --item 7
+//   hignn_serve topk   --port $(cat /tmp/port) --user 3 --k 5
+//   hignn_serve health --port $(cat /tmp/port)
+//   hignn_serve stats  --port $(cat /tmp/port)
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/engine.h"
+#include "serve/serve_metrics.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace hignn {
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: hignn_serve <command> [flags]
+
+commands:
+  serve    run the TCP scoring server until SIGINT/SIGTERM
+           --store STORE.hgnnstore
+           [--host 127.0.0.1] [--port 0]  (0 = ephemeral)
+           [--port-file FILE]     (write the bound port, for scripts)
+           [--threads 2]          (connection handler threads)
+           [--max-batch 64] [--max-delay-us 1000] [--max-queue 4096]
+           [--recv-timeout-ms 200]
+           [--metrics-out FILE]   (dump metrics JSON on shutdown)
+  score    score one (user, item) pair
+           --port P [--host 127.0.0.1] --user U --item I
+  topk     top-k recommendations for a user
+           --port P [--host 127.0.0.1] --user U [--k 10]
+  health   liveness probe (exit 0 iff the server answers)
+           --port P [--host 127.0.0.1]
+  stats    print the server's metrics JSON
+           --port P [--host 127.0.0.1]
+)");
+  return 2;
+}
+
+int RunServe(const CommandLine& cl) {
+  const std::string store_path = cl.GetString("store");
+  if (store_path.empty()) return Usage();
+  auto port = cl.GetInt("port", 0);
+  auto threads = cl.GetInt("threads", 2);
+  auto max_batch = cl.GetInt("max-batch", 64);
+  auto max_delay_us = cl.GetInt("max-delay-us", 1000);
+  auto max_queue = cl.GetInt("max-queue", 4096);
+  auto recv_timeout_ms = cl.GetInt("recv-timeout-ms", 200);
+  for (const Status& status :
+       {port.status(), threads.status(), max_batch.status(),
+        max_delay_us.status(), max_queue.status(),
+        recv_timeout_ms.status()}) {
+    if (!status.ok()) return Fail(status);
+  }
+
+  auto engine = PredictionEngine::Open(store_path);
+  if (!engine.ok()) return Fail(engine.status());
+  ServeMetrics metrics;
+
+  ServerConfig config;
+  config.host = cl.GetString("host", "127.0.0.1");
+  config.port = static_cast<int32_t>(port.value());
+  config.num_threads = static_cast<int32_t>(threads.value());
+  config.recv_timeout_ms = static_cast<int32_t>(recv_timeout_ms.value());
+  config.batcher.max_batch = static_cast<int32_t>(max_batch.value());
+  config.batcher.max_delay_us = static_cast<int32_t>(max_delay_us.value());
+  config.batcher.max_queue_rows = static_cast<int32_t>(max_queue.value());
+
+  // Install the handlers before the port becomes visible so a script
+  // that reads --port-file can never signal us through a default
+  // (process-killing) disposition.
+  struct sigaction action = {};
+  action.sa_handler = HandleStopSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  auto server = ScoringServer::Start(engine.value().get(), &metrics, config);
+  if (!server.ok()) return Fail(server.status());
+
+  const std::string port_file = cl.GetString("port-file");
+  if (!port_file.empty()) {
+    if (Status status = AtomicWriteTextFile(
+            port_file, StrFormat("%d\n", server.value()->port()));
+        !status.ok()) {
+      return Fail(status);
+    }
+  }
+  std::printf("serving %s on %s:%d (%d users x %d items, %d handlers)\n",
+              store_path.c_str(), config.host.c_str(),
+              server.value()->port(),
+              engine.value()->store().num_users(),
+              engine.value()->store().num_items(), config.num_threads);
+  std::fflush(stdout);
+
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("shutting down\n");
+  server.value()->Stop();
+  const std::string metrics_out = cl.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    if (Status status = metrics.DumpJson(metrics_out); !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+Result<ScoringClient> ConnectFlag(const CommandLine& cl) {
+  auto port = cl.GetInt("port", 0);
+  if (!port.ok()) return port.status();
+  if (port.value() <= 0) {
+    return Status::InvalidArgument("--port is required");
+  }
+  return ScoringClient::Connect(cl.GetString("host", "127.0.0.1"),
+                                static_cast<int32_t>(port.value()));
+}
+
+int RunScore(const CommandLine& cl) {
+  auto user = cl.GetInt("user", -1);
+  auto item = cl.GetInt("item", -1);
+  if (!user.ok()) return Fail(user.status());
+  if (!item.ok()) return Fail(item.status());
+  if (user.value() < 0 || item.value() < 0) return Usage();
+  auto client = ConnectFlag(cl);
+  if (!client.ok()) return Fail(client.status());
+  ScoreRequest request;
+  request.user = static_cast<int32_t>(user.value());
+  request.item = static_cast<int32_t>(item.value());
+  auto scores = client.value().Score({request});
+  if (!scores.ok()) return Fail(scores.status());
+  std::printf("%d\t%d\t%.9g\n", request.user, request.item,
+              scores.value().front());
+  return 0;
+}
+
+int RunTopK(const CommandLine& cl) {
+  auto user = cl.GetInt("user", -1);
+  auto k = cl.GetInt("k", 10);
+  if (!user.ok()) return Fail(user.status());
+  if (!k.ok()) return Fail(k.status());
+  if (user.value() < 0) return Usage();
+  auto client = ConnectFlag(cl);
+  if (!client.ok()) return Fail(client.status());
+  auto top = client.value().TopK(static_cast<int32_t>(user.value()),
+                                 static_cast<int32_t>(k.value()));
+  if (!top.ok()) return Fail(top.status());
+  for (const Recommendation& rec : top.value()) {
+    std::printf("%d\t%.9g\n", rec.item, rec.score);
+  }
+  return 0;
+}
+
+int RunHealth(const CommandLine& cl) {
+  auto client = ConnectFlag(cl);
+  if (!client.ok()) return Fail(client.status());
+  if (Status status = client.value().Health(); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("ok\n");
+  return 0;
+}
+
+int RunStats(const CommandLine& cl) {
+  auto client = ConnectFlag(cl);
+  if (!client.ok()) return Fail(client.status());
+  auto json = client.value().Stats();
+  if (!json.ok()) return Fail(json.status());
+  std::printf("%s\n", json.value().c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) return Fail(cl.status());
+  const std::string& command = cl.value().command();
+  if (command == "serve") return RunServe(cl.value());
+  if (command == "score") return RunScore(cl.value());
+  if (command == "topk") return RunTopK(cl.value());
+  if (command == "health") return RunHealth(cl.value());
+  if (command == "stats") return RunStats(cl.value());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hignn
+
+int main(int argc, char** argv) { return hignn::Run(argc, argv); }
