@@ -1,0 +1,153 @@
+// Observability overhead: times the same deterministic training workload
+// with telemetry collection on and off, plus the raw cost of each metric
+// primitive, and checks the result against the DESIGN.md §11 budget of
+// <2% on the training hot path. Writes BENCH_observability.json in the
+// working directory (consumed by CI as the telemetry-cost artifact).
+//
+// The two timed modes run the bitwise-identical computation (enforced by
+// tests/obs_test.cc), so any wall-clock difference is purely the cost of
+// counters, gauges, series appends and trace spans.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/hignn.h"
+#include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/io.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace hignn {
+namespace {
+
+double MinOf(const std::vector<double>& values) {
+  double best = values.front();
+  for (double v : values) best = v < best ? v : best;
+  return best;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "Observability overhead: telemetry on vs telemetry off",
+      "DESIGN.md Sec. 11 budget: <2% on the training hot path");
+
+  auto dataset =
+      SyntheticDataset::Generate(SyntheticConfig::Tiny()).ValueOrDie();
+  const BipartiteGraph graph = dataset.BuildTrainGraph();
+  HignnConfig config;
+  config.levels = 2;
+  config.sage.dims = {16, 16};
+  config.sage.fanouts = {5, 3};
+  config.sage.train_steps = bench::Scaled(60);
+  config.min_clusters = 2;
+  config.num_threads = 1;
+
+  auto fit_once = [&] {
+    HIGNN_CHECK(Hignn::Fit(graph, dataset.user_features(),
+                           dataset.item_features(), config)
+                    .ok());
+  };
+
+  // Warm-up run (allocator, caches) before anything is timed.
+  fit_once();
+
+  // Alternate on/off within each rep so thermal and scheduler drift hits
+  // both modes equally; min-of-reps is the noise-robust comparator.
+  constexpr int kReps = 5;
+  std::vector<double> on_seconds;
+  std::vector<double> off_seconds;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (bool enabled : {true, false}) {
+      obs::SetEnabled(enabled);
+      obs::Stopwatch timer;
+      fit_once();
+      (enabled ? on_seconds : off_seconds).push_back(timer.Seconds());
+    }
+  }
+  obs::SetEnabled(true);
+  obs::ResetTrace();  // the timed Fits leave ~thousands of spans behind
+
+  const double fit_on = MinOf(on_seconds);
+  const double fit_off = MinOf(off_seconds);
+  const double overhead_pct =
+      fit_off > 0.0 ? 100.0 * (fit_on - fit_off) / fit_off : 0.0;
+  constexpr double kBudgetPct = 2.0;
+
+  // Primitive costs, against a private registry so the global dump stays
+  // clean. The span loop stays under the per-thread buffer cap so every
+  // iteration pays the full record path, not the cheaper drop path.
+  constexpr int64_t kOps = 1000000;
+  constexpr int64_t kSpans = 50000;
+  obs::MetricsRegistry local;
+  obs::Counter& counter = local.GetCounter("bench.counter");
+  obs::Histogram& histogram =
+      local.GetHistogram("bench.latency", obs::DefaultLatencyBoundsUs());
+
+  obs::Stopwatch counter_timer;
+  for (int64_t i = 0; i < kOps; ++i) counter.Add();
+  const double counter_ns =
+      counter_timer.Seconds() * 1e9 / static_cast<double>(kOps);
+
+  obs::Stopwatch histogram_timer;
+  for (int64_t i = 0; i < kOps; ++i) {
+    histogram.Record(static_cast<double>(i % 3000));
+  }
+  const double histogram_ns =
+      histogram_timer.Seconds() * 1e9 / static_cast<double>(kOps);
+
+  obs::Stopwatch span_timer;
+  for (int64_t i = 0; i < kSpans; ++i) {
+    HIGNN_SPAN("obs.bench.span", {{"i", i}});
+  }
+  const double span_ns =
+      span_timer.Seconds() * 1e9 / static_cast<double>(kSpans);
+  obs::ResetTrace();
+
+  std::printf("%-28s %14s %14s %10s\n", "workload", "on(s)", "off(s)",
+              "overhead");
+  std::printf("%-28s %14.3f %14.3f %9.2f%%\n", "hierarchical fit", fit_on,
+              fit_off, overhead_pct);
+  std::printf("primitives: counter add %.0f ns, histogram record %.0f ns, "
+              "trace span %.0f ns\n",
+              counter_ns, histogram_ns, span_ns);
+  std::printf("budget: %.1f%% -> %s\n", kBudgetPct,
+              overhead_pct < kBudgetPct ? "within budget" : "OVER BUDGET");
+
+  std::string json = "{\n";
+  json += StrFormat("  \"scale\": %.2f,\n", bench::Scale());
+  json += StrFormat(
+      "  \"workload\": {\"levels\": %d, \"train_steps\": %d, "
+      "\"reps\": %d},\n",
+      config.levels, config.sage.train_steps, kReps);
+  json += StrFormat(
+      "  \"fit_seconds\": {\"telemetry_on\": %.4f, "
+      "\"telemetry_off\": %.4f},\n",
+      fit_on, fit_off);
+  json += StrFormat("  \"overhead_pct\": %.3f,\n", overhead_pct);
+  json += StrFormat("  \"budget_pct\": %.1f,\n", kBudgetPct);
+  json += StrFormat("  \"within_budget\": %s,\n",
+                    overhead_pct < kBudgetPct ? "true" : "false");
+  json += StrFormat(
+      "  \"primitive_ns\": {\"counter_add\": %.1f, "
+      "\"histogram_record\": %.1f, \"span\": %.1f}\n",
+      counter_ns, histogram_ns, span_ns);
+  json += "}\n";
+  if (Status status = AtomicWriteTextFile("BENCH_observability.json", json);
+      !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_observability.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hignn
+
+int main() { return hignn::Run(); }

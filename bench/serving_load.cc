@@ -8,7 +8,6 @@
 // `hignn export-store` runs; the measured section is real frames over
 // real loopback sockets, micro-batched like production traffic.
 
-#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -17,6 +16,7 @@
 
 #include "bench_util.h"
 #include "core/hignn.h"
+#include "obs/metrics.h"
 #include "data/synthetic.h"
 #include "predict/cvr_model.h"
 #include "predict/features.h"
@@ -36,14 +36,6 @@ namespace {
 
 constexpr int32_t kClients = 4;
 constexpr int32_t kPairsPerRequest = 8;
-
-double PercentileUs(const std::vector<double>& sorted_us, double p) {
-  if (sorted_us.empty()) return 0.0;
-  const size_t index = std::min(
-      sorted_us.size() - 1,
-      static_cast<size_t>(p * static_cast<double>(sorted_us.size())));
-  return sorted_us[index];
-}
 
 int Run() {
   bench::PrintHeader(
@@ -82,7 +74,11 @@ int Run() {
   HIGNN_CHECK(
       ExportEmbeddingStore(model, dataset, spec, cvr, store_path).ok());
   auto engine = std::move(PredictionEngine::Open(store_path).ValueOrDie());
-  ServeMetrics metrics;
+  // Server-side and client-side metrics share the process-wide registry:
+  // the server's serve.* counters and the client-visible latency
+  // histogram below land in one dump, percentile math included.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  ServeMetrics metrics(&registry);
   auto server =
       std::move(ScoringServer::Start(engine.get(), &metrics, ServerConfig())
                     .ValueOrDie());
@@ -146,19 +142,24 @@ int Run() {
     }
   }
 
-  std::vector<double> all_us;
-  for (const std::vector<double>& per_client : latencies_us) {
-    all_us.insert(all_us.end(), per_client.begin(), per_client.end());
-  }
-  std::sort(all_us.begin(), all_us.end());
+  // Client-visible latencies go through the shared obs::Histogram — the
+  // same buckets and percentile math the server and run reports use, so
+  // every artifact in the tree agrees on what "p99" means.
+  obs::Histogram& client_latency = registry.GetHistogram(
+      "bench.client_latency_us", obs::DefaultLatencyBoundsUs());
   double sum_us = 0.0;
-  for (double v : all_us) sum_us += v;
-  const int64_t total_requests = static_cast<int64_t>(all_us.size());
+  for (const std::vector<double>& per_client : latencies_us) {
+    for (double v : per_client) {
+      client_latency.Record(v);
+      sum_us += v;
+    }
+  }
+  const int64_t total_requests = client_latency.count();
   const double qps =
       wall_seconds > 0.0 ? total_requests / wall_seconds : 0.0;
-  const double p50 = PercentileUs(all_us, 0.50);
-  const double p95 = PercentileUs(all_us, 0.95);
-  const double p99 = PercentileUs(all_us, 0.99);
+  const double p50 = client_latency.Percentile(0.50);
+  const double p95 = client_latency.Percentile(0.95);
+  const double p99 = client_latency.Percentile(0.99);
   const double mean_us =
       total_requests > 0 ? sum_us / static_cast<double>(total_requests) : 0.0;
 

@@ -5,7 +5,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
-#include "util/timer.h"
+#include "obs/trace.h"
 
 namespace hignn {
 
@@ -93,7 +93,7 @@ Result<DiffPoolStats> RunDiffPoolForward(const BipartiteGraph& graph,
         "- this is the limitation HiGNN avoids");
   }
 
-  WallTimer timer;
+  obs::Stopwatch timer;
   DiffPoolStats stats;
   Rng rng(config.seed);
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -186,9 +188,24 @@ KMeansResult RunLloyd(const Matrix& points, const KMeansConfig& config,
 
   Matrix sums(static_cast<size_t>(k), d);
   std::vector<int64_t> counts(static_cast<size_t>(k));
+  // Assignment-churn tracking is observation-only: the previous-iteration
+  // copy exists solely to feed the gauge, so it is skipped entirely under
+  // --obs-off (bitwise parity holds either way — churn never feeds the
+  // update math).
+  const bool track_churn = obs::Enabled();
+  std::vector<int32_t> prev_assignment;
   for (int32_t iter = 0; iter < config.max_iters; ++iter) {
     result.iterations = iter + 1;
+    if (track_churn && iter > 0) prev_assignment = result.assignment;
     result.inertia = AssignAll(points, result.centers, result.assignment);
+    if (track_churn && iter > 0 && n > 0) {
+      size_t changed = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (result.assignment[i] != prev_assignment[i]) ++changed;
+      }
+      obs::GaugeSet("kmeans.assignment_churn",
+                    static_cast<double>(changed) / static_cast<double>(n));
+    }
 
     sums.Fill(0.0f);
     std::fill(counts.begin(), counts.end(), 0);
@@ -355,6 +372,21 @@ Result<KMeansResult> RunKMeans(const Matrix& points,
   }
   const int32_t k =
       std::min<int32_t>(config.k, static_cast<int32_t>(points.rows()));
+  const char* span_name = "kmeans.lloyd";
+  switch (config.algorithm) {
+    case KMeansAlgorithm::kLloyd:
+      span_name = "kmeans.lloyd";
+      break;
+    case KMeansAlgorithm::kMiniBatch:
+      span_name = "kmeans.minibatch";
+      break;
+    case KMeansAlgorithm::kSinglePass:
+      span_name = "kmeans.single_pass";
+      break;
+  }
+  obs::SpanGuard span(
+      span_name,
+      {{"k", k}, {"n", static_cast<int64_t>(points.rows())}});
   Rng rng(config.seed);
   Result<KMeansResult> result = Status::Internal("unknown kmeans algorithm");
   switch (config.algorithm) {
@@ -367,6 +399,11 @@ Result<KMeansResult> RunKMeans(const Matrix& points,
     case KMeansAlgorithm::kSinglePass:
       result = RunSinglePass(points, config, k, rng);
       break;
+  }
+  if (result.ok()) {
+    obs::CounterAdd("kmeans.runs");
+    obs::CounterAdd("kmeans.iterations", result.value().iterations);
+    obs::CounterAdd("kmeans.reseeds", result.value().reseeds);
   }
   if (result.ok() && result.value().reseeds > 0) {
     HIGNN_LOG(kDebug) << StrFormat(

@@ -5,6 +5,8 @@
 #include <filesystem>
 
 #include "core/serialization.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault_injection.h"
 #include "util/io.h"
 #include "util/logging.h"
@@ -201,6 +203,8 @@ Status SaveCheckpoint(const TrainingCheckpoint& ckpt,
   if (options.dir.empty()) {
     return Status::InvalidArgument("checkpoint dir not set");
   }
+  HIGNN_SPAN("checkpoint.save", {{"sequence", ckpt.sequence}});
+  obs::Stopwatch save_timer;
   std::error_code ec;
   std::filesystem::create_directories(options.dir, ec);
   if (ec && !std::filesystem::is_directory(options.dir)) {
@@ -261,6 +265,8 @@ Status SaveCheckpoint(const TrainingCheckpoint& ckpt,
                         << manifest.ToString();
   }
   PruneCheckpoints(options.dir, options.keep_last);
+  obs::CounterAdd("io.checkpoints_saved");
+  obs::LatencyRecordUs("io.checkpoint_latency_us", save_timer.Micros());
   return Status::OK();
 }
 

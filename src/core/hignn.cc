@@ -8,10 +8,12 @@
 #include "core/training_monitor.h"
 #include "graph/coarsen.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace hignn {
 
@@ -208,6 +210,7 @@ Result<HignnModel> Hignn::Fit(const BipartiteGraph& graph,
   }
   SetGlobalThreadPoolThreads(
       config.num_threads < 0 ? 0 : static_cast<size_t>(config.num_threads));
+  HIGNN_SPAN("fit", {{"levels", config.levels}});
 
   const bool checkpointing = !checkpoint.dir.empty();
   const uint64_t fingerprint =
@@ -293,12 +296,28 @@ Result<HignnModel> Hignn::Fit(const BipartiteGraph& graph,
     return SaveCheckpoint(ckpt, checkpoint);
   };
 
+  // Observation-only run report next to the checkpoints: refreshed at
+  // every durable point so an interrupted run still leaves a snapshot.
+  // Failures are logged, never propagated — telemetry must not be able
+  // to fail a training run.
+  auto write_run_report = [&]() {
+    if (!checkpointing || !obs::Enabled()) return;
+    const std::string report_path = checkpoint.dir + "/run_report.json";
+    if (Status status = obs::WriteRunReport(report_path, fingerprint,
+                                            obs::MetricsRegistry::Global());
+        !status.ok()) {
+      HIGNN_LOG(kWarning) << "run report write failed: " << status.ToString();
+    }
+  };
+
   if (checkpointing && !resumed) {
     HIGNN_RETURN_IF_ERROR(save_boundary(1));
+    write_run_report();
   }
 
   for (int32_t l = start_level; l <= config.levels; ++l) {
-    WallTimer timer;
+    HIGNN_SPAN("fit.level", {{"level", l}});
+    obs::Stopwatch timer;
     // --- (Z_u^l, Z_i^l) <- BG(G^{l-1}, X^{l-1}) [Alg. 1 line 4] ----------
     BipartiteSageConfig sage_config = config.sage;
     sage_config.seed = config.seed + static_cast<uint64_t>(l) * 7919;
@@ -390,6 +409,7 @@ Result<HignnModel> Hignn::Fit(const BipartiteGraph& graph,
       tail_loss_sum = anchor.tail_loss_sum;
       tail_count = anchor.tail_count;
       step = anchor.step;
+      obs::SeriesAppend("train.lr", anchor.learning_rate);
       HIGNN_LOG(kWarning) << StrFormat(
           "HiGNN level %d: divergence detected, rolled back to step %d "
           "(lr=%g, rollback %d/%d)",
@@ -399,10 +419,12 @@ Result<HignnModel> Hignn::Fit(const BipartiteGraph& graph,
     };
 
     while (step < sage_config.train_steps) {
+      HIGNN_SPAN("fit.step", {{"level", l}, {"step", step}});
       HIGNN_ASSIGN_OR_RETURN(
           double step_loss,
           sage.TrainStep(current_graph, current_left, current_right,
                          optimizer, rng, &monitor));
+      obs::SeriesAppend("train.loss", step_loss);
       if (monitor.ObserveLoss(step_loss) == HealthVerdict::kRollback) {
         HIGNN_RETURN_IF_ERROR(rollback());
         continue;
@@ -412,11 +434,13 @@ Result<HignnModel> Hignn::Fit(const BipartiteGraph& graph,
         ++tail_count;
       }
       ++step;
+      obs::CounterAdd("train.steps");
       if (checkpointing && checkpoint.step_interval > 0 &&
           step % checkpoint.step_interval == 0 &&
           step < sage_config.train_steps) {
         HIGNN_RETURN_IF_ERROR(save_mid_level());
         capture_anchor();
+        write_run_report();
       }
     }
     const double loss =
@@ -449,6 +473,10 @@ Result<HignnModel> Hignn::Fit(const BipartiteGraph& graph,
     level.num_left_clusters = left_k;
     level.num_right_clusters = right_k;
     level.train_loss = loss;
+
+    obs::CounterAdd("fit.levels_completed");
+    obs::SeriesAppend("train.level_loss", loss);
+    obs::GaugeSet("fit.level_seconds", timer.Seconds());
 
     if (config.verbose) {
       HIGNN_LOG(kInfo) << StrFormat(
@@ -483,6 +511,7 @@ Result<HignnModel> Hignn::Fit(const BipartiteGraph& graph,
       HIGNN_RETURN_IF_ERROR(save_boundary(l + 1));
     }
   }
+  write_run_report();
   return model;
 }
 

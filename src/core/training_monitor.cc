@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace hignn {
 
 bool TrainingMonitor::GradientsFinite(const std::vector<Parameter*>& params) {
@@ -9,6 +11,7 @@ bool TrainingMonitor::GradientsFinite(const std::vector<Parameter*>& params) {
   for (const Parameter* p : params) {
     if (!AllFinite(p->grad)) {
       ++state_.skipped_steps;
+      obs::CounterAdd("train.skipped_steps");
       return false;
     }
   }
@@ -37,6 +40,7 @@ void TrainingMonitor::OnRollback() {
   ++state_.rollbacks;
   state_.ema = 0.0;
   state_.observed = 0;
+  obs::CounterAdd("train.rollbacks");
 }
 
 }  // namespace hignn

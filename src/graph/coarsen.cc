@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/ordered.h"
 #include "util/string_util.h"
@@ -97,6 +99,8 @@ Result<CoarsenedGraph> CoarsenBipartiteGraph(
       right_embeddings.rows() != static_cast<size_t>(graph.num_right())) {
     return Status::InvalidArgument("embedding row count != vertex count");
   }
+  HIGNN_SPAN("coarsen",
+             {{"left", graph.num_left()}, {"right", graph.num_right()}});
 
   CoarsenedGraph out;
   out.num_left_clusters = num_left_clusters;
@@ -167,6 +171,20 @@ Result<CoarsenedGraph> CoarsenBipartiteGraph(
   out.graph = builder.Build();
   out.left_assignment = std::move(left_assignment);
   out.right_assignment = std::move(right_assignment);
+  const int64_t fine_vertices =
+      static_cast<int64_t>(graph.num_left()) + graph.num_right();
+  const int64_t coarse_vertices =
+      static_cast<int64_t>(num_left_clusters) + num_right_clusters;
+  if (fine_vertices > 0) {
+    obs::GaugeSet("coarsen.vertex_reduction",
+                  static_cast<double>(coarse_vertices) /
+                      static_cast<double>(fine_vertices));
+  }
+  if (graph.num_edges() > 0) {
+    obs::GaugeSet("coarsen.edge_reduction",
+                  static_cast<double>(out.graph.num_edges()) /
+                      static_cast<double>(graph.num_edges()));
+  }
   return out;
 }
 

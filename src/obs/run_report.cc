@@ -1,0 +1,100 @@
+#include "obs/run_report.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.h"
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace hignn {
+namespace obs {
+
+namespace {
+
+// Envelope framing around the checksummed report body. The body is the
+// exact byte range the CRC covers: everything between kPrefix's trailing
+// newline and the closing "}\n" of the file.
+constexpr char kReportKey[] = ", \"report\":\n";
+constexpr char kCrcKey[] = "{\"crc32\": ";
+
+std::string BuildReport(uint64_t fingerprint,
+                        const MetricsRegistry& registry) {
+  std::string report = StrFormat(
+      "{\"fingerprint\": \"%016llx\",\n\"schema_version\": 1,\n"
+      "\"metrics\": ",
+      static_cast<unsigned long long>(fingerprint));
+  report += registry.DumpJson();  // ends with "}\n"
+  report += "}\n";
+  return report;
+}
+
+}  // namespace
+
+Status WriteRunReport(const std::string& path, uint64_t fingerprint,
+                      const MetricsRegistry& registry) {
+  const std::string report = BuildReport(fingerprint, registry);
+  const uint32_t crc =
+      Crc32(reinterpret_cast<const uint8_t*>(report.data()), report.size());
+  std::string envelope = StrFormat(
+      "%s%llu%s", kCrcKey, static_cast<unsigned long long>(crc), kReportKey);
+  envelope += report;
+  envelope += "}\n";
+  return AtomicWriteTextFile(path, envelope);
+}
+
+Result<std::string> LoadRunReport(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError(
+        StrFormat("cannot open run report '%s': %s", path.c_str(),
+                  std::strerror(errno)));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+
+  const size_t crc_key_len = std::strlen(kCrcKey);
+  if (contents.compare(0, crc_key_len, kCrcKey) != 0) {
+    return Status::IOError(
+        StrFormat("'%s' is not a run report (bad header)", path.c_str()));
+  }
+  size_t pos = crc_key_len;
+  unsigned long long stored_crc = 0;
+  bool saw_digit = false;
+  while (pos < contents.size() && contents[pos] >= '0' &&
+         contents[pos] <= '9') {
+    stored_crc = stored_crc * 10 + static_cast<unsigned>(contents[pos] - '0');
+    ++pos;
+    saw_digit = true;
+  }
+  const size_t report_key_len = std::strlen(kReportKey);
+  if (!saw_digit ||
+      contents.compare(pos, report_key_len, kReportKey) != 0) {
+    return Status::IOError(
+        StrFormat("run report '%s' has a malformed envelope", path.c_str()));
+  }
+  pos += report_key_len;
+  // The report body runs to just before the closing "}\n".
+  if (contents.size() < pos + 2 ||
+      contents.compare(contents.size() - 2, 2, "}\n") != 0) {
+    return Status::IOError(
+        StrFormat("run report '%s' is truncated", path.c_str()));
+  }
+  const std::string report = contents.substr(pos, contents.size() - 2 - pos);
+  const uint32_t actual_crc =
+      Crc32(reinterpret_cast<const uint8_t*>(report.data()), report.size());
+  if (static_cast<unsigned long long>(actual_crc) != stored_crc) {
+    return Status::IOError(StrFormat(
+        "run report '%s' failed checksum (stored %llu, computed %llu)",
+        path.c_str(), stored_crc,
+        static_cast<unsigned long long>(actual_crc)));
+  }
+  return report;
+}
+
+}  // namespace obs
+}  // namespace hignn

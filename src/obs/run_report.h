@@ -1,0 +1,36 @@
+#ifndef HIGNN_OBS_RUN_REPORT_H_
+#define HIGNN_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace hignn {
+namespace obs {
+
+/// \brief Structured end-of-run artifact: a checksummed JSON snapshot of
+/// the metrics registry plus the config fingerprint, written atomically
+/// (tmp + fsync + rename, like every artifact in the tree) at end of
+/// training and on every checkpoint. The envelope is
+///   {"crc32": <n>, "report":
+///   {"fingerprint": "<hex>", "schema_version": 1, "metrics": {...}}
+///   }
+/// where the CRC covers exactly the report object's bytes, so a reader
+/// can reject bit flips and truncation without a JSON parser.
+
+/// \brief Serializes `registry` + `fingerprint` into the envelope above
+/// and writes it atomically to `path`.
+Status WriteRunReport(const std::string& path, uint64_t fingerprint,
+                      const MetricsRegistry& registry);
+
+/// \brief Reads an envelope written by WriteRunReport, verifies the CRC,
+/// and returns the inner report JSON (fingerprint + metrics). Corrupt,
+/// truncated or foreign files yield Status::IOError.
+Result<std::string> LoadRunReport(const std::string& path);
+
+}  // namespace obs
+}  // namespace hignn
+
+#endif  // HIGNN_OBS_RUN_REPORT_H_

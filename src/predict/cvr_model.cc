@@ -6,6 +6,8 @@
 #include "eval/metrics.h"
 #include "nn/optimizer.h"
 #include "nn/tape.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace hignn {
@@ -49,6 +51,9 @@ Result<double> CvrModel::Train(const CvrFeatureBuilder& features,
     return Status::InvalidArgument("feature dim != model input dim");
   }
 
+  HIGNN_SPAN("cvr.train",
+             {{"samples", static_cast<int64_t>(samples.size())},
+              {"epochs", config_.epochs}});
   Rng rng(config_.seed ^ 0x5EEDULL);
   Adam optimizer(config_.learning_rate);
   optimizer.set_weight_decay(config_.weight_decay);
@@ -90,6 +95,7 @@ Result<double> CvrModel::Train(const CvrFeatureBuilder& features,
     }
     last_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches)
                                   : 0.0;
+    obs::SeriesAppend("cvr.epoch_loss", last_epoch_loss);
   }
   return last_epoch_loss;
 }

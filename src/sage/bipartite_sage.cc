@@ -6,6 +6,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -369,83 +370,92 @@ Result<double> BipartiteSage::TrainStep(const BipartiteGraph& graph,
       std::min<int64_t>(config_.batch_size, graph.num_edges()));
   const int32_t qu = config_.negatives_per_edge_user;
   const int32_t qi = config_.negatives_per_edge_item;
+  const size_t total_rows =
+      static_cast<size_t>(batch) * (1 + static_cast<size_t>(qu) +
+                                    static_cast<size_t>(qi));
 
-  NegativeSampler negatives(graph);
-
-  // Positive edges + the negative-sampled opposing vertices.
   std::vector<int32_t> left_targets;
   std::vector<int32_t> right_targets;
-  std::vector<float> pos_weights(static_cast<size_t>(batch));
-  left_targets.reserve(static_cast<size_t>(batch * (1 + qu)));
-  right_targets.reserve(static_cast<size_t>(batch * (1 + qi)));
-  for (int32_t k = 0; k < batch; ++k) {
-    const WeightedEdge edge = graph.EdgeAt(
-        static_cast<int64_t>(rng.UniformInt(
-            static_cast<uint64_t>(graph.num_edges()))));
-    left_targets.push_back(edge.u);
-    right_targets.push_back(edge.i);
-    pos_weights[static_cast<size_t>(k)] = std::log1p(edge.weight);
-  }
-  for (int32_t k = 0; k < batch; ++k) {
-    for (int32_t j = 0; j < qu; ++j) {
-      left_targets.push_back(
-          negatives.SampleLeftFor(right_targets[static_cast<size_t>(k)], rng));
-    }
-  }
-  for (int32_t k = 0; k < batch; ++k) {
-    for (int32_t j = 0; j < qi; ++j) {
-      right_targets.push_back(
-          negatives.SampleRightFor(left_targets[static_cast<size_t>(k)], rng));
-    }
-  }
-
-  Tape tape;
-  BatchEmbedding emb = ForwardBatch(tape, graph, left_features,
-                                    right_features, left_targets,
-                                    right_targets, rng, /*train=*/true);
-
-  // Assemble scored rows: positives, then user-negatives, then
-  // item-negatives (Eq. 5's three terms).
   std::vector<int32_t> row_left;
   std::vector<int32_t> row_right;
   std::vector<float> row_weight;
   std::vector<float> labels;
-  const size_t total_rows =
-      static_cast<size_t>(batch) * (1 + static_cast<size_t>(qu) +
-                                    static_cast<size_t>(qi));
-  row_left.reserve(total_rows);
-  row_right.reserve(total_rows);
-  row_weight.reserve(total_rows);
-  labels.reserve(total_rows);
-  for (int32_t k = 0; k < batch; ++k) {
-    row_left.push_back(k);
-    row_right.push_back(k);
-    row_weight.push_back(pos_weights[static_cast<size_t>(k)]);
-    labels.push_back(1.0f);
-  }
-  for (int32_t k = 0; k < batch; ++k) {
-    for (int32_t j = 0; j < qu; ++j) {
-      row_left.push_back(batch + k * qu + j);
-      row_right.push_back(k);
-      row_weight.push_back(config_.negative_edge_weight);
-      labels.push_back(0.0f);
+  {
+    HIGNN_SPAN("sage.batch_assembly",
+               {{"rows", static_cast<int64_t>(total_rows)}});
+    NegativeSampler negatives(graph);
+
+    // Positive edges + the negative-sampled opposing vertices.
+    std::vector<float> pos_weights(static_cast<size_t>(batch));
+    left_targets.reserve(static_cast<size_t>(batch * (1 + qu)));
+    right_targets.reserve(static_cast<size_t>(batch * (1 + qi)));
+    for (int32_t k = 0; k < batch; ++k) {
+      const WeightedEdge edge = graph.EdgeAt(
+          static_cast<int64_t>(rng.UniformInt(
+              static_cast<uint64_t>(graph.num_edges()))));
+      left_targets.push_back(edge.u);
+      right_targets.push_back(edge.i);
+      pos_weights[static_cast<size_t>(k)] = std::log1p(edge.weight);
     }
-  }
-  for (int32_t k = 0; k < batch; ++k) {
-    for (int32_t j = 0; j < qi; ++j) {
+    for (int32_t k = 0; k < batch; ++k) {
+      for (int32_t j = 0; j < qu; ++j) {
+        left_targets.push_back(negatives.SampleLeftFor(
+            right_targets[static_cast<size_t>(k)], rng));
+      }
+    }
+    for (int32_t k = 0; k < batch; ++k) {
+      for (int32_t j = 0; j < qi; ++j) {
+        right_targets.push_back(negatives.SampleRightFor(
+            left_targets[static_cast<size_t>(k)], rng));
+      }
+    }
+
+    // Assemble scored rows: positives, then user-negatives, then
+    // item-negatives (Eq. 5's three terms).
+    row_left.reserve(total_rows);
+    row_right.reserve(total_rows);
+    row_weight.reserve(total_rows);
+    labels.reserve(total_rows);
+    for (int32_t k = 0; k < batch; ++k) {
       row_left.push_back(k);
-      row_right.push_back(batch + k * qi + j);
-      row_weight.push_back(config_.negative_edge_weight);
-      labels.push_back(0.0f);
+      row_right.push_back(k);
+      row_weight.push_back(pos_weights[static_cast<size_t>(k)]);
+      labels.push_back(1.0f);
+    }
+    for (int32_t k = 0; k < batch; ++k) {
+      for (int32_t j = 0; j < qu; ++j) {
+        row_left.push_back(batch + k * qu + j);
+        row_right.push_back(k);
+        row_weight.push_back(config_.negative_edge_weight);
+        labels.push_back(0.0f);
+      }
+    }
+    for (int32_t k = 0; k < batch; ++k) {
+      for (int32_t j = 0; j < qi; ++j) {
+        row_left.push_back(k);
+        row_right.push_back(batch + k * qi + j);
+        row_weight.push_back(config_.negative_edge_weight);
+        labels.push_back(0.0f);
+      }
     }
   }
 
-  VarId zl = tape.GatherRows(emb.left, row_left);
-  VarId zr = tape.GatherRows(emb.right, row_right);
-  VarId logits = ScoreEdges(tape, zl, zr, row_weight, /*train=*/true);
-  VarId loss = tape.BceWithLogits(logits, std::move(labels));
+  Tape tape;
+  VarId loss = 0;
+  double loss_value = 0.0;
+  {
+    HIGNN_SPAN("sage.forward");
+    BatchEmbedding emb = ForwardBatch(tape, graph, left_features,
+                                      right_features, left_targets,
+                                      right_targets, rng, /*train=*/true);
+    VarId zl = tape.GatherRows(emb.left, row_left);
+    VarId zr = tape.GatherRows(emb.right, row_right);
+    VarId logits = ScoreEdges(tape, zl, zr, row_weight, /*train=*/true);
+    loss = tape.BceWithLogits(logits, std::move(labels));
+    loss_value = tape.value(loss)(0, 0);
+  }
 
-  const double loss_value = tape.value(loss)(0, 0);
+  HIGNN_SPAN("sage.backward");
   tape.Backward(loss);
   AccumulateGrads(tape);
   std::vector<Parameter*> params = Params();
@@ -506,6 +516,8 @@ Result<SageEmbeddings> BipartiteSage::EmbedTargets(
 Result<SageEmbeddings> BipartiteSage::EmbedAll(const BipartiteGraph& graph,
                                                const Matrix& left_features,
                                                const Matrix& right_features) {
+  HIGNN_SPAN("sage.embed_all",
+             {{"left", graph.num_left()}, {"right", graph.num_right()}});
   Rng rng(config_.seed ^ 0xCAFEULL);
   SageEmbeddings all;
   all.left = Matrix(static_cast<size_t>(graph.num_left()),

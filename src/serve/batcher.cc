@@ -91,6 +91,9 @@ void MicroBatcher::CollectorLoop() {
     // shutdown the window collapses so draining is prompt.
     const double delay_seconds =
         static_cast<double>(config_.max_delay_us) * 1e-6;
+    // The batching window is time-driven control flow by design; it
+    // affects batch composition, never scores.
+    // hignn-lint: allow(nondet-source) reviewed wall-clock batching window
     WallTimer window;
     while (!stopping_ && queued_rows_ < config_.max_batch) {
       const double remaining = delay_seconds - window.Seconds();

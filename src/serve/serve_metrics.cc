@@ -1,84 +1,9 @@
 #include "serve/serve_metrics.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "util/io.h"
-#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace hignn {
-
-namespace {
-
-// Request latency buckets in microseconds: sub-millisecond resolution at
-// the fast end (an in-process forward is tens of µs), decade coverage up
-// to one second for loaded TCP round trips.
-std::vector<double> LatencyBoundsUs() {
-  return {50,    100,   200,   500,    1000,   2000,   5000,
-          10000, 20000, 50000, 100000, 200000, 500000, 1000000};
-}
-
-// Batch-size buckets: powers of two up to the plausible max_batch range.
-std::vector<double> BatchBounds() {
-  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
-}
-
-}  // namespace
-
-FixedHistogram::FixedHistogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
-  HIGNN_CHECK(!bounds_.empty());
-  HIGNN_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
-}
-
-void FixedHistogram::Record(double value) {
-  const size_t bucket =
-      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
-      bounds_.begin();
-  // upper_bound puts value == bound into the bucket it bounds, matching
-  // the (prev, bound] contract via the strict less-than comparison.
-  const size_t index =
-      bucket > 0 && value == bounds_[bucket - 1] ? bucket - 1 : bucket;
-  ++counts_[std::min(index, counts_.size() - 1)];
-  ++total_;
-}
-
-double FixedHistogram::Percentile(double p) const {
-  if (total_ == 0) return 0.0;
-  p = std::min(1.0, std::max(0.0, p));
-  const double target = p * static_cast<double>(total_);
-  int64_t cumulative = 0;
-  for (size_t b = 0; b < counts_.size(); ++b) {
-    if (counts_[b] == 0) continue;
-    const int64_t next = cumulative + counts_[b];
-    if (static_cast<double>(next) >= target) {
-      if (b == counts_.size() - 1) return bounds_.back();  // overflow floor
-      const double lo = b == 0 ? 0.0 : bounds_[b - 1];
-      const double hi = bounds_[b];
-      const double within =
-          (target - static_cast<double>(cumulative)) /
-          static_cast<double>(counts_[b]);
-      return lo + (hi - lo) * std::min(1.0, std::max(0.0, within));
-    }
-    cumulative = next;
-  }
-  return bounds_.back();
-}
-
-std::string FixedHistogram::ToJson() const {
-  std::string json = "{\"bounds\": [";
-  for (size_t b = 0; b < bounds_.size(); ++b) {
-    json += StrFormat("%s%g", b ? ", " : "", bounds_[b]);
-  }
-  json += "], \"counts\": [";
-  for (size_t b = 0; b < counts_.size(); ++b) {
-    json += StrFormat("%s%lld", b ? ", " : "",
-                      static_cast<long long>(counts_[b]));
-  }
-  json += "]}";
-  return json;
-}
 
 const char* ServeVerbStatName(ServeVerbStat verb) {
   switch (verb) {
@@ -95,79 +20,84 @@ const char* ServeVerbStatName(ServeVerbStat verb) {
 }
 
 ServeMetrics::ServeMetrics()
-    : latency_us_(LatencyBoundsUs()), batch_rows_(BatchBounds()) {}
+    : owned_registry_(std::make_unique<obs::MetricsRegistry>()) {
+  BindMetrics(owned_registry_.get());
+}
+
+ServeMetrics::ServeMetrics(obs::MetricsRegistry* registry) {
+  BindMetrics(registry);
+}
+
+void ServeMetrics::BindMetrics(obs::MetricsRegistry* registry) {
+  for (int32_t v = 0; v < kNumServeVerbs; ++v) {
+    const char* name = ServeVerbStatName(static_cast<ServeVerbStat>(v));
+    requests_[v] =
+        &registry->GetCounter(StrFormat("serve.requests.%s", name));
+    errors_[v] = &registry->GetCounter(StrFormat("serve.errors.%s", name));
+  }
+  shed_ = &registry->GetCounter("serve.shed_total");
+  latency_us_ = &registry->GetHistogram("serve.latency_us",
+                                        obs::DefaultLatencyBoundsUs());
+  batch_rows_ = &registry->GetHistogram("serve.batch_rows",
+                                        obs::DefaultBatchRowBounds());
+}
 
 void ServeMetrics::RecordRequest(ServeVerbStat verb, double latency_us,
                                  bool ok) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++requests_[static_cast<int32_t>(verb)];
-  if (!ok) ++errors_[static_cast<int32_t>(verb)];
-  latency_us_.Record(latency_us);
+  requests_[static_cast<int32_t>(verb)]->Add(1);
+  if (!ok) errors_[static_cast<int32_t>(verb)]->Add(1);
+  latency_us_->Record(latency_us);
 }
 
-void ServeMetrics::RecordShed() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++shed_;
-}
+void ServeMetrics::RecordShed() { shed_->Add(1); }
 
 void ServeMetrics::RecordBatch(int64_t rows) {
-  std::lock_guard<std::mutex> lock(mu_);
-  batch_rows_.Record(static_cast<double>(rows));
+  batch_rows_->Record(static_cast<double>(rows));
 }
 
 int64_t ServeMetrics::requests_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
-  for (int64_t n : requests_) total += n;
+  for (const obs::Counter* counter : requests_) total += counter->value();
   return total;
 }
 
 int64_t ServeMetrics::errors_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
-  for (int64_t n : errors_) total += n;
+  for (const obs::Counter* counter : errors_) total += counter->value();
   return total;
 }
 
-int64_t ServeMetrics::shed_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return shed_;
-}
+int64_t ServeMetrics::shed_total() const { return shed_->value(); }
 
-int64_t ServeMetrics::batches_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return batch_rows_.count();
-}
+int64_t ServeMetrics::batches_total() const { return batch_rows_->count(); }
 
 double ServeMetrics::LatencyPercentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return latency_us_.Percentile(p);
+  return latency_us_->Percentile(p);
 }
 
 std::string ServeMetrics::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::string json = "{\n  \"verbs\": {";
   for (int32_t v = 0; v < kNumServeVerbs; ++v) {
     json += StrFormat(
         "%s\"%s\": {\"requests\": %lld, \"errors\": %lld}", v ? ", " : "",
         ServeVerbStatName(static_cast<ServeVerbStat>(v)),
-        static_cast<long long>(requests_[v]),
-        static_cast<long long>(errors_[v]));
+        static_cast<long long>(requests_[v]->value()),
+        static_cast<long long>(errors_[v]->value()));
   }
   json += "},\n";
   json += StrFormat("  \"shed_total\": %lld,\n",
-                    static_cast<long long>(shed_));
+                    static_cast<long long>(shed_->value()));
   json += StrFormat(
       "  \"latency_us\": {\"count\": %lld, \"p50\": %.1f, \"p95\": %.1f, "
       "\"p99\": %.1f, \"histogram\": %s},\n",
-      static_cast<long long>(latency_us_.count()),
-      latency_us_.Percentile(0.50), latency_us_.Percentile(0.95),
-      latency_us_.Percentile(0.99), latency_us_.ToJson().c_str());
+      static_cast<long long>(latency_us_->count()),
+      latency_us_->Percentile(0.50), latency_us_->Percentile(0.95),
+      latency_us_->Percentile(0.99), latency_us_->BucketsJson().c_str());
   json += StrFormat(
       "  \"batch_rows\": {\"count\": %lld, \"p50\": %.1f, "
       "\"histogram\": %s}\n",
-      static_cast<long long>(batch_rows_.count()),
-      batch_rows_.Percentile(0.50), batch_rows_.ToJson().c_str());
+      static_cast<long long>(batch_rows_->count()),
+      batch_rows_->Percentile(0.50), batch_rows_->BucketsJson().c_str());
   json += "}\n";
   return json;
 }

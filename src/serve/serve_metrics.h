@@ -2,40 +2,13 @@
 #define HIGNN_SERVE_SERVE_METRICS_H_
 
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace hignn {
-
-/// \brief Fixed-bucket histogram: counts per half-open bucket
-/// (prev_bound, bound], plus one overflow bucket past the last bound.
-/// Fixed bounds keep Record() allocation-free and make percentile
-/// estimates deterministic functions of the counts — no reservoir
-/// sampling, no randomness, no unordered iteration.
-class FixedHistogram {
- public:
-  explicit FixedHistogram(std::vector<double> bounds);
-
-  void Record(double value);
-  int64_t count() const { return total_; }
-
-  /// \brief Percentile estimate for `p` in [0, 1]: locates the bucket
-  /// holding the p-th sample and interpolates linearly between its
-  /// bounds. Values in the overflow bucket report the last finite bound
-  /// (a floor, which is the honest direction for tail latency).
-  double Percentile(double p) const;
-
-  /// \brief `{"bounds": [...], "counts": [...]}` (overflow count last).
-  std::string ToJson() const;
-
- private:
-  std::vector<double> bounds_;
-  std::vector<int64_t> counts_;  // bounds_.size() + 1 entries
-  int64_t total_ = 0;
-};
 
 /// \brief Request verbs the scoring server exposes; also the index into
 /// the per-verb counter arrays.
@@ -51,12 +24,23 @@ const char* ServeVerbStatName(ServeVerbStat verb);
 /// \brief Serve-side observability: request/error counters per verb,
 /// a fixed-bucket request-latency histogram with p50/p95/p99, shed
 /// (overload fast-fail) counts, and the micro-batcher's batch-size
-/// distribution. All methods are thread-safe (one mutex; the serving
-/// request rate is orders of magnitude below the kernel hot paths, so
-/// contention is irrelevant next to a forward pass).
+/// distribution.
+///
+/// Since PR 5 this is a thin façade over obs::MetricsRegistry — the
+/// counters live in a registry under `serve.*` names and the histogram /
+/// percentile math is the shared obs::Histogram implementation, so
+/// `hignn_serve stats`, `--metrics-out` dumps and offline run reports
+/// all agree. The default constructor owns a private registry (test
+/// isolation); pass &obs::MetricsRegistry::Global() to share the
+/// process-wide one. ToJson() keeps the pre-refactor wire format
+/// byte-for-byte. All methods are thread-safe (lock-free atomics).
 class ServeMetrics {
  public:
+  /// \brief Façade over a private registry of its own.
   ServeMetrics();
+
+  /// \brief Façade over `registry` (not owned; must outlive this).
+  explicit ServeMetrics(obs::MetricsRegistry* registry);
 
   /// \brief One finished request: verb, wall latency, success flag.
   void RecordRequest(ServeVerbStat verb, double latency_us, bool ok);
@@ -73,7 +57,7 @@ class ServeMetrics {
   int64_t batches_total() const;
   double LatencyPercentile(double p) const;
 
-  /// \brief Full JSON snapshot (stable key order).
+  /// \brief Full JSON snapshot (stable key order, pre-refactor format).
   std::string ToJson() const;
 
   /// \brief Atomically writes ToJson() to `path` (crash-safe like every
@@ -81,12 +65,14 @@ class ServeMetrics {
   Status DumpJson(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  int64_t requests_[kNumServeVerbs] = {};
-  int64_t errors_[kNumServeVerbs] = {};
-  int64_t shed_ = 0;
-  FixedHistogram latency_us_;
-  FixedHistogram batch_rows_;
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* requests_[kNumServeVerbs] = {};
+  obs::Counter* errors_[kNumServeVerbs] = {};
+  obs::Counter* shed_ = nullptr;
+  obs::Histogram* latency_us_ = nullptr;
+  obs::Histogram* batch_rows_ = nullptr;
 };
 
 }  // namespace hignn

@@ -11,10 +11,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/trace.h"
 #include "serve/wire.h"
 #include "util/logging.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 namespace hignn {
 
@@ -198,7 +198,7 @@ void ScoringServer::ServeConnection(int fd) {
 
 std::vector<char> ScoringServer::HandleRequest(
     const std::vector<char>& payload) {
-  WallTimer timer;
+  obs::Stopwatch timer;
   WireReader reader(payload);
   Result<uint8_t> verb_byte = reader.TakeU8();
   if (!verb_byte.ok()) {

@@ -4,7 +4,7 @@
 
 #include "taxonomy/shoal.h"
 #include "util/logging.h"
-#include "util/timer.h"
+#include "obs/trace.h"
 
 namespace hignn {
 
@@ -35,7 +35,7 @@ std::pair<Matrix, Matrix> BuildSharedFeatures(const QueryDataset& dataset,
 
 Result<TaxonomyRun> RunHignnTaxonomy(const QueryDataset& dataset,
                                      const TaxonomyPipelineConfig& config) {
-  WallTimer timer;
+  obs::Stopwatch timer;
   Word2VecConfig w2v_config = config.word2vec;
   w2v_config.seed = config.seed ^ 0x77ULL;
   HIGNN_ASSIGN_OR_RETURN(
@@ -69,7 +69,7 @@ Result<TaxonomyRun> RunHignnTaxonomy(const QueryDataset& dataset,
 Result<TaxonomyRun> RunShoalTaxonomy(const QueryDataset& dataset,
                                      const TaxonomyPipelineConfig& config,
                                      const std::vector<int32_t>& level_topics) {
-  WallTimer timer;
+  obs::Stopwatch timer;
   Word2VecConfig w2v_config = config.word2vec;
   w2v_config.seed = config.seed ^ 0x77ULL;  // Same space as the HiGNN run.
   HIGNN_ASSIGN_OR_RETURN(

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/crc32.h"
 #include "util/fault_injection.h"
 #include "util/string_util.h"
@@ -183,6 +184,14 @@ Status BinaryWriter::Close() {
     return Status::IOError("rename failed: " + final_path_);
   }
   fault::MaybeCrash("io.writer.renamed");
+  // Bytes are tallied once per artifact at the durable point (per-Append
+  // counting would put an atomic RMW on every 4-byte scalar write).
+  int64_t total_bytes = 0;
+  for (const Section& section : sections_) {
+    total_bytes += static_cast<int64_t>(section.length);
+  }
+  obs::CounterAdd("io.bytes_written", total_bytes);
+  obs::CounterAdd("io.files_written");
   return SyncParentDir(final_path_);
 }
 
@@ -211,6 +220,9 @@ Status AtomicWriteTextFile(const std::string& path,
     std::remove(tmp_path.c_str());
     return Status::IOError("rename failed: " + path);
   }
+  obs::CounterAdd("io.bytes_written",
+                  static_cast<int64_t>(contents.size()));
+  obs::CounterAdd("io.files_written");
   return SyncParentDir(path);
 }
 
@@ -226,6 +238,8 @@ BinaryReader::BinaryReader(const std::string& path) {
     if (!in) return;
   }
   ok_ = true;
+  obs::CounterAdd("io.bytes_read", static_cast<int64_t>(buffer_.size()));
+  obs::CounterAdd("io.files_read");
 }
 
 Status BinaryReader::VerifyContainer() {

@@ -1,0 +1,19 @@
+// hignn_lint fixture: the nondet-source wall-clock allowance is scoped to
+// src/obs/ (plus bench/ and examples/) — this file sits inside that scope
+// (relative to the fixture root), so its WallTimer/steady_clock reads are
+// clean with no annotation. The rand() below must STILL be flagged: the
+// scope exempts only the wall-clock tokens, never the rest of the
+// nondet-source rule. Never compiled — scanned by hignn_lint in
+// lint_test.cc.
+#include <chrono>
+#include <cstdlib>
+
+double ScopedClocks() {
+  WallTimer timer;  // in scope: fine without annotation
+  using Clock = std::chrono::steady_clock;  // in scope: fine
+  return timer.Seconds() * static_cast<double>(Clock::period::den);
+}
+
+int StillFlagged() {
+  return rand();  // line 18: scope must not leak to entropy sources
+}

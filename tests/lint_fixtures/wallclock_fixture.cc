@@ -1,0 +1,16 @@
+// hignn_lint fixture: the nondet-source wall-clock tokens WallTimer and
+// steady_clock. Never compiled — scanned by hignn_lint in lint_test.cc,
+// which asserts the exact line numbers below.
+#include <chrono>
+
+double Violations() {
+  WallTimer timer;  // line 7: wall-clock timer read
+  using Clock = std::chrono::steady_clock;  // line 8: clock alias
+  const auto t0 = std::chrono::steady_clock::now();  // line 9: one finding
+  (void)t0;
+  return timer.Seconds() + static_cast<double>(Clock::period::den);
+}
+
+struct MyWallTimerStats {    // word-embedded token: fine
+  int steady_clock_reads = 0;  // word-embedded token: fine
+};

@@ -129,6 +129,43 @@ TEST(LintTest, NondetSourceFiresOnEntropyClockAndNow) {
             "checked 1 files: 4 violation(s)\n");
 }
 
+TEST(LintTest, WallClockTokensFireOutsideTheObsScope) {
+  const LintRun run = RunOnFixtures("wallclock_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string advice =
+      "outside the telemetry layer; measure via obs::Stopwatch (src/obs/) "
+      "so timing stays observation-only\n";
+  EXPECT_EQ(run.output,
+            "wallclock_fixture.cc:7: [nondet-source] wall-clock "
+            "'WallTimer' read " + advice +
+            "wallclock_fixture.cc:8: [nondet-source] wall-clock "
+            "'steady_clock' use " + advice +
+            // `steady_clock::now()` on line 9 yields exactly one finding:
+            // the ::now() diagnostic, not a second steady_clock one.
+            "wallclock_fixture.cc:9: [nondet-source] clock '::now()' "
+            "outside util/timer.h; use WallTimer so time never feeds "
+            "deterministic state\n"
+            "allowed: none\n"
+            "checked 1 files: 3 violation(s)\n");
+}
+
+TEST(LintTest, ObsScopeAllowsWallClocksButNothingElseLeaks) {
+  // Inside src/obs/ (relative to --root) the wall-clock tokens are exempt
+  // wholesale; the rest of nondet-source stays active.
+  const LintRun run = RunOnFixtures("src/obs/wallclock_scope_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.output,
+            "src/obs/wallclock_scope_fixture.cc:18: [nondet-source] "
+            "'rand()' is a nondeterministic source; use util/rng.h for "
+            "randomness and util/timer.h for timing\n"
+            "allowed: none\n"
+            "checked 1 files: 1 violation(s)\n");
+  EXPECT_EQ(run.output.find("wallclock_scope_fixture.cc:12"),
+            std::string::npos);
+  EXPECT_EQ(run.output.find("wallclock_scope_fixture.cc:13"),
+            std::string::npos);
+}
+
 TEST(LintTest, NakedThreadFiresOnThreadAsyncAndOmp) {
   const LintRun run = RunOnFixtures("naked_thread_fixture.cc");
   EXPECT_EQ(run.exit_code, 1);
@@ -179,11 +216,11 @@ TEST(LintTest, CleanIdiomaticCodePassesWithoutAnnotations) {
 TEST(LintTest, DirectoryScanAggregatesAndSortsAcrossFiles) {
   const LintRun run = RunOnFixtures(".");
   EXPECT_EQ(run.exit_code, 1);
-  // 4 + 3 + 4 + 3 + 1 + 2 + 1 pinned violations across the seven
-  // violating fixtures (the last two are the socket fixture and the
-  // ofstream inside the serve-scope fixture); the allowed fixture
-  // contributes 5 tallied suppressions.
-  EXPECT_NE(run.output.find("checked 9 files: 18 violation(s)\n"),
+  // 4 + 3 + 4 + 3 + 3 + 1 + 2 + 1 + 1 pinned violations across the nine
+  // violating fixtures (socket fixture, wallclock fixture, and the
+  // residual findings inside the two scope fixtures included); the
+  // allowed fixture contributes 5 tallied suppressions.
+  EXPECT_NE(run.output.find("checked 11 files: 22 violation(s)\n"),
             std::string::npos);
   // Diagnostics are sorted by path, so the float-reduction fixture's
   // single finding leads the report.

@@ -1,0 +1,361 @@
+// Tests for the unified telemetry subsystem (src/obs/, DESIGN.md §11):
+// metrics-registry semantics under concurrent writers, deterministic
+// dumps, golden trace JSON, run-report integrity, and the subsystem's
+// core contract — telemetry is observation-only, so training results are
+// bitwise identical with collection on, off, and at any thread count.
+//
+// Also compiled into hignn_threading_tests so `ctest -L tsan` races the
+// registry atomics and per-thread trace buffers under TSan.
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hignn.h"
+#include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "serve/serve_metrics.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace hignn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// Restores the global collection switch when a test body exits, including
+// on assertion failure, so one test's --obs-off never leaks into the next.
+struct EnabledGuard {
+  ~EnabledGuard() { obs::SetEnabled(true); }
+};
+
+TEST(ObsMetricsTest, CounterGaugeAndSeriesBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.GetCounter("events");
+  counter.Add();
+  counter.Add(4);
+  EXPECT_EQ(counter.value(), 5);
+  // Get* returns the same object for the same name.
+  EXPECT_EQ(&registry.GetCounter("events"), &counter);
+
+  registry.GetGauge("ratio").Set(0.75);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ratio").value(), 0.75);
+
+  obs::Series& series = registry.GetSeries("loss");
+  series.Append(1.0);
+  series.Append(0.5);
+  EXPECT_EQ(series.Snapshot(), (std::vector<double>{1.0, 0.5}));
+  EXPECT_EQ(series.dropped(), 0);
+}
+
+TEST(ObsMetricsTest, HistogramBucketBoundariesArePrevBoundInclusive) {
+  obs::Histogram histogram({10.0, 20.0});
+  histogram.Record(5.0);    // (0, 10]
+  histogram.Record(10.0);   // == bound: stays in (0, 10]
+  histogram.Record(15.0);   // (10, 20]
+  histogram.Record(20.0);   // == bound: stays in (10, 20]
+  histogram.Record(25.0);   // overflow
+  EXPECT_EQ(histogram.count(), 5);
+  EXPECT_EQ(histogram.SnapshotCounts(), (std::vector<int64_t>{2, 2, 1}));
+  // Overflow-bucket percentiles floor to the last finite bound.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 20.0);
+  // The free function over an explicit snapshot agrees with the member.
+  EXPECT_DOUBLE_EQ(
+      obs::HistogramPercentile(histogram.bounds(),
+                               histogram.SnapshotCounts(), 0.5),
+      histogram.Percentile(0.5));
+}
+
+TEST(ObsMetricsTest, SeriesCapDropsAndTallies) {
+  obs::Series series;
+  const size_t extra = 3;
+  for (size_t i = 0; i < obs::Series::kSeriesCap + extra; ++i) {
+    series.Append(static_cast<double>(i));
+  }
+  EXPECT_EQ(series.Snapshot().size(), obs::Series::kSeriesCap);
+  EXPECT_EQ(series.dropped(), static_cast<int64_t>(extra));
+}
+
+TEST(ObsMetricsTest, DisabledCollectionMakesUpdatesNoOps) {
+  EnabledGuard guard;
+  obs::MetricsRegistry registry;
+  obs::SetEnabled(false);
+  registry.GetCounter("c").Add(7);
+  registry.GetGauge("g").Set(1.5);
+  obs::Histogram& histogram = registry.GetHistogram("h", {1.0, 2.0});
+  histogram.Record(1.0);
+  registry.GetSeries("s").Append(3.0);
+  EXPECT_EQ(registry.GetCounter("c").value(), 0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g").value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_TRUE(registry.GetSeries("s").Snapshot().empty());
+
+  obs::SetEnabled(true);
+  registry.GetCounter("c").Add(2);
+  EXPECT_EQ(registry.GetCounter("c").value(), 2);
+}
+
+TEST(ObsMetricsTest, ResetZeroesInPlaceAndKeepsReferencesValid) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.GetCounter("c");
+  obs::Histogram& histogram = registry.GetHistogram("h", {10.0});
+  counter.Add(5);
+  histogram.Record(3.0);
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(histogram.count(), 0);
+  // Cached references keep working after Reset — the façade contract.
+  counter.Add(2);
+  histogram.Record(4.0);
+  EXPECT_EQ(registry.GetCounter("c").value(), 2);
+  EXPECT_EQ(registry.GetHistogram("h", {}).count(), 1);
+}
+
+TEST(ObsMetricsTest, ConcurrentWritersLoseNoUpdates) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.GetCounter("hammer");
+  obs::Histogram& histogram =
+      registry.GetHistogram("latency", obs::DefaultLatencyBoundsUs());
+  obs::Series& series = registry.GetSeries("points");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        histogram.Record(static_cast<double>((t * kPerThread + i) % 3000));
+        series.Append(static_cast<double>(i));
+        HIGNN_SPAN("obs.test.worker", {{"thread", t}});
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t n : histogram.SnapshotCounts()) bucket_total += n;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+  const int64_t kept = static_cast<int64_t>(series.Snapshot().size());
+  EXPECT_EQ(kept + series.dropped(), kThreads * kPerThread);
+  obs::ResetTrace();  // leave no cross-thread spans behind for goldens
+}
+
+TEST(ObsMetricsTest, DumpJsonIsByteStableAndSorted) {
+  obs::MetricsRegistry registry;
+  // Registered in non-sorted order; dumps must come out sorted.
+  registry.GetSeries("d.series").Append(1.0);
+  registry.GetSeries("d.series").Append(2.5);
+  obs::Histogram& histogram = registry.GetHistogram("c.hist", {10.0, 20.0});
+  histogram.Record(5.0);
+  histogram.Record(10.0);
+  histogram.Record(15.0);
+  histogram.Record(25.0);
+  registry.GetGauge("b.gauge").Set(0.5);
+  registry.GetCounter("a.count").Add(3);
+
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"a.count\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"b.gauge\": 0.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"c.hist\": {\"count\": 4, \"p50\": 10.0, \"p95\": 20.0, "
+      "\"p99\": 20.0, \"buckets\": {\"bounds\": [10, 20], "
+      "\"counts\": [2, 1, 1]}}\n"
+      "  },\n"
+      "  \"series\": {\n"
+      "    \"d.series\": {\"count\": 2, \"dropped\": 0, "
+      "\"values\": [1, 2.5]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(registry.DumpJson(), expected);
+  EXPECT_EQ(registry.DumpJson(), registry.DumpJson());
+
+  EXPECT_EQ(registry.DumpText(),
+            "a.count\t3\n"
+            "b.gauge\t0.5\n"
+            "c.hist\tcount=4 p50=10.0 p95=20.0 p99=20.0\n"
+            "d.series\tpoints=2\n");
+}
+
+TEST(ObsTraceTest, GoldenTraceJsonWithZeroedTimestamps) {
+  // The tid is this thread's buffer registration index — deterministic
+  // for a given process history but dependent on which tests ran before,
+  // so extract it from a probe span rather than hard-coding it.
+  obs::ResetTrace();
+  { HIGNN_SPAN("probe"); }
+  const std::string probe = obs::TraceJson(/*zero_timestamps=*/true);
+  const size_t tid_pos = probe.find("\"tid\": ");
+  ASSERT_NE(tid_pos, std::string::npos);
+  const std::string tid = probe.substr(
+      tid_pos + 7, probe.find(',', tid_pos) - (tid_pos + 7));
+
+  obs::ResetTrace();
+  {
+    HIGNN_SPAN("outer", {{"level", 2}});
+    { HIGNN_SPAN("inner"); }
+  }
+  EXPECT_EQ(obs::TraceJson(/*zero_timestamps=*/true),
+            "{\"traceEvents\": [\n"
+            "  {\"name\": \"inner\", \"cat\": \"hignn\", \"ph\": \"X\", "
+            "\"ts\": 0, \"dur\": 0, \"pid\": 1, \"tid\": " + tid + ", "
+            "\"args\": {}},\n"
+            "  {\"name\": \"outer\", \"cat\": \"hignn\", \"ph\": \"X\", "
+            "\"ts\": 0, \"dur\": 0, \"pid\": 1, \"tid\": " + tid + ", "
+            "\"args\": {\"level\": 2}}\n"
+            "], \"displayTimeUnit\": \"ms\", \"dropped_events\": 0}\n");
+  EXPECT_EQ(obs::TraceDropped(), 0);
+  obs::ResetTrace();
+  EXPECT_EQ(obs::TraceJson(/*zero_timestamps=*/true),
+            "{\"traceEvents\": [\n"
+            "], \"displayTimeUnit\": \"ms\", \"dropped_events\": 0}\n");
+}
+
+TEST(ObsTraceTest, DisabledCollectionRecordsNoSpans) {
+  EnabledGuard guard;
+  obs::ResetTrace();
+  obs::SetEnabled(false);
+  { HIGNN_SPAN("invisible"); }
+  obs::SetEnabled(true);
+  EXPECT_EQ(obs::TraceJson(/*zero_timestamps=*/true),
+            "{\"traceEvents\": [\n"
+            "], \"displayTimeUnit\": \"ms\", \"dropped_events\": 0}\n");
+}
+
+TEST(ObsRunReportTest, RoundTripPreservesFingerprintAndMetrics) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("run.test").Add(7);
+  const std::string path = TempPath("obs_run_report.json");
+  ASSERT_TRUE(
+      obs::WriteRunReport(path, 0xDEADBEEFCAFEF00Dull, registry).ok());
+  auto loaded = obs::LoadRunReport(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NE(loaded.value().find("\"fingerprint\": \"deadbeefcafef00d\""),
+            std::string::npos);
+  EXPECT_NE(loaded.value().find("\"run.test\": 7"), std::string::npos);
+  EXPECT_NE(loaded.value().find("\"schema_version\": 1"),
+            std::string::npos);
+}
+
+TEST(ObsRunReportTest, CorruptionAndTruncationAreRejected) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("run.test").Add(7);
+  const std::string path = TempPath("obs_run_report_corrupt.json");
+  ASSERT_TRUE(obs::WriteRunReport(path, 1, registry).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+
+  // Flip one payload byte: the CRC must notice.
+  const size_t at = bytes.find("run.test");
+  ASSERT_NE(at, std::string::npos);
+  std::string flipped = bytes;
+  flipped[at] ^= 0x20;
+  { std::ofstream(path, std::ios::binary) << flipped; }
+  auto corrupt = obs::LoadRunReport(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kIOError);
+
+  // Truncation must be rejected too, not read as a short report.
+  { std::ofstream(path, std::ios::binary) << bytes.substr(0, bytes.size() / 2); }
+  auto truncated = obs::LoadRunReport(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kIOError);
+}
+
+TEST(ObsServeFacadeTest, ServeMetricsReportsIntoItsRegistry) {
+  obs::MetricsRegistry registry;
+  ServeMetrics metrics(&registry);
+  metrics.RecordRequest(ServeVerbStat::kScore, 120.0, /*ok=*/true);
+  metrics.RecordRequest(ServeVerbStat::kTopK, 300.0, /*ok=*/false);
+  metrics.RecordShed();
+  metrics.RecordBatch(4);
+
+  EXPECT_EQ(registry.GetCounter("serve.requests.score").value(), 1);
+  EXPECT_EQ(registry.GetCounter("serve.errors.recommend_topk").value(), 1);
+  EXPECT_EQ(registry.GetCounter("serve.shed_total").value(), 1);
+  EXPECT_EQ(
+      registry.GetHistogram("serve.latency_us", {}).count(), 2);
+  EXPECT_EQ(metrics.requests_total(), 2);
+  EXPECT_EQ(metrics.errors_total(), 1);
+
+  // The wire format (pinned byte-for-byte in serve_test.cc) surfaces the
+  // same values the registry holds.
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"score\": {\"requests\": 1, \"errors\": 0}"),
+            std::string::npos);
+  EXPECT_NE(
+      json.find("\"recommend_topk\": {\"requests\": 1, \"errors\": 1}"),
+      std::string::npos);
+  EXPECT_NE(json.find("\"shed_total\": 1"), std::string::npos);
+}
+
+// The tentpole invariant: telemetry is observation-only. Training with
+// collection on, off, and at different thread counts must produce
+// bitwise-identical models — no clock value or metric read may feed
+// deterministic state.
+TEST(ObsInvariantTest, FitIsBitwiseIdenticalOnOffAndAcrossThreads) {
+  EnabledGuard guard;
+  auto dataset =
+      SyntheticDataset::Generate(SyntheticConfig::Tiny()).ValueOrDie();
+  const BipartiteGraph graph = dataset.BuildTrainGraph();
+  HignnConfig config;
+  config.levels = 2;
+  config.sage.dims = {8, 8};
+  config.sage.fanouts = {4, 3};
+  config.sage.train_steps = 8;
+  config.min_clusters = 2;
+
+  auto fit_with = [&](bool obs_on, int32_t threads) {
+    obs::SetEnabled(obs_on);
+    HignnConfig run = config;
+    run.num_threads = threads;
+    auto model = Hignn::Fit(graph, dataset.user_features(),
+                            dataset.item_features(), run);
+    obs::SetEnabled(true);
+    return model.ValueOrDie();
+  };
+
+  const HignnModel reference = fit_with(/*obs_on=*/true, /*threads=*/1);
+  for (const auto& [obs_on, threads] :
+       {std::pair<bool, int32_t>{false, 1}, {true, 4}, {false, 4}}) {
+    SCOPED_TRACE(StrFormat("obs_on=%d threads=%d", obs_on ? 1 : 0,
+                           threads));
+    const HignnModel model = fit_with(obs_on, threads);
+    ASSERT_EQ(model.num_levels(), reference.num_levels());
+    EXPECT_TRUE(AllClose(model.AllHierarchicalLeft(),
+                         reference.AllHierarchicalLeft(), 0.0f));
+    EXPECT_TRUE(AllClose(model.AllHierarchicalRight(),
+                         reference.AllHierarchicalRight(), 0.0f));
+    for (int32_t l = 0; l < reference.num_levels(); ++l) {
+      EXPECT_EQ(model.levels()[l].train_loss,
+                reference.levels()[l].train_loss);
+      EXPECT_EQ(model.levels()[l].left_assignment,
+                reference.levels()[l].left_assignment);
+      EXPECT_EQ(model.levels()[l].right_assignment,
+                reference.levels()[l].right_assignment);
+    }
+  }
+  obs::ResetTrace();
+}
+
+}  // namespace
+}  // namespace hignn

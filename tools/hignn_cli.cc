@@ -26,11 +26,12 @@
 #include "data/synthetic.h"
 #include "predict/cvr_model.h"
 #include "predict/features.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/embedding_store.h"
 #include "util/flags.h"
 #include "util/io.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 namespace hignn {
 namespace {
@@ -72,8 +73,41 @@ commands:
              [--preset tiny] [--users N] [--items N] [--seed S]
              [--levels 2] [--dim 16] [--steps 120] [--threads N]
              [--cvr-epochs 2]
+
+telemetry (any command):
+  [--metrics-out FILE.json]  dump the metrics registry on success
+  [--trace-out FILE.json]    dump Chrome trace_event spans on success
+                             (open in chrome://tracing)
+  [--obs-off]                disable telemetry collection entirely;
+                             results are bitwise identical either way
 )");
   return 2;
+}
+
+// Telemetry is observation-only: the switch below and the dumps after a
+// successful command never change what the command computes.
+void ApplyObsFlags(const CommandLine& cl) {
+  if (cl.GetBool("obs-off")) obs::SetEnabled(false);
+}
+
+int DumpObsArtifacts(const CommandLine& cl) {
+  const std::string metrics_out = cl.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    if (Status status =
+            obs::MetricsRegistry::Global().DumpJsonToFile(metrics_out);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  const std::string trace_out = cl.GetString("trace-out");
+  if (!trace_out.empty()) {
+    if (Status status = obs::WriteTraceJson(trace_out); !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("wrote trace to %s\n", trace_out.c_str());
+  }
+  return 0;
 }
 
 // Structural fallback features: [log(1+degree), log(1+weighted degree), 1].
@@ -181,7 +215,7 @@ int RunFit(const CommandLine& cl) {
   const Matrix left_features = StructuralFeatures(graph.value(), true);
   const Matrix right_features = StructuralFeatures(graph.value(), false);
 
-  WallTimer timer;
+  obs::Stopwatch timer;
   auto model = Hignn::Fit(graph.value(), left_features, right_features,
                           config, ckpt, TrainingMonitorConfig());
   if (!model.ok()) return Fail(model.status());
@@ -321,7 +355,7 @@ int RunExportStore(const CommandLine& cl) {
   data_config.num_items = static_cast<int32_t>(items.value());
   data_config.seed = static_cast<uint64_t>(seed.value());
 
-  WallTimer timer;
+  obs::Stopwatch timer;
   auto dataset = SyntheticDataset::Generate(data_config);
   if (!dataset.ok()) return Fail(dataset.status());
 
@@ -372,14 +406,30 @@ int RunExportStore(const CommandLine& cl) {
 int Run(int argc, char** argv) {
   auto cl = CommandLine::Parse(argc, argv);
   if (!cl.ok()) return Fail(cl.status());
+  ApplyObsFlags(cl.value());
   const std::string& command = cl.value().command();
-  if (command == "gen-data") return RunGenData(cl.value());
-  if (command == "fit") return RunFit(cl.value());
-  if (command == "info") return RunInfo(cl.value());
-  if (command == "embed") return RunEmbed(cl.value());
-  if (command == "clusters") return RunClusters(cl.value());
-  if (command == "export-store") return RunExportStore(cl.value());
-  return Usage();
+  int code = 2;
+  if (command == "gen-data") {
+    code = RunGenData(cl.value());
+  } else if (command == "fit") {
+    code = RunFit(cl.value());
+  } else if (command == "info") {
+    code = RunInfo(cl.value());
+  } else if (command == "embed") {
+    code = RunEmbed(cl.value());
+  } else if (command == "clusters") {
+    code = RunClusters(cl.value());
+  } else if (command == "export-store") {
+    code = RunExportStore(cl.value());
+  } else {
+    return Usage();
+  }
+  if (code == 0) {
+    if (int obs_code = DumpObsArtifacts(cl.value()); obs_code != 0) {
+      return obs_code;
+    }
+  }
+  return code;
 }
 
 }  // namespace

@@ -17,7 +17,10 @@
 //                             src/util/io.cc — artifact writes must use
 //                             the atomic tmp+fsync+rename path.
 //   nondet-source             rand() / std::random_device / time() /
-//                             ::now() outside util/rng.h + util/timer.h.
+//                             ::now() outside util/rng.h + util/timer.h;
+//                             WallTimer / steady_clock wall-clock reads
+//                             outside the telemetry scope (src/obs/,
+//                             bench/, examples/).
 //   naked-thread              std::thread / std::async / #pragma omp —
 //                             concurrency only via util/thread_pool.
 //   parallel-float-reduction  += / -= into a file-scope float/double
@@ -57,12 +60,13 @@ struct RuleInfo {
   const char* id;
   const char* summary;
   std::vector<std::string> allowed_paths;  // suffix match, '/'-normalized
-  /// Directory-prefix scope for the rule's *scoped tokens* (currently the
-  /// raw-write socket syscalls ::write/::send): inside these directories
-  /// the scoped tokens are permitted wholesale — a reviewed architectural
-  /// exemption, not a per-line suppression — while every other token of
-  /// the rule stays active. Distinct from allowed_paths, which disables
-  /// the whole rule for a file.
+  /// Directory-prefix scope for the rule's *scoped tokens* (the raw-write
+  /// socket syscalls ::write/::send, and the nondet-source wall-clock
+  /// reads WallTimer/steady_clock): inside these directories the scoped
+  /// tokens are permitted wholesale — a reviewed architectural exemption,
+  /// not a per-line suppression — while every other token of the rule
+  /// stays active. Distinct from allowed_paths, which disables the whole
+  /// rule for a file.
   std::vector<std::string> scoped_dirs;  // prefix match, '/'-normalized
 };
 
@@ -81,10 +85,11 @@ const std::vector<RuleInfo>& Rules() {
        {"src/util/io.cc", "src/util/io.h"},
        {"src/serve/"}},
       {"nondet-source",
-       "no rand()/std::random_device/time()/::now(); randomness via "
-       "util/rng.h, timing via util/timer.h",
+       "no rand()/std::random_device/time()/::now(), and no WallTimer/"
+       "steady_clock wall-clock reads outside the telemetry layer; "
+       "randomness via util/rng.h, timing via src/obs/ (observation-only)",
        {"src/util/rng.h", "src/util/rng.cc", "src/util/timer.h"},
-       {}},
+       {"src/obs/", "bench/", "examples/"}},
       {"naked-thread",
        "no std::thread/std::async/#pragma omp; concurrency only via "
        "util/thread_pool",
@@ -301,7 +306,10 @@ class FileLinter {
     if (active_rules.count("raw-write")) {
       CheckRawWrite(/*sockets_scoped=*/scoped_rules.count("raw-write") > 0);
     }
-    if (active_rules.count("nondet-source")) CheckNondetSource();
+    if (active_rules.count("nondet-source")) {
+      CheckNondetSource(
+          /*wallclock_scoped=*/scoped_rules.count("nondet-source") > 0);
+    }
     if (active_rules.count("naked-thread")) CheckNakedThread();
     if (active_rules.count("parallel-float-reduction")) {
       CheckParallelFloatReduction();
@@ -536,7 +544,7 @@ class FileLinter {
 
   // ---- rule: nondet-source ----------------------------------------------
 
-  void CheckNondetSource() {
+  void CheckNondetSource(bool wallclock_scoped) {
     FlagWord("random_device", "nondet-source",
              "'std::random_device' is nondeterministic; seed a "
              "util/rng.h Rng explicitly");
@@ -547,8 +555,8 @@ class FileLinter {
                    "()' is a nondeterministic source; use util/rng.h for "
                    "randomness and util/timer.h for timing");
     }
-    // Any clock's ::now().
     const std::string& code = file_.code;
+    // Any clock's ::now().
     size_t pos = 0;
     while ((pos = code.find("::now", pos)) != std::string::npos) {
       const size_t at = pos;
@@ -559,6 +567,33 @@ class FileLinter {
         Report(at, "nondet-source",
                "clock '::now()' outside util/timer.h; use WallTimer so "
                "time never feeds deterministic state");
+      }
+    }
+    // Wall-clock reads. Scoped (not per-line) allowance: the telemetry
+    // layer (src/obs/) and measurement harnesses (bench/, examples/) are
+    // the audited homes of timing, so these two tokens — and only these —
+    // are exempt there. Everywhere else, compute code that wants a
+    // duration must route it through src/obs/ so reviewers can see that
+    // time is observed, never fed back into deterministic state.
+    if (!wallclock_scoped) {
+      FlagWord("WallTimer", "nondet-source",
+               "wall-clock 'WallTimer' read outside the telemetry layer; "
+               "measure via obs::Stopwatch (src/obs/) so timing stays "
+               "observation-only");
+      // `steady_clock::now()` is already reported by the ::now() scan
+      // above; skipping those occurrences keeps one diagnostic per site
+      // (the (path, line, rule) sort is unstable for exact ties).
+      size_t clock_pos = 0;
+      while ((clock_pos = code.find("steady_clock", clock_pos)) !=
+             std::string::npos) {
+        const size_t at = clock_pos;
+        clock_pos += 12;
+        if (!IsWordBoundedAt(code, at, 12)) continue;
+        if (code.compare(at + 12, 5, "::now") == 0) continue;
+        Report(at, "nondet-source",
+               "wall-clock 'steady_clock' use outside the telemetry "
+               "layer; measure via obs::Stopwatch (src/obs/) so timing "
+               "stays observation-only");
       }
     }
   }

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/engine.h"
 #include "serve/serve_metrics.h"
@@ -55,6 +57,10 @@ commands:
            [--max-batch 64] [--max-delay-us 1000] [--max-queue 4096]
            [--recv-timeout-ms 200]
            [--metrics-out FILE]   (dump metrics JSON on shutdown)
+           [--trace-out FILE]     (dump Chrome trace_event JSON on
+                                   shutdown; open in chrome://tracing)
+           [--obs-off]            (disable telemetry collection;
+                                   scores are identical either way)
   score    score one (user, item) pair
            --port P [--host 127.0.0.1] --user U --item I
   topk     top-k recommendations for a user
@@ -83,9 +89,14 @@ int RunServe(const CommandLine& cl) {
     if (!status.ok()) return Fail(status);
   }
 
+  if (cl.GetBool("obs-off")) obs::SetEnabled(false);
+
   auto engine = PredictionEngine::Open(store_path);
   if (!engine.ok()) return Fail(engine.status());
-  ServeMetrics metrics;
+  // The daemon reports into the process-wide registry, so `stats`
+  // responses, --metrics-out dumps and any other instrumentation in
+  // this process share one set of `serve.*` metrics.
+  ServeMetrics metrics(&obs::MetricsRegistry::Global());
 
   ServerConfig config;
   config.host = cl.GetString("host", "127.0.0.1");
@@ -134,6 +145,13 @@ int RunServe(const CommandLine& cl) {
       return Fail(status);
     }
     std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  const std::string trace_out = cl.GetString("trace-out");
+  if (!trace_out.empty()) {
+    if (Status status = obs::WriteTraceJson(trace_out); !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("trace written to %s\n", trace_out.c_str());
   }
   return 0;
 }
