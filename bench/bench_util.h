@@ -3,8 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <thread>
 
+#include "nn/simd.h"
 #include "util/string_util.h"
 
 namespace hignn::bench {
@@ -28,6 +31,41 @@ inline double Scale() {
 inline int32_t Scaled(int32_t base) {
   const double value = base * Scale();
   return value < 1.0 ? 1 : static_cast<int32_t>(value);
+}
+
+/// \brief Host CPU model from /proc/cpuinfo ("unknown" when absent, e.g.
+/// on non-Linux hosts).
+inline const std::string& CpuModelName() {
+  static const std::string name = [] {
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("model name", 0) != 0) continue;
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      size_t begin = colon + 1;
+      while (begin < line.size() && line[begin] == ' ') ++begin;
+      if (begin < line.size()) return line.substr(begin);
+    }
+    return std::string("unknown");
+  }();
+  return name;
+}
+
+/// \brief Hardware-provenance fields shared by every BENCH_*.json
+/// envelope: CPU model, core count, and the SIMD path the kernels
+/// dispatch to. Timings and speedups are only interpretable alongside
+/// these — a "1.0x at 4 threads" row is expected on a 1-core container,
+/// and scalar-vs-avx2 numbers are not comparable.
+inline std::string JsonHostFields() {
+  std::string cpu = CpuModelName();
+  for (char& c : cpu) {
+    if (c == '"' || c == '\\') c = ' ';  // Keep the envelope valid JSON.
+  }
+  return StrFormat(
+      "  \"host\": {\"cpu\": \"%s\", \"hardware_concurrency\": %u, "
+      "\"simd_path\": \"%s\"},\n",
+      cpu.c_str(), std::thread::hardware_concurrency(), simd::PathName());
 }
 
 /// \brief "+2.76%"-style uplift rendering used by the A/B tables.

@@ -15,7 +15,10 @@
 #include "data/synthetic.h"
 #include "graph/coarsen.h"
 #include "graph/sampling.h"
+#include "nn/matrix.h"
 #include "nn/optimizer.h"
+#include "nn/simd.h"
+#include "nn/tape.h"
 #include "sage/bipartite_sage.h"
 #include "text/bm25.h"
 #include "util/rng.h"
@@ -200,6 +203,70 @@ void BM_NegativeSampling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NegativeSampling);
+
+// Single-thread GEMM on the scalar vs the dispatched SIMD kernel path,
+// over the shapes the SAGE layers actually hit (tall-skinny activations
+// times small square weights). range(0) = 0 forces scalar, 1 = best path.
+void BM_MatMulPath(benchmark::State& state) {
+  const bool use_simd = state.range(0) != 0;
+  const auto rows = static_cast<size_t>(state.range(1));
+  const auto dim = static_cast<size_t>(state.range(2));
+  simd::ForcePathForTesting(use_simd ? simd::Best() : simd::IsaPath::kScalar);
+  Rng rng(9);
+  Matrix a(rows, dim);
+  Matrix b(dim, dim);
+  a.FillNormal(rng);
+  b.FillNormal(rng);
+  for (auto _ : state) {
+    Matrix c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.row(0));
+  }
+  state.SetLabel(use_simd ? simd::PathName() : "scalar");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(rows * dim * dim));
+  simd::ForcePathForTesting(simd::Best());
+}
+BENCHMARK(BM_MatMulPath)
+    ->Args({0, 512, 32})
+    ->Args({1, 512, 32})
+    ->Args({0, 512, 128})
+    ->Args({1, 512, 128})
+    ->Unit(benchmark::kMicrosecond);
+
+// Fused gather+aggregate (GroupMeanRowsFrom streaming straight from the
+// feature table) vs the unfused Input-copy-then-aggregate pair it
+// replaced in SAGE level 0.
+void BM_GroupMeanAggregation(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  const auto groups_count = static_cast<size_t>(state.range(1));
+  Rng rng(13);
+  Matrix features(4096, 64);
+  features.FillNormal(rng);
+  std::vector<std::vector<int32_t>> groups(groups_count);
+  for (auto& group : groups) {
+    for (int k = 0; k < 10; ++k) {
+      group.push_back(static_cast<int32_t>(rng.UniformInt(4096)));
+    }
+  }
+  for (auto _ : state) {
+    Tape tape;
+    VarId out;
+    if (fused) {
+      out = tape.GroupMeanRowsFrom(features, groups);
+    } else {
+      const VarId input = tape.Input(features);
+      out = tape.GroupMeanRows(input, groups);
+    }
+    benchmark::DoNotOptimize(tape.value(out).row(0));
+  }
+  state.SetLabel(fused ? "fused" : "unfused");
+}
+BENCHMARK(BM_GroupMeanAggregation)
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Unit(benchmark::kMicrosecond);
 
 // BM25 scoring (the inner loop of topic-description matching).
 void BM_Bm25Score(benchmark::State& state) {

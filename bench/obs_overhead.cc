@@ -120,6 +120,7 @@ int Run() {
               overhead_pct < kBudgetPct ? "within budget" : "OVER BUDGET");
 
   std::string json = "{\n";
+  json += bench::JsonHostFields();
   json += StrFormat("  \"scale\": %.2f,\n", bench::Scale());
   json += StrFormat(
       "  \"workload\": {\"levels\": %d, \"train_steps\": %d, "

@@ -1,14 +1,17 @@
 // Thread-scaling benchmark for the parallel hot paths (ISSUE 1).
 //
 // Times end-to-end Hignn::Fit plus the MatMul and K-means kernels at 1, 2,
-// 4 and 8 worker threads on the synthetic workload, checks that the
-// 1-thread and 4-thread runs produce identical cluster assignments (the
-// fixed-order-reduction determinism contract), and records everything to
-// BENCH_parallel.json in the working directory.
+// 4 and 8 worker threads on the synthetic workload, measures single-thread
+// GEMM throughput on the scalar and dispatched SIMD kernel paths, checks
+// that the 1-thread and 4-thread runs produce identical cluster
+// assignments (the fixed-order-reduction determinism contract), and
+// records everything to BENCH_parallel.json in the working directory.
 //
 // Speedups are only meaningful when the host actually has that many cores;
-// the JSON records hardware_concurrency so readers can judge (on a 1-core
-// container every configuration collapses to ~1x).
+// the JSON's "host" envelope records the CPU model, hardware_concurrency
+// and the dispatched SIMD path so readers can judge (on a 1-core container
+// every thread configuration collapses to ~1x — the SIMD uplift is the
+// number that survives there).
 
 #include <cstdio>
 #include <string>
@@ -20,6 +23,7 @@
 #include "core/hignn.h"
 #include "data/synthetic.h"
 #include "nn/matrix.h"
+#include "nn/simd.h"
 #include "util/io.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -94,6 +98,30 @@ double TimeKMeans(const Matrix& points, int threads) {
   return seconds;
 }
 
+// Single-thread GEMM throughput on a forced kernel path. Isolates the
+// SIMD uplift from thread scaling: this number is meaningful even on a
+// 1-core host where the thread sweep above flat-lines.
+double GemmGflops(simd::IsaPath path) {
+  simd::ForcePathForTesting(path);
+  SetGlobalThreadPoolThreads(1);
+  Rng rng(7);
+  Matrix a(static_cast<size_t>(bench::Scaled(384)), 256);
+  Matrix b(256, 128);
+  a.FillNormal(rng);
+  b.FillNormal(rng);
+  MatMul(a, b);  // Warm caches and the dispatch table.
+  const int reps = bench::Scaled(30);
+  WallTimer timer;
+  double sink = 0.0;
+  for (int r = 0; r < reps; ++r) sink += MatMul(a, b).Sum();
+  const double seconds = timer.Seconds();
+  HIGNN_CHECK(sink == sink);  // Keep the loop observable.
+  simd::ForcePathForTesting(simd::Best());
+  const double flops =
+      2.0 * static_cast<double>(a.rows()) * 256.0 * 128.0 * reps;
+  return flops / (seconds > 0.0 ? seconds : 1e-9) / 1e9;
+}
+
 bool SameAssignments(const HignnModel& a, const HignnModel& b) {
   if (a.num_levels() != b.num_levels()) return false;
   for (int32_t l = 0; l < a.num_levels(); ++l) {
@@ -130,7 +158,9 @@ int Run() {
       "Thread-scaling: Hignn::Fit, MatMul and K-means vs worker count",
       "Single-host analogue of the paper's 300-worker deployment (Sec. VI)");
   const unsigned hw = std::thread::hardware_concurrency();
-  std::printf("hardware_concurrency = %u\n\n", hw);
+  std::printf("cpu = %s\n", bench::CpuModelName().c_str());
+  std::printf("hardware_concurrency = %u\n", hw);
+  std::printf("simd_path = %s\n\n", simd::PathName());
 
   const SyntheticDataset dataset = MakeWorld();
   const BipartiteGraph graph = dataset.BuildTrainGraph();
@@ -167,6 +197,13 @@ int Run() {
   }
   std::printf("%s\n", table.ToString().c_str());
 
+  const double scalar_gflops = GemmGflops(simd::IsaPath::kScalar);
+  const double simd_gflops = GemmGflops(simd::Best());
+  std::printf("single-thread GEMM: scalar %.2f GFLOP/s, %s %.2f GFLOP/s "
+              "(%.2fx)\n",
+              scalar_gflops, simd::PathName(), simd_gflops,
+              scalar_gflops > 0.0 ? simd_gflops / scalar_gflops : 0.0);
+
   const bool deterministic = SameAssignments(model_1, model_4);
   std::printf("1-thread vs 4-thread Fit: %s\n",
               deterministic
@@ -174,7 +211,7 @@ int Run() {
                   : "MISMATCH — determinism contract violated!");
 
   std::string json = "{\n";
-  json += StrFormat("  \"hardware_concurrency\": %u,\n", hw);
+  json += bench::JsonHostFields();
   json += StrFormat("  \"scale\": %.2f,\n", bench::Scale());
   json += StrFormat("  \"workload\": {\"users\": %d, \"items\": %d, "
                     "\"edges\": %lld},\n",
@@ -183,6 +220,11 @@ int Run() {
   json += JsonTimings("fit", fit_secs) + ",\n";
   json += JsonTimings("matmul", matmul_secs) + ",\n";
   json += JsonTimings("kmeans", kmeans_secs) + ",\n";
+  json += StrFormat(
+      "  \"gemm_single_thread\": {\"scalar_gflops\": %.3f, "
+      "\"simd_gflops\": %.3f, \"simd_path\": \"%s\", \"speedup\": %.3f},\n",
+      scalar_gflops, simd_gflops, simd::PathName(),
+      scalar_gflops > 0.0 ? simd_gflops / scalar_gflops : 0.0);
   json += StrFormat("  \"deterministic_1_vs_4\": %s\n",
                     deterministic ? "true" : "false");
   json += "}\n";

@@ -174,6 +174,7 @@ int Run() {
               static_cast<long long>(metrics.batches_total()));
 
   std::string json = "{\n";
+  json += bench::JsonHostFields();
   json += StrFormat("  \"scale\": %.2f,\n", bench::Scale());
   json += StrFormat(
       "  \"workload\": {\"users\": %d, \"items\": %d, \"clients\": %d, "

@@ -8,8 +8,10 @@
 #   2. the full ctest suite (unit, tsan-labelled, asan-labelled — in this
 #      plain build they run without sanitizer runtimes; use
 #      scripts/run_tsan.sh / run_asan.sh for the instrumented versions)
-#   3. the `lint` label: hignn_lint fixture tests + whole-tree scan
-#   4. clang-tidy over src/ via compile_commands.json, when clang-tidy is
+#   3. the kernels + tsan labels again with HIGNN_SIMD=off (the scalar
+#      fallback must stay bit-identical to the vector paths)
+#   4. the `lint` label: hignn_lint fixture tests + whole-tree scan
+#   5. clang-tidy over src/ via compile_commands.json, when clang-tidy is
 #      installed (skipped with a notice otherwise, so the gate stays green
 #      in minimal containers)
 #
@@ -26,6 +28,12 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 echo "== unit tests"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== scalar-path parity (HIGNN_SIMD=off kernels + threading)"
+# The SIMD dispatch knob must leave every result bit-identical: rerun the
+# kernel-parity and determinism suites with the vector paths disabled.
+HIGNN_SIMD=off ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -j "$(nproc)" -L "kernels|tsan"
 
 echo "== static analysis (hignn_lint)"
 ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure -j "$(nproc)"

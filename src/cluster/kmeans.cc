@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "nn/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -29,13 +30,10 @@ size_t ReduceChunksFor(size_t work, size_t range) {
   return std::min(range, kReduceChunks);
 }
 
+// Lane-strided double accumulation (nn/simd.h): bitwise identical on the
+// scalar and vector paths, and still thread-count independent.
 double SquaredDistance(const float* a, const float* b, size_t d) {
-  double total = 0.0;
-  for (size_t c = 0; c < d; ++c) {
-    const double diff = static_cast<double>(a[c]) - b[c];
-    total += diff * diff;
-  }
-  return total;
+  return simd::SquaredDistance(a, b, d);
 }
 
 // Nearest center index and squared distance for one point.

@@ -3,32 +3,51 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
+#include "nn/simd.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace hignn {
 
 namespace {
 
-// Kernels below this many scalar multiply-adds run inline on the caller:
-// a pool dispatch (submit + wait over a mutex/condvar) costs tens of
-// microseconds, which dwarfs a tiny per-step GEMM.
-constexpr size_t kParallelFlopCutoff = size_t{1} << 16;
-
 // Column-panel width for the j loops: 256 floats (1 KiB) keeps the streamed
 // B panel and the output row resident in L1 together.
 constexpr size_t kColBlock = 256;
 
-// Row-panel depth for MatMulAT's p loops: bounds the A/B rows touched per
-// pass so the B panel stays cache-hot across output rows.
-constexpr size_t kRowBlock = 64;
+// Every GEMM partitions work so each output element is produced by exactly
+// one chunk with a chunk-independent ascending-p accumulation order, so the
+// parallel and sequential paths are bitwise identical and granularity
+// decisions (ThreadPool::ParallelForWork) can safely depend on the live
+// thread count. The SIMD micro-kernel keeps the same per-element op chain
+// as the scalar one (simd.h), so ISA choice never changes the bits either.
+//
+// Runs the register/cache-blocked GEMM over output rows [lo, hi):
+// out[i][j] += sum_p a[i][p] * b[p][j], with a mr x 8 register tile inside
+// simd::GemmBlock and a kColBlock j panel keeping B slices L1-resident.
+void GemmRowBand(const Matrix& a, const Matrix& b, Matrix& out, size_t lo,
+                 size_t hi) {
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t j0 = 0; j0 < n; j0 += kColBlock) {
+    const size_t jw = std::min(n - j0, kColBlock);
+    for (size_t i0 = lo; i0 < hi; i0 += simd::kGemmRowTile) {
+      const size_t mr = std::min(simd::kGemmRowTile, hi - i0);
+      simd::GemmBlock(mr, k, jw, a.row(i0), k, b.row(0) + j0, n,
+                      out.row(i0) + j0, n);
+    }
+  }
+}
 
-// Every kernel partitions work so each output element is produced by
-// exactly one chunk with a chunk-independent accumulation order, so the
-// parallel and sequential paths are bitwise identical and this choice can
-// safely depend on the live thread count.
-inline bool UseParallel(size_t flops) {
-  return flops >= kParallelFlopCutoff && GlobalThreadPool().num_threads() > 1;
+// One tick per GEMM call on the counter matching the live dispatch path.
+void CountGemmDispatch() {
+  static obs::Counter& took_simd =
+      obs::MetricsRegistry::Global().GetCounter("kernel.gemm.simd");
+  static obs::Counter& took_scalar =
+      obs::MetricsRegistry::Global().GetCounter("kernel.gemm.scalar");
+  (simd::Active() == simd::IsaPath::kScalar ? took_scalar : took_simd).Add(1);
 }
 
 }  // namespace
@@ -53,15 +72,13 @@ void Matrix::FillUniform(Rng& rng, float lo, float hi) {
 void Matrix::Add(const Matrix& other) {
   HIGNN_CHECK_EQ(rows_, other.rows_);
   HIGNN_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::Accumulate(data_.data(), other.data_.data(), data_.size());
 }
 
 void Matrix::Axpy(float alpha, const Matrix& other) {
   HIGNN_CHECK_EQ(rows_, other.rows_);
   HIGNN_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  simd::Axpy(data_.data(), alpha, other.data_.data(), data_.size());
 }
 
 void Matrix::Scale(float alpha) {
@@ -124,29 +141,11 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const size_t k = a.cols();
   const size_t n = b.cols();
   if (m == 0 || k == 0 || n == 0) return out;
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows;
-  // the j panel keeps a k x kColBlock slice of B hot across the rows of a
-  // chunk. Accumulation over p stays ascending for every output element,
-  // so any row/panel split yields bitwise-identical results.
-  auto row_block = [&](size_t lo, size_t hi) {
-    for (size_t j0 = 0; j0 < n; j0 += kColBlock) {
-      const size_t j1 = std::min(n, j0 + kColBlock);
-      for (size_t i = lo; i < hi; ++i) {
-        const float* arow = a.row(i);
-        float* orow = out.row(i);
-        for (size_t p = 0; p < k; ++p) {
-          const float av = arow[p];
-          const float* brow = b.row(p);
-          for (size_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
-        }
-      }
-    }
-  };
-  if (UseParallel(m * k * n)) {
-    GlobalThreadPool().ParallelFor(0, m, row_block);
-  } else {
-    row_block(0, m);
-  }
+  CountGemmDispatch();
+  GlobalThreadPool().ParallelForWork(0, m, m * k * n,
+                                     [&](size_t lo, size_t hi) {
+                                       GemmRowBand(a, b, out, lo, hi);
+                                     });
   return out;
 }
 
@@ -157,23 +156,16 @@ Matrix MatMulBT(const Matrix& a, const Matrix& b) {
   const size_t k = a.cols();
   const size_t n = b.rows();
   if (m == 0 || k == 0 || n == 0) return out;
-  auto row_block = [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const float* arow = a.row(i);
-      float* orow = out.row(i);
-      for (size_t j = 0; j < n; ++j) {
-        const float* brow = b.row(j);
-        float acc = 0.0f;
-        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        orow[j] = acc;
-      }
-    }
-  };
-  if (UseParallel(m * k * n)) {
-    GlobalThreadPool().ParallelFor(0, m, row_block);
-  } else {
-    row_block(0, m);
-  }
+  CountGemmDispatch();
+  // Transposing B up front turns a row-times-row dot kernel into the shared
+  // blocked GEMM; Transpose copies bits verbatim, and out[i][j] still sums
+  // a[i][p] * b[j][p] as a float accumulator ascending in p (the register
+  // tile starts from out's zeros exactly as the old `float acc = 0` did).
+  const Matrix bt = Transpose(b);
+  GlobalThreadPool().ParallelForWork(0, m, m * k * n,
+                                     [&](size_t lo, size_t hi) {
+                                       GemmRowBand(a, bt, out, lo, hi);
+                                     });
   return out;
 }
 
@@ -184,34 +176,24 @@ Matrix MatMulAT(const Matrix& a, const Matrix& b) {
   const size_t k = a.cols();  // = out rows
   const size_t n = b.cols();
   if (m == 0 || k == 0 || n == 0) return out;
-  if (!UseParallel(m * k * n)) {
-    // p-outer order reads each row of A and B exactly once; best when the
-    // k x n output fits in cache (the common per-step gradient case).
-    for (size_t p = 0; p < m; ++p) {
-      const float* arow = a.row(p);
-      const float* brow = b.row(p);
-      for (size_t i = 0; i < k; ++i) {
-        const float av = arow[i];
-        float* orow = out.row(i);
-        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  CountGemmDispatch();
+  // Output row i is column i of A. Each band packs its columns into a
+  // kGemmRowTile x m tile (a bit-exact copy) and runs the shared register
+  // kernel over the full depth, so p ascends globally for every output
+  // element — the same chain as the seed's p-outer scalar loop.
+  GlobalThreadPool().ParallelForWork(0, k, m * k * n, [&](size_t lo,
+                                                          size_t hi) {
+    std::vector<float> packed(simd::kGemmRowTile * m);
+    for (size_t i0 = lo; i0 < hi; i0 += simd::kGemmRowTile) {
+      const size_t mr = std::min(simd::kGemmRowTile, hi - i0);
+      for (size_t p = 0; p < m; ++p) {
+        const float* arow = a.row(p);
+        for (size_t r = 0; r < mr; ++r) packed[r * m + p] = arow[i0 + r];
       }
-    }
-    return out;
-  }
-  // Each chunk owns a contiguous band of output rows; the p panel keeps
-  // kRowBlock rows of B hot across the band. p still ascends globally for
-  // every output element (panels in order, ascending within a panel), so
-  // this matches the sequential path bit for bit.
-  GlobalThreadPool().ParallelFor(0, k, [&](size_t lo, size_t hi) {
-    for (size_t p0 = 0; p0 < m; p0 += kRowBlock) {
-      const size_t p1 = std::min(m, p0 + kRowBlock);
-      for (size_t i = lo; i < hi; ++i) {
-        float* orow = out.row(i);
-        for (size_t p = p0; p < p1; ++p) {
-          const float av = a.row(p)[i];
-          const float* brow = b.row(p);
-          for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-        }
+      for (size_t j0 = 0; j0 < n; j0 += kColBlock) {
+        const size_t jw = std::min(n - j0, kColBlock);
+        simd::GemmBlock(mr, m, jw, packed.data(), m, b.row(0) + j0, n,
+                        out.row(i0) + j0, n);
       }
     }
   });
@@ -224,9 +206,11 @@ Matrix Transpose(const Matrix& a) {
   const size_t n = a.cols();
   if (m == 0 || n == 0) return out;
   // 32x32 tiles turn the column-strided writes into short cache-resident
-  // bursts; each source row belongs to exactly one chunk.
+  // bursts; each source row belongs to exactly one chunk. The flop estimate
+  // counts one move per element: a transpose is pure bandwidth, so it needs
+  // far more elements than a GEMM before a pool dispatch pays off.
   constexpr size_t kTile = 32;
-  auto row_block = [&](size_t lo, size_t hi) {
+  GlobalThreadPool().ParallelForWork(0, m, m * n, [&](size_t lo, size_t hi) {
     for (size_t r0 = lo; r0 < hi; r0 += kTile) {
       const size_t r1 = std::min(hi, r0 + kTile);
       for (size_t c0 = 0; c0 < n; c0 += kTile) {
@@ -237,12 +221,7 @@ Matrix Transpose(const Matrix& a) {
         }
       }
     }
-  };
-  if (UseParallel(m * n)) {
-    GlobalThreadPool().ParallelFor(0, m, row_block);
-  } else {
-    row_block(0, m);
-  }
+  });
   return out;
 }
 
@@ -255,25 +234,12 @@ Matrix AddMatrices(const Matrix& a, const Matrix& b) {
 double RowSquaredDistance(const Matrix& a, size_t ra, const Matrix& b,
                           size_t rb) {
   HIGNN_CHECK_EQ(a.cols(), b.cols());
-  const float* x = a.row(ra);
-  const float* y = b.row(rb);
-  double total = 0.0;
-  for (size_t c = 0; c < a.cols(); ++c) {
-    const double d = static_cast<double>(x[c]) - y[c];
-    total += d * d;
-  }
-  return total;
+  return simd::SquaredDistance(a.row(ra), b.row(rb), a.cols());
 }
 
 double RowDot(const Matrix& a, size_t ra, const Matrix& b, size_t rb) {
   HIGNN_CHECK_EQ(a.cols(), b.cols());
-  const float* x = a.row(ra);
-  const float* y = b.row(rb);
-  double total = 0.0;
-  for (size_t c = 0; c < a.cols(); ++c) {
-    total += static_cast<double>(x[c]) * y[c];
-  }
-  return total;
+  return simd::Dot(a.row(ra), b.row(rb), a.cols());
 }
 
 bool AllClose(const Matrix& a, const Matrix& b, float tol) {

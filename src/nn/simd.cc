@@ -1,0 +1,171 @@
+#include "nn/simd.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace hignn {
+namespace simd {
+
+namespace internal {
+
+void AccumulateScalar(float* dst, const float* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void AxpyScalar(float* dst, float alpha, const float* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void GemmBlockScalar(size_t mr, size_t kc, size_t n, const float* a,
+                     size_t lda, const float* b, size_t ldb, float* c,
+                     size_t ldc) {
+  for (size_t r = 0; r < mr; ++r) {
+    const float* arow = a + r * lda;
+    float* crow = c + r * ldc;
+    for (size_t p = 0; p < kc; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * ldb;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+double DotScalar(const float* x, const float* y, size_t n) {
+  double lane[kReduceLanes] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    lane[i % kReduceLanes] += static_cast<double>(x[i]) * y[i];
+  }
+  return MergeLanes(lane);
+}
+
+double SquaredDistanceScalar(const float* x, const float* y, size_t n) {
+  double lane[kReduceLanes] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(x[i]) - y[i];
+    lane[i % kReduceLanes] += d * d;
+  }
+  return MergeLanes(lane);
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::Kernels;
+
+constexpr Kernels kScalarKernels = {
+    internal::AccumulateScalar, internal::AxpyScalar,
+    internal::GemmBlockScalar,  internal::DotScalar,
+    internal::SquaredDistanceScalar,
+};
+
+// Compiled into this binary AND supported by the running CPU.
+bool PathSupported(IsaPath path) {
+  switch (path) {
+    case IsaPath::kAvx2:
+#if defined(__x86_64__)
+      return internal::GetAvx2Kernels() != nullptr &&
+             __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case IsaPath::kNeon:
+      return internal::GetNeonKernels() != nullptr;
+    case IsaPath::kScalar:
+      return true;
+  }
+  return false;
+}
+
+const Kernels* KernelsFor(IsaPath path) {
+  if (!PathSupported(path)) return &kScalarKernels;
+  switch (path) {
+    case IsaPath::kAvx2:
+      return internal::GetAvx2Kernels();
+    case IsaPath::kNeon:
+      return internal::GetNeonKernels();
+    case IsaPath::kScalar:
+      break;
+  }
+  return &kScalarKernels;
+}
+
+bool ScalarForcedByEnv() {
+  const char* env = std::getenv("HIGNN_SIMD");
+  if (env == nullptr) return false;
+  std::string value(env);
+  for (char& c : value) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return value == "off" || value == "scalar" || value == "0";
+}
+
+IsaPath DetectBestPath() {
+  if (ScalarForcedByEnv()) return IsaPath::kScalar;
+  if (PathSupported(IsaPath::kAvx2)) return IsaPath::kAvx2;
+  if (PathSupported(IsaPath::kNeon)) return IsaPath::kNeon;
+  return IsaPath::kScalar;
+}
+
+struct Dispatch {
+  IsaPath best;
+  IsaPath active;
+  const Kernels* kernels;
+};
+
+Dispatch& ActiveDispatch() {
+  static Dispatch dispatch = [] {
+    const IsaPath best = DetectBestPath();
+    return Dispatch{best, best, KernelsFor(best)};
+  }();
+  return dispatch;
+}
+
+}  // namespace
+
+IsaPath Active() { return ActiveDispatch().active; }
+
+IsaPath Best() { return ActiveDispatch().best; }
+
+const char* PathName() {
+  switch (Active()) {
+    case IsaPath::kAvx2:
+      return "avx2";
+    case IsaPath::kNeon:
+      return "neon";
+    case IsaPath::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+void ForcePathForTesting(IsaPath path) {
+  Dispatch& dispatch = ActiveDispatch();
+  const Kernels* kernels = KernelsFor(path);
+  dispatch.active = kernels == &kScalarKernels ? IsaPath::kScalar : path;
+  dispatch.kernels = kernels;
+}
+
+void Accumulate(float* dst, const float* src, size_t n) {
+  ActiveDispatch().kernels->accumulate(dst, src, n);
+}
+
+void Axpy(float* dst, float alpha, const float* src, size_t n) {
+  ActiveDispatch().kernels->axpy(dst, alpha, src, n);
+}
+
+void GemmBlock(size_t mr, size_t kc, size_t n, const float* a, size_t lda,
+               const float* b, size_t ldb, float* c, size_t ldc) {
+  ActiveDispatch().kernels->gemm_block(mr, kc, n, a, lda, b, ldb, c, ldc);
+}
+
+double Dot(const float* x, const float* y, size_t n) {
+  return ActiveDispatch().kernels->dot(x, y, n);
+}
+
+double SquaredDistance(const float* x, const float* y, size_t n) {
+  return ActiveDispatch().kernels->squared_distance(x, y, n);
+}
+
+}  // namespace simd
+}  // namespace hignn

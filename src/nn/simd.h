@@ -1,0 +1,123 @@
+#ifndef HIGNN_NN_SIMD_H_
+#define HIGNN_NN_SIMD_H_
+
+#include <cstddef>
+
+namespace hignn {
+namespace simd {
+
+/// \brief Vectorized inner kernels behind the Matrix/Tape hot paths, with
+/// runtime ISA dispatch and a bitwise-identical scalar fallback.
+///
+/// Dispatch policy: the best available path is probed once on first use
+/// (cpuid on x86_64, compile-target on arm64) and stored in a function
+/// pointer table; `HIGNN_SIMD=off` (or `=scalar`) in the environment forces
+/// the scalar path for parity checks. All raw intrinsics live in
+/// simd_avx2.cc / simd_neon.cc — hignn_lint's `simd-guard` rule keeps them
+/// out of the rest of the tree so the fallback cannot rot.
+///
+/// Determinism contract: every kernel here produces bitwise-identical
+/// results on every path. Two rules make that possible:
+///  1. No FMA. Vector kernels use separate multiply and add (the fused
+///     single rounding of vfmadd* differs from the scalar mul+add double
+///     rounding), and the build pins -ffp-contract=off so the compiler
+///     cannot re-fuse either side.
+///  2. Reductions use a fixed lane-strided schedule. Dot/SquaredDistance
+///     accumulate into kReduceLanes double-precision partial sums — lane l
+///     owns indices l, l+kReduceLanes, l+2*kReduceLanes, ... — merged in
+///     fixed ascending lane order. The scalar reference implements the
+///     identical schedule, so vector and scalar bits match exactly.
+/// Elementwise kernels (Accumulate/Axpy/GemmBlock) are per-element
+/// independent: each output element sees the same mul-then-add sequence in
+/// the same order on every path, so rule 2 is not needed there.
+
+/// \brief Instruction-set path selected for the kernel table.
+enum class IsaPath { kScalar, kAvx2, kNeon };
+
+/// \brief Number of independent partial sums in the Dot/SquaredDistance
+/// reduction schedule (4 doubles = one AVX2 ymm register).
+inline constexpr size_t kReduceLanes = 4;
+
+/// \brief Row-tile height of GemmBlock: callers pass mr <= kGemmRowTile.
+inline constexpr size_t kGemmRowTile = 4;
+
+/// \brief The path currently used by the kernels below.
+IsaPath Active();
+
+/// \brief The path the startup probe selected (environment override
+/// applied). Active() == Best() unless a test forced a different path.
+IsaPath Best();
+
+/// \brief Lower-case name of the active path: "scalar", "avx2", "neon".
+/// Recorded in BENCH_*.json envelopes for provenance.
+const char* PathName();
+
+/// \brief Test hook: switches the kernel table to `path` in-process so
+/// parity tests can compare scalar and SIMD outputs bit for bit. Falls
+/// back to kScalar when the requested path is not available on this
+/// build/host. Not thread-safe: call between parallel phases only.
+void ForcePathForTesting(IsaPath path);
+
+/// \brief dst[i] += src[i] for i in [0, n).
+void Accumulate(float* dst, const float* src, size_t n);
+
+/// \brief dst[i] += alpha * src[i] for i in [0, n).
+void Axpy(float* dst, float alpha, const float* src, size_t n);
+
+/// \brief Register-blocked GEMM micro-kernel:
+/// C[r][j] += sum_p A[r][p] * B[p][j] for r < mr (<= kGemmRowTile),
+/// j < n, with p ascending and mul-then-add per element — the canonical
+/// accumulation order every Matrix GEMM variant is defined by.
+/// `a` is mr x kc with row stride lda, `b` is kc x n with row stride ldb,
+/// `c` is mr x n with row stride ldc.
+void GemmBlock(size_t mr, size_t kc, size_t n, const float* a, size_t lda,
+               const float* b, size_t ldb, float* c, size_t ldc);
+
+/// \brief Lane-strided double-precision dot product of two float rows
+/// (see the reduction schedule above).
+double Dot(const float* x, const float* y, size_t n);
+
+/// \brief Lane-strided double-precision squared Euclidean distance.
+double SquaredDistance(const float* x, const float* y, size_t n);
+
+namespace internal {
+
+/// \brief One ISA's kernel implementations; selected once into a function
+/// pointer table. Only simd.cc and the simd_*.cc ISA files define these.
+struct Kernels {
+  void (*accumulate)(float* dst, const float* src, size_t n);
+  void (*axpy)(float* dst, float alpha, const float* src, size_t n);
+  void (*gemm_block)(size_t mr, size_t kc, size_t n, const float* a,
+                     size_t lda, const float* b, size_t ldb, float* c,
+                     size_t ldc);
+  double (*dot)(const float* x, const float* y, size_t n);
+  double (*squared_distance)(const float* x, const float* y, size_t n);
+};
+
+/// \brief ISA tables; null when the ISA is not compiled into this binary.
+/// (Runtime support is probed separately by the dispatcher.)
+const Kernels* GetAvx2Kernels();
+const Kernels* GetNeonKernels();
+
+/// \brief Scalar reference kernels — the semantics the SIMD paths must
+/// reproduce bit for bit. Exposed so ISA files can reuse them for tails.
+void AccumulateScalar(float* dst, const float* src, size_t n);
+void AxpyScalar(float* dst, float alpha, const float* src, size_t n);
+void GemmBlockScalar(size_t mr, size_t kc, size_t n, const float* a,
+                     size_t lda, const float* b, size_t ldb, float* c,
+                     size_t ldc);
+double DotScalar(const float* x, const float* y, size_t n);
+double SquaredDistanceScalar(const float* x, const float* y, size_t n);
+
+/// \brief Fixed-order merge of the kReduceLanes partial sums:
+/// ((lane[0] + lane[1]) + lane[2]) + lane[3]. Shared by every path.
+inline double MergeLanes(const double* lane) {
+  return ((lane[0] + lane[1]) + lane[2]) + lane[3];
+}
+
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace hignn
+
+#endif  // HIGNN_NN_SIMD_H_

@@ -1,0 +1,131 @@
+// AVX2 kernel table. Deliberately no FMA: vfmadd's single rounding differs
+// from the scalar mul+add double rounding, and the determinism contract
+// (simd.h) requires bitwise-identical results on every path. Each vector
+// lane performs exactly the scalar op sequence for its element; reductions
+// follow the shared lane-strided schedule.
+
+#include "nn/simd.h"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace hignn {
+namespace simd {
+namespace internal {
+
+namespace {
+
+void AccumulateAvx2(float* dst, const float* src, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_loadu_ps(dst + i);
+    const __m256 s = _mm256_loadu_ps(src + i);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(d, s));
+  }
+  AccumulateScalar(dst + i, src + i, n - i);
+}
+
+void AxpyAvx2(float* dst, float alpha, const float* src, size_t n) {
+  const __m256 a = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_loadu_ps(dst + i);
+    const __m256 s = _mm256_loadu_ps(src + i);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(d, _mm256_mul_ps(a, s)));
+  }
+  AxpyScalar(dst + i, alpha, src + i, n - i);
+}
+
+// Up-to-4-row x 8-column register tile. The C tile lives in ymm
+// accumulators across the whole p loop, so each output element sees the
+// same ascending-p mul-then-add chain as the scalar kernel (a register
+// accumulator computes identical float ops to the scalar read-modify-write
+// sequence starting from the same C value).
+void GemmBlockAvx2(size_t mr, size_t kc, size_t n, const float* a,
+                   size_t lda, const float* b, size_t ldb, float* c,
+                   size_t ldc) {
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc[kGemmRowTile];
+    for (size_t r = 0; r < mr; ++r) {
+      acc[r] = _mm256_loadu_ps(c + r * ldc + j);
+    }
+    for (size_t p = 0; p < kc; ++p) {
+      const __m256 bv = _mm256_loadu_ps(b + p * ldb + j);
+      for (size_t r = 0; r < mr; ++r) {
+        const __m256 av = _mm256_set1_ps(a[r * lda + p]);
+        acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(av, bv));
+      }
+    }
+    for (size_t r = 0; r < mr; ++r) {
+      _mm256_storeu_ps(c + r * ldc + j, acc[r]);
+    }
+  }
+  if (j < n) {
+    GemmBlockScalar(mr, kc, n - j, a, lda, b + j, ldb, c + j, ldc);
+  }
+}
+
+// One vector iteration handles indices i..i+3, which map exactly onto
+// reduction lanes 0..3 — the same ownership as the scalar i % kReduceLanes
+// schedule, so the merged sum is bitwise identical.
+double DotAvx2(const float* x, const float* y, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + kReduceLanes <= n; i += kReduceLanes) {
+    const __m256d xd = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    const __m256d yd = _mm256_cvtps_pd(_mm_loadu_ps(y + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(xd, yd));
+  }
+  alignas(32) double lane[kReduceLanes];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) {
+    lane[i % kReduceLanes] += static_cast<double>(x[i]) * y[i];
+  }
+  return MergeLanes(lane);
+}
+
+double SquaredDistanceAvx2(const float* x, const float* y, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + kReduceLanes <= n; i += kReduceLanes) {
+    const __m256d xd = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    const __m256d yd = _mm256_cvtps_pd(_mm_loadu_ps(y + i));
+    const __m256d d = _mm256_sub_pd(xd, yd);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  alignas(32) double lane[kReduceLanes];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(x[i]) - y[i];
+    lane[i % kReduceLanes] += d * d;
+  }
+  return MergeLanes(lane);
+}
+
+constexpr Kernels kAvx2Kernels = {
+    AccumulateAvx2, AxpyAvx2, GemmBlockAvx2, DotAvx2, SquaredDistanceAvx2,
+};
+
+}  // namespace
+
+const Kernels* GetAvx2Kernels() { return &kAvx2Kernels; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace hignn
+
+#else  // !defined(__x86_64__)
+
+namespace hignn {
+namespace simd {
+namespace internal {
+
+const Kernels* GetAvx2Kernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace hignn
+
+#endif

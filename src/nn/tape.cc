@@ -3,9 +3,71 @@
 #include <cmath>
 #include <utility>
 
+#include "nn/simd.h"
+#include "obs/metrics.h"
+
 namespace hignn {
 
 namespace {
+
+// Shared forward kernels for the tape ops and their fused constant-source
+// variants (*From): one definition guarantees the fused path produces
+// bitwise-identical values to Input(copy) + op.
+
+Matrix GatherRowsValue(const Matrix& src,
+                       const std::vector<int32_t>& index) {
+  Matrix out(index.size(), src.cols());
+  for (size_t r = 0; r < index.size(); ++r) {
+    HIGNN_CHECK_GE(index[r], 0);
+    HIGNN_CHECK_LT(static_cast<size_t>(index[r]), src.rows());
+    const float* from = src.row(static_cast<size_t>(index[r]));
+    float* dst = out.row(r);
+    for (size_t c = 0; c < src.cols(); ++c) dst[c] = from[c];
+  }
+  return out;
+}
+
+Matrix GroupMeanRowsValue(const Matrix& src,
+                          const std::vector<std::vector<int32_t>>& groups) {
+  Matrix out(groups.size(), src.cols());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].empty()) continue;
+    float* dst = out.row(g);
+    for (int32_t j : groups[g]) {
+      HIGNN_CHECK_GE(j, 0);
+      HIGNN_CHECK_LT(static_cast<size_t>(j), src.rows());
+      simd::Accumulate(dst, src.row(static_cast<size_t>(j)), src.cols());
+    }
+    const float inv = 1.0f / static_cast<float>(groups[g].size());
+    for (size_t c = 0; c < src.cols(); ++c) dst[c] *= inv;
+  }
+  return out;
+}
+
+Matrix GroupWeightedSumRowsValue(
+    const Matrix& src, const std::vector<std::vector<int32_t>>& groups,
+    const std::vector<std::vector<float>>& weights) {
+  HIGNN_CHECK_EQ(groups.size(), weights.size());
+  Matrix out(groups.size(), src.cols());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    HIGNN_CHECK_EQ(groups[g].size(), weights[g].size());
+    float* dst = out.row(g);
+    for (size_t k = 0; k < groups[g].size(); ++k) {
+      const int32_t j = groups[g][k];
+      HIGNN_CHECK_GE(j, 0);
+      HIGNN_CHECK_LT(static_cast<size_t>(j), src.rows());
+      simd::Axpy(dst, weights[g][k], src.row(static_cast<size_t>(j)),
+                 src.cols());
+    }
+  }
+  return out;
+}
+
+void CountFusedAggregate() {
+  static obs::Counter& hits = obs::MetricsRegistry::Global().GetCounter(
+      "kernel.fused_aggregate.hits");
+  hits.Add(1);
+}
 
 // Stable log(1 + exp(x)).
 inline double Softplus(double x) {
@@ -256,15 +318,7 @@ VarId Tape::ConcatColsN(const std::vector<VarId>& parts) {
 }
 
 VarId Tape::GatherRows(VarId a, std::vector<int32_t> index) {
-  const Matrix& va = value(a);
-  Matrix out(index.size(), va.cols());
-  for (size_t r = 0; r < index.size(); ++r) {
-    HIGNN_CHECK_GE(index[r], 0);
-    HIGNN_CHECK_LT(static_cast<size_t>(index[r]), va.rows());
-    const float* src = va.row(static_cast<size_t>(index[r]));
-    float* dst = out.row(r);
-    for (size_t c = 0; c < va.cols(); ++c) dst[c] = src[c];
-  }
+  Matrix out = GatherRowsValue(value(a), index);
   const bool needs = nodes_[a].requires_grad;
   VarId id = Emit(std::move(out), needs, nullptr);
   if (needs) {
@@ -273,30 +327,22 @@ VarId Tape::GatherRows(VarId a, std::vector<int32_t> index) {
       Matrix& ga = MutableGrad(a);
       const Matrix& gout = nodes_[id].grad;
       for (size_t r = 0; r < idx.size(); ++r) {
-        const float* src = gout.row(r);
-        float* dst = ga.row(static_cast<size_t>(idx[r]));
-        for (size_t c = 0; c < gout.cols(); ++c) dst[c] += src[c];
+        simd::Accumulate(ga.row(static_cast<size_t>(idx[r])), gout.row(r),
+                         gout.cols());
       }
     };
   }
   return id;
 }
 
+VarId Tape::GatherRowsFrom(const Matrix& src,
+                           const std::vector<int32_t>& index) {
+  CountFusedAggregate();
+  return Emit(GatherRowsValue(src, index), /*requires_grad=*/false, nullptr);
+}
+
 VarId Tape::GroupMeanRows(VarId a, std::vector<std::vector<int32_t>> groups) {
-  const Matrix& va = value(a);
-  Matrix out(groups.size(), va.cols());
-  for (size_t g = 0; g < groups.size(); ++g) {
-    if (groups[g].empty()) continue;
-    float* dst = out.row(g);
-    for (int32_t j : groups[g]) {
-      HIGNN_CHECK_GE(j, 0);
-      HIGNN_CHECK_LT(static_cast<size_t>(j), va.rows());
-      const float* src = va.row(static_cast<size_t>(j));
-      for (size_t c = 0; c < va.cols(); ++c) dst[c] += src[c];
-    }
-    const float inv = 1.0f / static_cast<float>(groups[g].size());
-    for (size_t c = 0; c < va.cols(); ++c) dst[c] *= inv;
-  }
+  Matrix out = GroupMeanRowsValue(value(a), groups);
   const bool needs = nodes_[a].requires_grad;
   VarId id = Emit(std::move(out), needs, nullptr);
   if (needs) {
@@ -309,8 +355,7 @@ VarId Tape::GroupMeanRows(VarId a, std::vector<std::vector<int32_t>> groups) {
         const float inv = 1.0f / static_cast<float>(gs[g].size());
         const float* src = gout.row(g);
         for (int32_t j : gs[g]) {
-          float* dst = ga.row(static_cast<size_t>(j));
-          for (size_t c = 0; c < gout.cols(); ++c) dst[c] += inv * src[c];
+          simd::Axpy(ga.row(static_cast<size_t>(j)), inv, src, gout.cols());
         }
       }
     };
@@ -318,24 +363,17 @@ VarId Tape::GroupMeanRows(VarId a, std::vector<std::vector<int32_t>> groups) {
   return id;
 }
 
+VarId Tape::GroupMeanRowsFrom(
+    const Matrix& src, const std::vector<std::vector<int32_t>>& groups) {
+  CountFusedAggregate();
+  return Emit(GroupMeanRowsValue(src, groups), /*requires_grad=*/false,
+              nullptr);
+}
+
 VarId Tape::GroupWeightedSumRows(VarId a,
                                  std::vector<std::vector<int32_t>> groups,
                                  std::vector<std::vector<float>> weights) {
-  HIGNN_CHECK_EQ(groups.size(), weights.size());
-  const Matrix& va = value(a);
-  Matrix out(groups.size(), va.cols());
-  for (size_t g = 0; g < groups.size(); ++g) {
-    HIGNN_CHECK_EQ(groups[g].size(), weights[g].size());
-    float* dst = out.row(g);
-    for (size_t k = 0; k < groups[g].size(); ++k) {
-      const int32_t j = groups[g][k];
-      HIGNN_CHECK_GE(j, 0);
-      HIGNN_CHECK_LT(static_cast<size_t>(j), va.rows());
-      const float w = weights[g][k];
-      const float* src = va.row(static_cast<size_t>(j));
-      for (size_t c = 0; c < va.cols(); ++c) dst[c] += w * src[c];
-    }
-  }
+  Matrix out = GroupWeightedSumRowsValue(value(a), groups, weights);
   const bool needs = nodes_[a].requires_grad;
   VarId id = Emit(std::move(out), needs, nullptr);
   if (needs) {
@@ -347,14 +385,21 @@ VarId Tape::GroupWeightedSumRows(VarId a,
       for (size_t g = 0; g < gs.size(); ++g) {
         const float* src = gout.row(g);
         for (size_t k = 0; k < gs[g].size(); ++k) {
-          float* dst = ga.row(static_cast<size_t>(gs[g][k]));
-          const float w = ws[g][k];
-          for (size_t c = 0; c < gout.cols(); ++c) dst[c] += w * src[c];
+          simd::Axpy(ga.row(static_cast<size_t>(gs[g][k])), ws[g][k], src,
+                     gout.cols());
         }
       }
     };
   }
   return id;
+}
+
+VarId Tape::GroupWeightedSumRowsFrom(
+    const Matrix& src, const std::vector<std::vector<int32_t>>& groups,
+    const std::vector<std::vector<float>>& weights) {
+  CountFusedAggregate();
+  return Emit(GroupWeightedSumRowsValue(src, groups, weights),
+              /*requires_grad=*/false, nullptr);
 }
 
 VarId Tape::RowL2Normalize(VarId a, float eps) {

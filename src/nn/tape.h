@@ -79,6 +79,26 @@ class Tape {
                              std::vector<std::vector<int32_t>> groups,
                              std::vector<std::vector<float>> weights);
 
+  // Fused constant-source variants: gather/aggregate straight out of a
+  // matrix that is NOT on the tape (e.g. the immutable level-0 feature
+  // table), skipping the intermediate row-copy Input node entirely. The
+  // produced values are bitwise identical to Input(copy) + the tape op;
+  // since a constant source never needs gradients, no backward closure is
+  // recorded (the unfused path's backward was already a no-op for
+  // requires_grad=false inputs). `src` must outlive the tape.
+
+  /// \brief out.row(i) = src.row(index[i]), with `src` a constant matrix.
+  VarId GatherRowsFrom(const Matrix& src, const std::vector<int32_t>& index);
+
+  /// \brief GroupMeanRows streaming directly from a constant matrix.
+  VarId GroupMeanRowsFrom(const Matrix& src,
+                          const std::vector<std::vector<int32_t>>& groups);
+
+  /// \brief GroupWeightedSumRows streaming directly from a constant matrix.
+  VarId GroupWeightedSumRowsFrom(
+      const Matrix& src, const std::vector<std::vector<int32_t>>& groups,
+      const std::vector<std::vector<float>>& weights);
+
   /// \brief L2-normalizes every row (rows with norm < eps pass through).
   /// GraphSAGE-style output normalization; keeps embeddings on the unit
   /// sphere so downstream K-means distances are scale-free.

@@ -26,19 +26,17 @@ Matrix GatherFeatureRows(const Matrix& features,
                          const std::vector<int32_t>& ids) {
   Matrix out(ids.size(), features.cols());
   const size_t cols = features.cols();
-  auto copy_rows = [&](size_t lo, size_t hi) {
-    for (size_t r = lo; r < hi; ++r) {
-      const float* src = features.row(static_cast<size_t>(ids[r]));
-      float* dst = out.row(r);
-      std::copy(src, src + cols, dst);
-    }
-  };
-  if (ids.size() * cols >= kParallelBatchCutoff * 8 &&
-      GlobalThreadPool().num_threads() > 1) {
-    GlobalThreadPool().ParallelFor(0, ids.size(), copy_rows);
-  } else {
-    copy_rows(0, ids.size());
-  }
+  // Work estimate = one element move per float; ParallelForWork keeps the
+  // common small gathers inline and only fans out the big inference-batch
+  // ones.
+  GlobalThreadPool().ParallelForWork(
+      0, ids.size(), ids.size() * cols, [&](size_t lo, size_t hi) {
+        for (size_t r = lo; r < hi; ++r) {
+          const float* src = features.row(static_cast<size_t>(ids[r]));
+          float* dst = out.row(r);
+          std::copy(src, src + cols, dst);
+        }
+      });
   return out;
 }
 
@@ -210,31 +208,45 @@ BipartiteSage::BatchEmbedding BipartiteSage::ForwardBatch(
   for (int32_t v : left_targets) need_left[steps].Intern(v);
   for (int32_t v : right_targets) need_right[steps].Intern(v);
 
+  // With the fused level-0 path the first SAGE step reads the feature
+  // tables directly by global vertex id, so the level-0 frontiers are never
+  // interned or materialized; the sampling calls (and hence the rng stream)
+  // are identical either way.
+  const bool fused = config_.fused_level0;
+
   for (size_t p = steps; p >= 1; --p) {
     const int32_t fanout = config_.fanouts[steps - p];
+    const bool intern_prev = !fused || p > 1;
     left_nbrs[p].resize(need_left[p].ids.size());
     for (size_t k = 0; k < need_left[p].ids.size(); ++k) {
       const int32_t u = need_left[p].ids[k];
       left_nbrs[p][k] =
           SampleNeighbors(graph, Side::kLeft, u, fanout, rng);
-      need_left[p - 1].Intern(u);  // self embedding for CONCAT
-      for (int32_t nbr : left_nbrs[p][k].ids) need_right[p - 1].Intern(nbr);
+      if (intern_prev) {
+        need_left[p - 1].Intern(u);  // self embedding for CONCAT
+        for (int32_t nbr : left_nbrs[p][k].ids) need_right[p - 1].Intern(nbr);
+      }
     }
     right_nbrs[p].resize(need_right[p].ids.size());
     for (size_t k = 0; k < need_right[p].ids.size(); ++k) {
       const int32_t i = need_right[p].ids[k];
       right_nbrs[p][k] =
           SampleNeighbors(graph, Side::kRight, i, fanout, rng);
-      need_right[p - 1].Intern(i);
-      for (int32_t nbr : right_nbrs[p][k].ids) need_left[p - 1].Intern(nbr);
+      if (intern_prev) {
+        need_right[p - 1].Intern(i);
+        for (int32_t nbr : right_nbrs[p][k].ids) need_left[p - 1].Intern(nbr);
+      }
     }
   }
 
   // --- Forward pass (bottom-up) ----------------------------------------------
-  VarId h_left = tape.Input(GatherFeatureRows(left_features,
-                                              need_left[0].ids));
-  VarId h_right = tape.Input(GatherFeatureRows(right_features,
-                                               need_right[0].ids));
+  VarId h_left = kInvalidVar;
+  VarId h_right = kInvalidVar;
+  if (!fused) {
+    h_left = tape.Input(GatherFeatureRows(left_features, need_left[0].ids));
+    h_right = tape.Input(GatherFeatureRows(right_features,
+                                           need_right[0].ids));
+  }
 
   for (size_t p = 1; p <= steps; ++p) {
     Dense& m_ui = left_transform_[p - 1];
@@ -244,11 +256,18 @@ BipartiteSage::BatchEmbedding BipartiteSage::ForwardBatch(
     Dense& w_i = config_.shared_weights ? left_update_[p - 1]
                                         : right_update_[p - 1];
 
+    // At the fused first step the frontier indices ARE the global vertex
+    // ids and the aggregation streams straight from the feature tables
+    // (opp_feats/self_feats non-null); above it the usual tape-node path
+    // applies. Both branches aggregate the same rows in the same order, so
+    // the tape values are bitwise identical.
+    const bool fuse_step = fused && p == 1;
     auto build_side =
         [&](Frontier& need, std::vector<SampledNeighbors>& nbrs,
             const Frontier& opposite_prev, const Frontier& self_prev,
             VarId h_opposite_prev, VarId h_self_prev, Dense& transform,
-            Dense& update) -> VarId {
+            Dense& update, const Matrix* opp_feats,
+            const Matrix* self_feats) -> VarId {
       std::vector<std::vector<int32_t>> groups(need.ids.size());
       std::vector<std::vector<float>> group_weights(need.ids.size());
       std::vector<int32_t> self_index(need.ids.size());
@@ -258,11 +277,13 @@ BipartiteSage::BatchEmbedding BipartiteSage::ForwardBatch(
       // above, keeping the rng stream thread-count independent.
       auto assemble = [&](size_t lo, size_t hi) {
         for (size_t k = lo; k < hi; ++k) {
-          self_index[k] = self_prev.IndexOf(need.ids[k]);
+          self_index[k] =
+              fuse_step ? need.ids[k] : self_prev.IndexOf(need.ids[k]);
           auto& sampled = nbrs[k];
           groups[k].reserve(sampled.ids.size());
           for (int32_t nbr : sampled.ids) {
-            groups[k].push_back(opposite_prev.IndexOf(nbr));
+            groups[k].push_back(fuse_step ? nbr
+                                          : opposite_prev.IndexOf(nbr));
           }
           if (config_.weighted_aggregator && !sampled.weights.empty()) {
             float total = 0.0f;
@@ -280,14 +301,23 @@ BipartiteSage::BatchEmbedding BipartiteSage::ForwardBatch(
       } else {
         assemble(0, need.ids.size());
       }
-      VarId agg = config_.weighted_aggregator
-                      ? tape.GroupWeightedSumRows(h_opposite_prev,
-                                                  std::move(groups),
-                                                  std::move(group_weights))
-                      : tape.GroupMeanRows(h_opposite_prev,
-                                           std::move(groups));
+      VarId agg;
+      if (fuse_step) {
+        agg = config_.weighted_aggregator
+                  ? tape.GroupWeightedSumRowsFrom(*opp_feats, groups,
+                                                  group_weights)
+                  : tape.GroupMeanRowsFrom(*opp_feats, groups);
+      } else {
+        agg = config_.weighted_aggregator
+                  ? tape.GroupWeightedSumRows(h_opposite_prev,
+                                              std::move(groups),
+                                              std::move(group_weights))
+                  : tape.GroupMeanRows(h_opposite_prev, std::move(groups));
+      }
       VarId msg = transform.Forward(tape, agg, train);            // Eq. 1 / 2
-      VarId self = tape.GatherRows(h_self_prev, self_index);
+      VarId self = fuse_step
+                       ? tape.GatherRowsFrom(*self_feats, self_index)
+                       : tape.GatherRows(h_self_prev, self_index);
       VarId h = update.Forward(tape, tape.ConcatCols(self, msg),  // Eq. 3 / 4
                                train);
       if (p == steps && config_.normalize_output) {
@@ -298,10 +328,14 @@ BipartiteSage::BatchEmbedding BipartiteSage::ForwardBatch(
 
     VarId next_left =
         build_side(need_left[p], left_nbrs[p], need_right[p - 1],
-                   need_left[p - 1], h_right, h_left, m_ui, w_u);
+                   need_left[p - 1], h_right, h_left, m_ui, w_u,
+                   fuse_step ? &right_features : nullptr,
+                   fuse_step ? &left_features : nullptr);
     VarId next_right =
         build_side(need_right[p], right_nbrs[p], need_left[p - 1],
-                   need_right[p - 1], h_left, h_right, m_iu, w_i);
+                   need_right[p - 1], h_left, h_right, m_iu, w_i,
+                   fuse_step ? &left_features : nullptr,
+                   fuse_step ? &right_features : nullptr);
     h_left = next_left;
     h_right = next_right;
   }

@@ -63,6 +63,13 @@ struct BipartiteSageConfig {
   /// operates on the raw embeddings as the paper's Sec. III-C describes.
   bool normalize_output = false;
 
+  /// Fuse the level-0 gather+aggregate: the first SAGE step streams
+  /// neighbor rows straight out of the immutable feature tables instead of
+  /// materializing a deduplicated copy on the tape. Bitwise-identical
+  /// embeddings and gradients (features never require gradients); exposed
+  /// as a switch so tests can pin fused == unfused.
+  bool fused_level0 = true;
+
   // ---- Unsupervised objective (Eq. 5 / Eq. 12) ----
   int32_t negatives_per_edge_user = 2;  ///< Qu
   int32_t negatives_per_edge_item = 2;  ///< Qi

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace hignn {
@@ -104,6 +105,38 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     return;
   }
   const size_t chunks = std::min(n, workers * 4);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const size_t hi = std::min(end, lo + chunk_size);
+    Submit([&body, lo, hi] { body(lo, hi); });
+  }
+  Wait();
+}
+
+void ThreadPool::ParallelForWork(
+    size_t begin, size_t end, size_t total_flops,
+    const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t workers = num_threads();
+  if (total_flops < kSerialFlopCutoff || workers == 1 || n == 1 ||
+      OnWorkerThread()) {
+    // Counter lookups resolve once; MetricsRegistry guarantees stable
+    // addresses, and Counter::Add is a no-op while metrics are disabled.
+    static obs::Counter& serial =
+        obs::MetricsRegistry::Global().GetCounter("pool.serial_fallback");
+    serial.Add(1);
+    body(begin, end);
+    return;
+  }
+  static obs::Counter& dispatched =
+      obs::MetricsRegistry::Global().GetCounter("pool.parallel_dispatch");
+  dispatched.Add(1);
+  const size_t max_chunks = std::min(n, workers * 4);
+  const size_t by_work = std::max<size_t>(1, total_flops / kMinFlopsPerChunk);
+  const size_t chunks = std::min(max_chunks, by_work);
   const size_t chunk_size = (n + chunks - 1) / chunks;
   for (size_t c = 0; c < chunks; ++c) {
     const size_t lo = begin + c * chunk_size;

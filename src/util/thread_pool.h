@@ -57,6 +57,27 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t, size_t)>& body);
 
+  /// \brief Granularity-aware ParallelFor: splits [begin, end) into chunks
+  /// sized by `total_flops` (the caller's estimate of scalar mul-adds or
+  /// equivalent work over the whole range) instead of by item count.
+  /// Runs inline — no pool dispatch at all — when the total work is below
+  /// the serial cutoff, and otherwise caps the chunk count so every chunk
+  /// carries at least kMinFlopsPerChunk of work; tiny kernels stop paying
+  /// fork/join overhead and medium kernels stop shattering into
+  /// cache-cold slivers. Same safety contract as ParallelFor: the chunk
+  /// layout may depend on the worker count, so only use it when every
+  /// index's result is independent of how the range is split.
+  void ParallelForWork(size_t begin, size_t end, size_t total_flops,
+                       const std::function<void(size_t, size_t)>& body);
+
+  /// \brief Work below this many flops runs inline on the caller: a pool
+  /// dispatch (submit + wait over a mutex/condvar) costs tens of
+  /// microseconds, which dwarfs a tiny per-step kernel.
+  static constexpr size_t kSerialFlopCutoff = size_t{1} << 16;
+
+  /// \brief Minimum work per chunk once ParallelForWork does go parallel.
+  static constexpr size_t kMinFlopsPerChunk = size_t{1} << 15;
+
   /// \brief Deterministic variant: splits [begin, end) into at most
   /// `num_chunks` contiguous chunks whose layout depends ONLY on the range
   /// size and `num_chunks`, never on the worker count, and runs

@@ -1,0 +1,22 @@
+// hignn_lint fixture: rule simd-guard. Never compiled — scanned by
+// hignn_lint in lint_test.cc, which asserts the exact line numbers below.
+
+void Avx2Sites(const float* x, float* y) {
+  __m256 acc;                // line 5: x86 vector type
+  _mm256_storeu_ps(y, acc);  // line 6: AVX2 intrinsic
+  _mm_loadu_ps(x);           // line 7: SSE intrinsic
+}
+
+void NeonSites(const float* x, float* y) {
+  float32x4_t v;    // line 11: NEON vector type
+  vld1q_f32(x);     // line 12: NEON load
+  vst1q_f32(y, v);  // line 13: NEON store
+}
+
+int NotViolations(int simd_mm_count) {
+  // Mid-identifier stems and comment/string mentions must not fire:
+  // _mm256_add_ps and vaddq_f32 in this comment are stripped before scan.
+  int my_vld1q = simd_mm_count;       // stem without its trailing underscore
+  const char* doc = "_mm256_add_ps";  // string literal, stripped
+  return my_vld1q + comm_mm_rate(doc);
+}

@@ -195,6 +195,29 @@ TEST(LintTest, ParallelFloatReductionFiresInsideParallelForOnly) {
             "checked 1 files: 1 violation(s)\n");
 }
 
+TEST(LintTest, SimdGuardFiresOnIntrinsicsAndVectorTypes) {
+  const LintRun run = RunOnFixtures("simd_guard_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string advice =
+      "outside the nn/simd dispatch shim; vector code lives in "
+      "src/nn/simd.h and the simd_*.cc ISA tables\n";
+  EXPECT_EQ(run.output,
+            "simd_guard_fixture.cc:5: [simd-guard] raw SIMD token "
+            "'__m256' " + advice +
+            "simd_guard_fixture.cc:6: [simd-guard] raw SIMD token "
+            "'_mm256_storeu_ps' " + advice +
+            "simd_guard_fixture.cc:7: [simd-guard] raw SIMD token "
+            "'_mm_loadu_ps' " + advice +
+            "simd_guard_fixture.cc:11: [simd-guard] raw SIMD token "
+            "'float32x4_t' " + advice +
+            "simd_guard_fixture.cc:12: [simd-guard] raw SIMD token "
+            "'vld1q_f32' " + advice +
+            "simd_guard_fixture.cc:13: [simd-guard] raw SIMD token "
+            "'vst1q_f32' " + advice +
+            "allowed: none\n"
+            "checked 1 files: 6 violation(s)\n");
+}
+
 TEST(LintTest, AllowAnnotationSuppressesEveryRuleAndIsTallied) {
   const LintRun run = RunOnFixtures("allowed_fixture.cc");
   EXPECT_EQ(run.exit_code, 0);
@@ -216,11 +239,11 @@ TEST(LintTest, CleanIdiomaticCodePassesWithoutAnnotations) {
 TEST(LintTest, DirectoryScanAggregatesAndSortsAcrossFiles) {
   const LintRun run = RunOnFixtures(".");
   EXPECT_EQ(run.exit_code, 1);
-  // 4 + 3 + 4 + 3 + 3 + 1 + 2 + 1 + 1 pinned violations across the nine
-  // violating fixtures (socket fixture, wallclock fixture, and the
-  // residual findings inside the two scope fixtures included); the
-  // allowed fixture contributes 5 tallied suppressions.
-  EXPECT_NE(run.output.find("checked 11 files: 22 violation(s)\n"),
+  // 4 + 3 + 4 + 3 + 3 + 1 + 6 + 2 + 1 + 1 pinned violations across the
+  // ten violating fixtures (socket fixture, wallclock fixture, the simd
+  // fixture, and the residual findings inside the two scope fixtures
+  // included); the allowed fixture contributes 5 tallied suppressions.
+  EXPECT_NE(run.output.find("checked 12 files: 28 violation(s)\n"),
             std::string::npos);
   // Diagnostics are sorted by path, so the float-reduction fixture's
   // single finding leads the report.
@@ -236,7 +259,7 @@ TEST(LintTest, ListRulesPrintsTheCatalog) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"unordered-iter", "raw-write", "nondet-source", "naked-thread",
-        "parallel-float-reduction"}) {
+        "parallel-float-reduction", "simd-guard"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos)
         << "missing rule id: " << rule;
   }

@@ -26,6 +26,12 @@
 //   parallel-float-reduction  += / -= into a file-scope float/double
 //                             inside a ParallelFor body — reductions must
 //                             be fixed-order ParallelForChunks merges.
+//   simd-guard                raw SIMD intrinsics / vector types (_mm*,
+//                             __m128/256/512, NEON v*q_ / float32x*)
+//                             outside src/nn/simd.h + simd_*.cc — vector
+//                             code is centralized behind the dispatch
+//                             shim so the scalar fallback and the bitwise
+//                             parity tests cannot rot.
 //
 // Escape hatch: `// hignn-lint: allow(<rule>) <justification>` on the
 // violating line or the line above suppresses the diagnostic; suppressions
@@ -99,6 +105,12 @@ const std::vector<RuleInfo>& Rules() {
        "no floating-point reductions in ParallelFor bodies; use "
        "ParallelForChunks with a fixed-order merge",
        {},
+       {}},
+      {"simd-guard",
+       "no raw SIMD intrinsics or vector types outside the nn/simd "
+       "dispatch shim; add kernels to the simd_*.cc ISA tables so the "
+       "scalar fallback and parity tests stay in lockstep",
+       {"src/nn/simd.h", "src/nn/simd_avx2.cc", "src/nn/simd_neon.cc"},
        {}},
   };
   return kRules;
@@ -314,6 +326,7 @@ class FileLinter {
     if (active_rules.count("parallel-float-reduction")) {
       CheckParallelFloatReduction();
     }
+    if (active_rules.count("simd-guard")) CheckSimdGuard();
   }
 
  private:
@@ -738,6 +751,45 @@ class FileLinter {
                    "with a fixed-order merge");
       }
       pos = close;
+    }
+  }
+
+  // ---- rule: simd-guard ---------------------------------------------------
+
+  // Flags every identifier that *starts* with `prefix` (word-bounded at
+  // the start, any identifier continuation after), reporting the full
+  // token. Prefix matching is what makes the rule future-proof: new
+  // intrinsics arrive constantly, but they all share these stems.
+  void FlagPrefix(const std::string& prefix, const std::string& rule,
+                  const std::string& message_tail) {
+    const std::string& code = file_.code;
+    size_t pos = 0;
+    while ((pos = code.find(prefix, pos)) != std::string::npos) {
+      const size_t at = pos;
+      if (at > 0 && IsWordChar(code[at - 1])) {
+        pos += prefix.size();
+        continue;
+      }
+      size_t end = at + prefix.size();
+      while (end < code.size() && IsWordChar(code[end])) ++end;
+      Report(at, rule,
+             "raw SIMD token '" + code.substr(at, end - at) + "' " +
+                 message_tail);
+      pos = end;
+    }
+  }
+
+  void CheckSimdGuard() {
+    // x86 intrinsics (_mm*, _mm256_*, _mm512_*), x86 vector types, NEON
+    // intrinsic stems, NEON vector types.
+    static const char* kPrefixes[] = {
+        "_mm",    "__m128",  "__m256",  "__m512",   "vld1q_",   "vst1q_",
+        "vaddq_", "vsubq_",  "vmulq_",  "vmlaq_",   "vfmaq_",   "vdupq_",
+        "vcvt_",  "vget_",   "float32x", "float64x"};
+    for (const char* prefix : kPrefixes) {
+      FlagPrefix(prefix, "simd-guard",
+                 "outside the nn/simd dispatch shim; vector code lives in "
+                 "src/nn/simd.h and the simd_*.cc ISA tables");
     }
   }
 
