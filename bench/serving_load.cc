@@ -25,6 +25,7 @@
 #include "serve/engine.h"
 #include "serve/serve_metrics.h"
 #include "serve/server.h"
+#include "serve/store_manager.h"
 #include "util/io.h"
 #include "util/logging.h"
 #include "util/status.h"
@@ -73,14 +74,14 @@ int Run() {
   const std::string store_path = "BENCH_serving.hgnnstore";
   HIGNN_CHECK(
       ExportEmbeddingStore(model, dataset, spec, cvr, store_path).ok());
-  auto engine = std::move(PredictionEngine::Open(store_path).ValueOrDie());
   // Server-side and client-side metrics share the process-wide registry:
   // the server's serve.* counters and the client-visible latency
   // histogram below land in one dump, percentile math included.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   ServeMetrics metrics(&registry);
+  auto stores = std::move(StoreManager::Open(store_path, &metrics).ValueOrDie());
   auto server =
-      std::move(ScoringServer::Start(engine.get(), &metrics, ServerConfig())
+      std::move(ScoringServer::Start(stores.get(), &metrics, ServerConfig())
                     .ValueOrDie());
   std::printf("store %s exported; server on port %d\n", store_path.c_str(),
               server->port());

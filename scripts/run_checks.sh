@@ -11,7 +11,10 @@
 #   3. the kernels + tsan labels again with HIGNN_SIMD=off (the scalar
 #      fallback must stay bit-identical to the vector paths)
 #   4. the `lint` label: hignn_lint fixture tests + whole-tree scan
-#   5. clang-tidy over src/ via compile_commands.json, when clang-tidy is
+#   5. the `serve` label plus two end-to-end smokes: the client-verb round
+#      trip and a chaos leg (HIGNN_FAULT_INJECT-failed reload, wire
+#      reload, SIGHUP hot-swap, bitwise score stability throughout)
+#   6. clang-tidy over src/ via compile_commands.json, when clang-tidy is
 #      installed (skipped with a notice otherwise, so the gate stays green
 #      in minimal containers)
 #
@@ -62,6 +65,48 @@ PORT="$(cat "$SMOKE_DIR/port")"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 test -s "$SMOKE_DIR/metrics.json"
+
+echo "== serving chaos smoke (fault-injected reload + SIGHUP hot-swap)"
+# serve.store.open is one-shot at hit 2: the initial open (hit 1) passes,
+# the first reload (hit 2) fails and must leave generation 1 serving, and
+# every open after that succeeds.
+HIGNN_FAULT_INJECT="serve.store.open=fail@2" \
+  "$BUILD_DIR/tools/hignn_serve" serve --store "$SMOKE_DIR/store.hgnnstore" \
+  --port 0 --port-file "$SMOKE_DIR/chaos_port" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SMOKE_DIR/chaos_port" ] && break
+  sleep 0.1
+done
+PORT="$(cat "$SMOKE_DIR/chaos_port")"
+HEALTH="$("$BUILD_DIR/tools/hignn_serve" health --port "$PORT" \
+  --retries 3 --backoff-ms 10)"
+[ "$HEALTH" = "ok generation=1" ]
+SCORE_BEFORE="$("$BUILD_DIR/tools/hignn_serve" score --port "$PORT" \
+  --user 3 --item 7 --retries 3 --backoff-ms 10)"
+if "$BUILD_DIR/tools/hignn_serve" reload --port "$PORT"; then
+  echo "expected fault-injected reload to fail" >&2
+  exit 1
+fi
+HEALTH="$("$BUILD_DIR/tools/hignn_serve" health --port "$PORT")"
+[ "$HEALTH" = "ok generation=1" ]
+RELOAD="$("$BUILD_DIR/tools/hignn_serve" reload --port "$PORT")"
+[ "$RELOAD" = "reloaded generation=2" ]
+# SIGHUP re-opens the current store path with zero downtime.
+kill -HUP "$SERVE_PID"
+for _ in $(seq 1 100); do
+  HEALTH="$("$BUILD_DIR/tools/hignn_serve" health --port "$PORT")"
+  [ "$HEALTH" = "ok generation=3" ] && break
+  sleep 0.1
+done
+[ "$HEALTH" = "ok generation=3" ]
+SCORE_AFTER="$("$BUILD_DIR/tools/hignn_serve" score --port "$PORT" \
+  --user 3 --item 7)"
+# Bitwise score stability across a failed reload, a wire reload, and a
+# SIGHUP reload of the same store.
+[ "$SCORE_BEFORE" = "$SCORE_AFTER" ]
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
 
 echo "== telemetry smoke (fit --metrics-out/--trace-out, --obs-off parity)"
 "$BUILD_DIR/tools/hignn" gen-data --preset tiny --users 80 --items 40 \

@@ -10,10 +10,26 @@
 
 namespace hignn {
 
-MicroBatcher::MicroBatcher(PredictionEngine* engine, ServeMetrics* metrics,
+namespace {
+
+// True when every id in `requests` is addressable in `store`.
+bool RequestsValidFor(const EmbeddingStore& store,
+                      const std::vector<ScoreRequest>& requests) {
+  for (const ScoreRequest& request : requests) {
+    if (request.user < 0 || request.user >= store.num_users() ||
+        request.item < 0 || request.item >= store.num_items()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(StoreManager* stores, ServeMetrics* metrics,
                            const BatcherConfig& config)
-    : engine_(engine), metrics_(metrics), config_(config) {
-  HIGNN_CHECK(engine_ != nullptr);
+    : stores_(stores), metrics_(metrics), config_(config) {
+  HIGNN_CHECK(stores_ != nullptr);
   HIGNN_CHECK(metrics_ != nullptr);
   HIGNN_CHECK_GT(config_.max_batch, 0);
   HIGNN_CHECK_GE(config_.max_delay_us, 0);
@@ -42,15 +58,14 @@ Result<std::vector<float>> MicroBatcher::Score(
     const std::vector<ScoreRequest>& requests) {
   if (requests.empty()) return std::vector<float>{};
   // Validate before queueing so one bad id rejects only its own request,
-  // never a coalesced batch containing other callers' rows.
-  const EmbeddingStore& store = engine_->store();
-  for (const ScoreRequest& request : requests) {
-    if (request.user < 0 || request.user >= store.num_users() ||
-        request.item < 0 || request.item >= store.num_items()) {
-      return Status::InvalidArgument(
-          StrFormat("invalid pair (user=%d, item=%d)", request.user,
-                    request.item));
-    }
+  // never a coalesced batch containing other callers' rows. (The
+  // collector re-validates against whatever generation it acquires at
+  // execution time, in case a hot-swap changed the store shape between
+  // here and there.)
+  const std::shared_ptr<const StoreGeneration> generation =
+      stores_->Current();
+  if (!RequestsValidFor(generation->store(), requests)) {
+    return Status::InvalidArgument("invalid (user, item) pair in request");
   }
 
   auto job = std::make_shared<Job>();
@@ -116,20 +131,36 @@ void MicroBatcher::CollectorLoop() {
       queued_rows_ -= rows;
     }
 
+    lock.unlock();
+    // Acquire the published generation once per batch: every row in this
+    // forward scores against one consistent store, and a reload landing
+    // mid-flight only affects the *next* batch. Jobs whose ids no longer
+    // fit the acquired store (the shape changed since they were queued)
+    // fail individually; their batch-mates still score.
+    const std::shared_ptr<const StoreGeneration> generation =
+        stores_->Current();
+    std::vector<std::shared_ptr<Job>> runnable;
+    runnable.reserve(batch.size());
     std::vector<ScoreRequest> combined;
     combined.reserve(static_cast<size_t>(batch_rows));
     for (const auto& job : batch) {
-      combined.insert(combined.end(), job->requests.begin(),
-                      job->requests.end());
+      if (RequestsValidFor(generation->store(), job->requests)) {
+        runnable.push_back(job);
+        combined.insert(combined.end(), job->requests.begin(),
+                        job->requests.end());
+      } else {
+        job->status = Status::InvalidArgument(
+            "request invalidated by a store reload");
+      }
     }
-
-    lock.unlock();
-    Result<std::vector<float>> scores = engine_->ScoreBatch(combined);
+    Result<std::vector<float>> scores =
+        combined.empty() ? std::vector<float>{}
+                         : generation->engine->ScoreBatch(combined);
     metrics_->RecordBatch(batch_rows);
     lock.lock();
 
     size_t offset = 0;
-    for (const auto& job : batch) {
+    for (const auto& job : runnable) {
       if (scores.ok()) {
         const std::vector<float>& all = scores.value();
         job->scores.assign(all.begin() + static_cast<long>(offset),
@@ -139,8 +170,8 @@ void MicroBatcher::CollectorLoop() {
         job->status = scores.status();
       }
       offset += job->requests.size();
-      job->done = true;
     }
+    for (const auto& job : batch) job->done = true;
     job_finished_.notify_all();
   }
 }

@@ -11,6 +11,7 @@
 
 #include "serve/engine.h"
 #include "serve/serve_metrics.h"
+#include "serve/store_manager.h"
 #include "util/status.h"
 
 namespace hignn {
@@ -42,10 +43,18 @@ struct BatcherConfig {
 /// Batch composition never changes scores (every engine kernel is
 /// per-row independent), so batching is purely a throughput optimization
 /// with a bounded, configurable latency cost.
+///
+/// The batcher scores against the StoreManager's current generation:
+/// each closed batch acquires the published generation once and holds it
+/// for the duration of the forward, so a hot-reload can land between
+/// batches but never under one. Jobs are re-validated against the
+/// acquired generation at execution time — if a swap changed the store's
+/// shape after a job was queued, only that job fails (InvalidArgument),
+/// never its batch-mates.
 class MicroBatcher {
  public:
-  /// \param engine, metrics  borrowed; must outlive the batcher.
-  MicroBatcher(PredictionEngine* engine, ServeMetrics* metrics,
+  /// \param stores, metrics  borrowed; must outlive the batcher.
+  MicroBatcher(StoreManager* stores, ServeMetrics* metrics,
                const BatcherConfig& config);
   ~MicroBatcher();
 
@@ -74,7 +83,7 @@ class MicroBatcher {
 
   void CollectorLoop();
 
-  PredictionEngine* engine_;
+  StoreManager* stores_;
   ServeMetrics* metrics_;
   BatcherConfig config_;
 

@@ -1,12 +1,18 @@
 #include "serve/client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -15,8 +21,33 @@
 
 namespace hignn {
 
-Result<ScoringClient> ScoringClient::Connect(const std::string& host,
-                                             int32_t port) {
+namespace {
+
+// Backoff for the n-th retry (1-based): capped exponential scaled by a
+// deterministic jitter draw in [0.5, 1.0). Never returns less than 1 ms
+// so the budget accounting below always makes progress.
+int64_t BackoffMs(const RetryPolicy& policy, int32_t retry, Rng& jitter) {
+  double backoff = static_cast<double>(std::max(policy.initial_backoff_ms, 1));
+  const double cap = static_cast<double>(std::max(policy.max_backoff_ms, 1));
+  for (int32_t i = 1; i < retry; ++i) {
+    backoff = std::min(backoff * 2.0, cap);
+  }
+  backoff = std::min(backoff, cap) * jitter.Uniform(0.5, 1.0);
+  return std::max<int64_t>(1, std::llround(backoff));
+}
+
+void SetSocketTimeout(int fd, int optname, int32_t timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval timeout{};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, optname, &timeout, sizeof(timeout));
+}
+
+}  // namespace
+
+Result<int> ScoringClient::Dial(const std::string& host, int32_t port,
+                                const ClientConfig& config) {
   if (port <= 0 || port > 65535) {
     return Status::InvalidArgument("port out of range");
   }
@@ -33,20 +64,109 @@ Result<ScoringClient> ScoringClient::Connect(const std::string& host,
     return Status::InvalidArgument(
         StrFormat("invalid host address '%s'", host.c_str()));
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+
+  if (config.connect_timeout_ms > 0) {
+    // Non-blocking connect + poll: a blocking connect can stall for the
+    // kernel's SYN-retry schedule (minutes); the poll bounds the dial to
+    // the configured deadline.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rc =
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno != EINPROGRESS) {
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return Status::Unavailable(StrFormat("connect to %s:%d failed: %s",
+                                           host.c_str(), port, error.c_str()));
+    }
+    if (rc < 0) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int ready = ::poll(&pfd, 1, config.connect_timeout_ms);
+      if (ready == 0) {
+        ::close(fd);
+        return Status::Unavailable(
+            StrFormat("connect to %s:%d timed out after %d ms", host.c_str(),
+                      port, config.connect_timeout_ms));
+      }
+      if (ready < 0) {
+        const std::string error = std::strerror(errno);
+        ::close(fd);
+        return Status::IOError(
+            StrFormat("poll during connect failed: %s", error.c_str()));
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      if (so_error != 0) {
+        ::close(fd);
+        return Status::Unavailable(
+            StrFormat("connect to %s:%d failed: %s", host.c_str(), port,
+                      std::strerror(so_error)));
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);  // restore blocking mode for send/recv
+  } else if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) < 0) {
     const std::string error = std::strerror(errno);
     ::close(fd);
-    return Status::IOError(StrFormat("connect to %s:%d failed: %s",
-                                     host.c_str(), port, error.c_str()));
+    return Status::Unavailable(StrFormat("connect to %s:%d failed: %s",
+                                         host.c_str(), port, error.c_str()));
   }
+
+  SetSocketTimeout(fd, SO_SNDTIMEO, config.send_timeout_ms);
+  SetSocketTimeout(fd, SO_RCVTIMEO, config.recv_timeout_ms);
   const int nodelay = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-  return ScoringClient(fd);
+  return fd;
 }
 
+Result<ScoringClient> ScoringClient::Connect(const std::string& host,
+                                             int32_t port) {
+  // Legacy fail-fast client: bounded dial, no retries.
+  return Connect(host, port, ClientConfig{});
+}
+
+Result<ScoringClient> ScoringClient::Connect(const std::string& host,
+                                             int32_t port,
+                                             const ClientConfig& config) {
+  Rng jitter(config.retry.jitter_seed);
+  int64_t slept_ms = 0;
+  for (int32_t attempt = 1;; ++attempt) {
+    Result<int> fd = Dial(host, port, config);
+    if (fd.ok()) {
+      ScoringClient client(fd.value(), host, port, config);
+      // Hand the dial loop's jitter stream position to the client so the
+      // whole session consumes one deterministic sequence.
+      client.jitter_ = jitter;
+      return client;
+    }
+    if (fd.status().code() != StatusCode::kUnavailable ||
+        attempt >= config.retry.max_attempts) {
+      return fd.status();
+    }
+    const int64_t backoff = BackoffMs(config.retry, attempt, jitter);
+    if (slept_ms + backoff > config.retry.retry_budget_ms) {
+      return fd.status();
+    }
+    slept_ms += backoff;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+}
+
+ScoringClient::ScoringClient(int fd, const std::string& host, int32_t port,
+                             const ClientConfig& config)
+    : fd_(fd), host_(host), port_(port), config_(config),
+      jitter_(config.retry.jitter_seed) {}
+
 ScoringClient::ScoringClient(ScoringClient&& other) noexcept
-    : fd_(other.fd_) {
+    : fd_(other.fd_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      config_(other.config_),
+      jitter_(other.jitter_),
+      retries_attempted_(other.retries_attempted_) {
   other.fd_ = -1;
 }
 
@@ -54,6 +174,11 @@ ScoringClient& ScoringClient::operator=(ScoringClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    config_ = other.config_;
+    jitter_ = other.jitter_;
+    retries_attempted_ = other.retries_attempted_;
     other.fd_ = -1;
   }
   return *this;
@@ -63,7 +188,7 @@ ScoringClient::~ScoringClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<std::vector<char>> ScoringClient::RoundTrip(
+Result<std::vector<char>> ScoringClient::RoundTripOnce(
     const std::vector<char>& request) {
   if (fd_ < 0) return Status::FailedPrecondition("client is disconnected");
   HIGNN_RETURN_IF_ERROR(SendFrame(fd_, request));
@@ -79,9 +204,55 @@ Result<std::vector<char>> ScoringClient::RoundTrip(
     case WireStatus::kBadRequest:
       return Status::InvalidArgument(message);
     case WireStatus::kOverloaded:
+      last_overloaded_ = true;
       return Status::FailedPrecondition(message);
     default:
       return Status::Internal(message);
+  }
+}
+
+Result<std::vector<char>> ScoringClient::RoundTrip(
+    const std::vector<char>& request, bool retryable) {
+  const RetryPolicy& policy = config_.retry;
+  int64_t slept_ms = 0;
+  for (int32_t attempt = 1;; ++attempt) {
+    Status status = Status::OK();
+    last_overloaded_ = false;
+    if (fd_ < 0) {
+      // A previous attempt tore the connection down; re-dial before the
+      // retry so it lands on a fresh transport.
+      Result<int> fd = Dial(host_, port_, config_);
+      if (fd.ok()) {
+        fd_ = fd.value();
+      } else {
+        status = fd.status();
+      }
+    }
+    if (status.ok()) {
+      Result<std::vector<char>> body = RoundTripOnce(request);
+      if (body.ok()) return body;
+      status = body.status();
+    }
+    const bool transport = IsRetryableTransport(status) ||
+                           status.code() == StatusCode::kIOError;
+    if (transport && fd_ >= 0) {
+      // The connection is in an unknown state (a frame may be half-read
+      // or half-written); never reuse it.
+      ::close(fd_);
+      fd_ = -1;
+    }
+    const bool may_retry =
+        IsRetryableTransport(status) || last_overloaded_;
+    if (!retryable || !may_retry || attempt >= policy.max_attempts) {
+      return status;
+    }
+    const int64_t backoff = BackoffMs(policy, attempt, jitter_);
+    if (slept_ms + backoff > policy.retry_budget_ms) {
+      return status;
+    }
+    slept_ms += backoff;
+    ++retries_attempted_;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
   }
 }
 
@@ -131,7 +302,9 @@ Result<std::vector<Recommendation>> ScoringClient::TopK(int32_t user,
   return top;
 }
 
-Status ScoringClient::Health() {
+Status ScoringClient::Health() { return HealthGeneration().status(); }
+
+Result<int64_t> ScoringClient::HealthGeneration() {
   WireWriter writer;
   writer.PutU8(static_cast<uint8_t>(WireVerb::kHealth));
   HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
@@ -139,7 +312,8 @@ Status ScoringClient::Health() {
   WireReader reader(body);
   HIGNN_ASSIGN_OR_RETURN(const uint8_t alive, reader.TakeU8());
   if (alive != 1) return Status::Internal("server reported unhealthy");
-  return Status::OK();
+  HIGNN_ASSIGN_OR_RETURN(const uint32_t generation, reader.TakeU32());
+  return static_cast<int64_t>(generation);
 }
 
 Result<std::string> ScoringClient::Stats() {
@@ -149,6 +323,19 @@ Result<std::string> ScoringClient::Stats() {
                          RoundTrip(writer.bytes()));
   WireReader reader(body);
   return reader.TakeString();
+}
+
+Result<int64_t> ScoringClient::Reload(const std::string& store_path) {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(WireVerb::kReload));
+  writer.PutString(store_path);
+  // retryable=false: a reload that dies mid-flight may or may not have
+  // published; blindly retrying could swap twice.
+  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
+                         RoundTrip(writer.bytes(), /*retryable=*/false));
+  WireReader reader(body);
+  HIGNN_ASSIGN_OR_RETURN(const uint32_t generation, reader.TakeU32());
+  return static_cast<int64_t>(generation);
 }
 
 }  // namespace hignn

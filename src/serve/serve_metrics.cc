@@ -15,6 +15,8 @@ const char* ServeVerbStatName(ServeVerbStat verb) {
       return "health";
     case ServeVerbStat::kStats:
       return "stats";
+    case ServeVerbStat::kReload:
+      return "reload";
   }
   return "unknown";
 }
@@ -36,6 +38,9 @@ void ServeMetrics::BindMetrics(obs::MetricsRegistry* registry) {
     errors_[v] = &registry->GetCounter(StrFormat("serve.errors.%s", name));
   }
   shed_ = &registry->GetCounter("serve.shed_total");
+  reload_ = &registry->GetCounter("serve.reload_total");
+  reload_failed_ = &registry->GetCounter("serve.reload_failed_total");
+  store_generation_ = &registry->GetGauge("serve.store_generation");
   latency_us_ = &registry->GetHistogram("serve.latency_us",
                                         obs::DefaultLatencyBoundsUs());
   batch_rows_ = &registry->GetHistogram("serve.batch_rows",
@@ -50,6 +55,15 @@ void ServeMetrics::RecordRequest(ServeVerbStat verb, double latency_us,
 }
 
 void ServeMetrics::RecordShed() { shed_->Add(1); }
+
+void ServeMetrics::RecordReload(bool ok) {
+  reload_->Add(1);
+  if (!ok) reload_failed_->Add(1);
+}
+
+void ServeMetrics::SetStoreGeneration(int64_t generation) {
+  store_generation_->Set(static_cast<double>(generation));
+}
 
 void ServeMetrics::RecordBatch(int64_t rows) {
   batch_rows_->Record(static_cast<double>(rows));
@@ -69,6 +83,16 @@ int64_t ServeMetrics::errors_total() const {
 
 int64_t ServeMetrics::shed_total() const { return shed_->value(); }
 
+int64_t ServeMetrics::reload_total() const { return reload_->value(); }
+
+int64_t ServeMetrics::reload_failed_total() const {
+  return reload_failed_->value();
+}
+
+int64_t ServeMetrics::store_generation() const {
+  return static_cast<int64_t>(store_generation_->value());
+}
+
 int64_t ServeMetrics::batches_total() const { return batch_rows_->count(); }
 
 double ServeMetrics::LatencyPercentile(double p) const {
@@ -87,6 +111,12 @@ std::string ServeMetrics::ToJson() const {
   json += "},\n";
   json += StrFormat("  \"shed_total\": %lld,\n",
                     static_cast<long long>(shed_->value()));
+  json += StrFormat("  \"store_generation\": %lld,\n",
+                    static_cast<long long>(store_generation()));
+  json += StrFormat(
+      "  \"reloads\": {\"total\": %lld, \"failed\": %lld},\n",
+      static_cast<long long>(reload_->value()),
+      static_cast<long long>(reload_failed_->value()));
   json += StrFormat(
       "  \"latency_us\": {\"count\": %lld, \"p50\": %.1f, \"p95\": %.1f, "
       "\"p99\": %.1f, \"histogram\": %s},\n",

@@ -17,14 +17,16 @@ enum class ServeVerbStat : int32_t {
   kTopK = 1,
   kHealth = 2,
   kStats = 3,
+  kReload = 4,
 };
-inline constexpr int32_t kNumServeVerbs = 4;
+inline constexpr int32_t kNumServeVerbs = 5;
 const char* ServeVerbStatName(ServeVerbStat verb);
 
 /// \brief Serve-side observability: request/error counters per verb,
 /// a fixed-bucket request-latency histogram with p50/p95/p99, shed
-/// (overload fast-fail) counts, and the micro-batcher's batch-size
-/// distribution.
+/// (overload fast-fail) counts, the micro-batcher's batch-size
+/// distribution, and the hot-reload lifecycle (store generation gauge,
+/// reload / reload-failed counters).
 ///
 /// Since PR 5 this is a thin façade over obs::MetricsRegistry — the
 /// counters live in a registry under `serve.*` names and the histogram /
@@ -51,10 +53,21 @@ class ServeMetrics {
   /// \brief One engine forward issued by the batcher with `rows` rows.
   void RecordBatch(int64_t rows);
 
+  /// \brief One store reload attempt (StoreManager::Reload); failed
+  /// attempts leave the previous generation serving, so the pair of
+  /// counters is the degradation signal operators alert on.
+  void RecordReload(bool ok);
+
+  /// \brief The currently-published store generation (monotonic).
+  void SetStoreGeneration(int64_t generation);
+
   int64_t requests_total() const;
   int64_t errors_total() const;
   int64_t shed_total() const;
   int64_t batches_total() const;
+  int64_t reload_total() const;
+  int64_t reload_failed_total() const;
+  int64_t store_generation() const;
   double LatencyPercentile(double p) const;
 
   /// \brief Full JSON snapshot (stable key order, pre-refactor format).
@@ -71,6 +84,9 @@ class ServeMetrics {
   obs::Counter* requests_[kNumServeVerbs] = {};
   obs::Counter* errors_[kNumServeVerbs] = {};
   obs::Counter* shed_ = nullptr;
+  obs::Counter* reload_ = nullptr;
+  obs::Counter* reload_failed_ = nullptr;
+  obs::Gauge* store_generation_ = nullptr;
   obs::Histogram* latency_us_ = nullptr;
   obs::Histogram* batch_rows_ = nullptr;
 };

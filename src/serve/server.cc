@@ -13,6 +13,7 @@
 
 #include "obs/trace.h"
 #include "serve/wire.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -48,10 +49,10 @@ std::vector<char> ErrorResponse(WireStatus code, const std::string& message) {
 }  // namespace
 
 Result<std::unique_ptr<ScoringServer>> ScoringServer::Start(
-    PredictionEngine* engine, ServeMetrics* metrics,
+    StoreManager* stores, ServeMetrics* metrics,
     const ServerConfig& config) {
-  if (engine == nullptr || metrics == nullptr) {
-    return Status::InvalidArgument("engine and metrics must not be null");
+  if (stores == nullptr || metrics == nullptr) {
+    return Status::InvalidArgument("stores and metrics must not be null");
   }
   if (config.num_threads <= 0) {
     return Status::InvalidArgument("num_threads must be positive");
@@ -61,7 +62,7 @@ Result<std::unique_ptr<ScoringServer>> ScoringServer::Start(
   }
 
   std::unique_ptr<ScoringServer> server(
-      new ScoringServer(engine, metrics, config));
+      new ScoringServer(stores, metrics, config));
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -99,7 +100,7 @@ Result<std::unique_ptr<ScoringServer>> ScoringServer::Start(
   }
   server->port_ = static_cast<int32_t>(ntohs(bound.sin_port));
 
-  server->batcher_ = std::make_unique<MicroBatcher>(engine, metrics,
+  server->batcher_ = std::make_unique<MicroBatcher>(stores, metrics,
                                                     config.batcher);
   // hignn-lint: allow(naked-thread) long-blocking accept thread (server.h)
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
@@ -110,9 +111,9 @@ Result<std::unique_ptr<ScoringServer>> ScoringServer::Start(
   return server;
 }
 
-ScoringServer::ScoringServer(PredictionEngine* engine, ServeMetrics* metrics,
+ScoringServer::ScoringServer(StoreManager* stores, ServeMetrics* metrics,
                              const ServerConfig& config)
-    : engine_(engine), metrics_(metrics), config_(config) {}
+    : stores_(stores), metrics_(metrics), config_(config) {}
 
 ScoringServer::~ScoringServer() { Stop(); }
 
@@ -149,6 +150,12 @@ void ScoringServer::AcceptLoop() {
     if (ready <= 0) continue;  // timeout or EINTR — recheck the flag
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
+    // Chaos site: an accepted connection dropped before service — the
+    // client sees a peer reset and must retry onto a fresh connection.
+    if (fault::ShouldFail("serve.handler.accept")) {
+      ::close(conn);
+      continue;
+    }
     timeval timeout{};
     timeout.tv_sec = config_.recv_timeout_ms / 1000;
     timeout.tv_usec = (config_.recv_timeout_ms % 1000) * 1000;
@@ -254,8 +261,12 @@ std::vector<char> ScoringServer::HandleRequest(
                       ErrorResponse(WireStatus::kBadRequest,
                                     "truncated topk request"));
       }
+      // Hold one generation for the whole ranking pass; a concurrent
+      // reload cannot swap the store out from under it.
+      const std::shared_ptr<const StoreGeneration> generation =
+          stores_->Current();
       Result<std::vector<Recommendation>> top =
-          engine_->RecommendTopK(user.value(), k.value());
+          generation->engine->RecommendTopK(user.value(), k.value());
       if (!top.ok()) {
         return finish(ServeVerbStat::kTopK, false,
                       ErrorResponse(WireStatusForError(top.status()),
@@ -274,6 +285,7 @@ std::vector<char> ScoringServer::HandleRequest(
       WireWriter writer;
       writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
       writer.PutU8(1);
+      writer.PutU32(static_cast<uint32_t>(stores_->generation()));
       return finish(ServeVerbStat::kHealth, true, writer.bytes());
     }
     case WireVerb::kStats: {
@@ -281,6 +293,26 @@ std::vector<char> ScoringServer::HandleRequest(
       writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
       writer.PutString(metrics_->ToJson());
       return finish(ServeVerbStat::kStats, true, writer.bytes());
+    }
+    case WireVerb::kReload: {
+      Result<std::string> path = reader.TakeString();
+      if (!path.ok()) {
+        return finish(ServeVerbStat::kReload, false,
+                      ErrorResponse(WireStatus::kBadRequest,
+                                    "truncated reload request"));
+      }
+      Result<int64_t> generation = stores_->Reload(path.value());
+      if (!generation.ok()) {
+        // The failed swap is a no-op for traffic: report the error but
+        // keep serving the previous generation.
+        return finish(ServeVerbStat::kReload, false,
+                      ErrorResponse(WireStatus::kInternal,
+                                    generation.status().message()));
+      }
+      WireWriter writer;
+      writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
+      writer.PutU32(static_cast<uint32_t>(generation.value()));
+      return finish(ServeVerbStat::kReload, true, writer.bytes());
     }
   }
   return ErrorResponse(WireStatus::kBadRequest, "unknown verb");

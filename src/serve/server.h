@@ -12,8 +12,8 @@
 #include <vector>
 
 #include "serve/batcher.h"
-#include "serve/engine.h"
 #include "serve/serve_metrics.h"
+#include "serve/store_manager.h"
 #include "util/status.h"
 
 namespace hignn {
@@ -37,14 +37,19 @@ struct ServerConfig {
 
 /// \brief The online scoring endpoint: speaks the wire.h protocol,
 /// funnels kScore requests through the MicroBatcher, answers kTopK from
-/// the engine, and serves health/stats probes. Scores returned over the
-/// wire are bit-exact copies of the engine's floats.
+/// the current store generation, and serves health/stats probes. Scores
+/// returned over the wire are bit-exact copies of the engine's floats.
+///
+/// The server reads through a StoreManager, so a kReload request (or a
+/// SIGHUP in `hignn_serve`) hot-swaps the store underneath it without
+/// dropping a connection: requests already in flight finish on the
+/// generation they acquired; new requests score against the new one.
 class ScoringServer {
  public:
   /// \brief Binds, listens, and spins up the accept + handler threads.
-  /// `engine` and `metrics` are borrowed and must outlive the server.
+  /// `stores` and `metrics` are borrowed and must outlive the server.
   static Result<std::unique_ptr<ScoringServer>> Start(
-      PredictionEngine* engine, ServeMetrics* metrics,
+      StoreManager* stores, ServeMetrics* metrics,
       const ServerConfig& config);
 
   ~ScoringServer();
@@ -62,7 +67,7 @@ class ScoringServer {
   void Stop();
 
  private:
-  ScoringServer(PredictionEngine* engine, ServeMetrics* metrics,
+  ScoringServer(StoreManager* stores, ServeMetrics* metrics,
                 const ServerConfig& config);
 
   void AcceptLoop();
@@ -72,7 +77,7 @@ class ScoringServer {
   /// \brief Decodes one request frame and builds the response payload.
   std::vector<char> HandleRequest(const std::vector<char>& payload);
 
-  PredictionEngine* engine_;
+  StoreManager* stores_;
   ServeMetrics* metrics_;
   ServerConfig config_;
   std::unique_ptr<MicroBatcher> batcher_;

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <sys/types.h>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace hignn {
@@ -78,6 +79,15 @@ Result<std::string> WireReader::TakeString() {
 
 namespace {
 
+// Peer resets are a fact of life for a server whose stores hot-swap
+// under live traffic: the remote died, restarted, or shed us. They get
+// their own retryable category so the client's backoff policy can tell
+// "the transport failed under me" from "I spoke the protocol wrong".
+bool IsPeerReset(int err) {
+  return err == ECONNRESET || err == EPIPE || err == ETIMEDOUT ||
+         err == ECONNABORTED;
+}
+
 // The serve wire layer is the audited home of raw socket IO (the lint
 // raw-write rule scopes its socket-syscall checks out of src/serve/);
 // everything above this file speaks Status and frames, never fds.
@@ -87,17 +97,23 @@ Status SendAll(int fd, const char* data, size_t size) {
     const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (IsPeerReset(errno)) {
+        return Status::Unavailable(
+            StrFormat("peer reset during send: %s", std::strerror(errno)));
+      }
       return Status::IOError(
           StrFormat("send failed: %s", std::strerror(errno)));
     }
-    if (n == 0) return Status::IOError("send made no progress");
+    // A zero-byte send on a blocking stream socket means the connection
+    // stopped accepting bytes (short write after close) — retryable.
+    if (n == 0) return Status::Unavailable("send made no progress");
     sent += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
 // `allow_eof`: a clean close is only legal before the first byte of a
-// frame; mid-frame EOF is corruption.
+// frame; mid-frame EOF means the peer died under the frame.
 Status RecvAll(int fd, char* data, size_t size, bool allow_eof) {
   size_t received = 0;
   while (received < size) {
@@ -107,6 +123,10 @@ Status RecvAll(int fd, char* data, size_t size, bool allow_eof) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status::FailedPrecondition(kTimeoutMarker);
       }
+      if (IsPeerReset(errno)) {
+        return Status::Unavailable(
+            StrFormat("peer reset during recv: %s", std::strerror(errno)));
+      }
       return Status::IOError(
           StrFormat("recv failed: %s", std::strerror(errno)));
     }
@@ -114,7 +134,7 @@ Status RecvAll(int fd, char* data, size_t size, bool allow_eof) {
       if (allow_eof && received == 0) {
         return Status::NotFound(kClosedMarker);
       }
-      return Status::IOError("connection closed mid-frame");
+      return Status::Unavailable("connection closed mid-frame");
     }
     received += static_cast<size_t>(n);
   }
@@ -124,6 +144,9 @@ Status RecvAll(int fd, char* data, size_t size, bool allow_eof) {
 }  // namespace
 
 Status SendFrame(int fd, const std::vector<char>& payload) {
+  if (fault::ShouldFail("serve.frame.send")) {
+    return Status::Unavailable("injected frame send fault");
+  }
   WireWriter prefix;
   prefix.PutU32(static_cast<uint32_t>(payload.size()));
   HIGNN_RETURN_IF_ERROR(
@@ -135,6 +158,9 @@ Status SendFrame(int fd, const std::vector<char>& payload) {
 }
 
 Result<std::vector<char>> RecvFrame(int fd, uint32_t max_bytes) {
+  if (fault::ShouldFail("serve.frame.recv")) {
+    return Status::Unavailable("injected frame recv fault");
+  }
   char prefix[4];
   HIGNN_RETURN_IF_ERROR(RecvAll(fd, prefix, sizeof(prefix),
                                 /*allow_eof=*/true));
@@ -160,6 +186,11 @@ bool IsRecvTimeout(const Status& status) {
 bool IsRecvClosed(const Status& status) {
   return status.code() == StatusCode::kNotFound &&
          status.message() == kClosedMarker;
+}
+
+bool IsRetryableTransport(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         IsRecvClosed(status) || IsRecvTimeout(status);
 }
 
 }  // namespace hignn

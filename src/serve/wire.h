@@ -23,8 +23,13 @@ namespace hignn {
 ///           response u32 n, then n x f32 probability (request order)
 ///   kTopK   request  i32 user, i32 k
 ///           response u32 n, then n x (i32 item, f32 score), ranked
-///   kHealth request  empty; response u8 1
+///   kHealth request  empty; response u8 1, u32 store generation
 ///   kStats  request  empty; response u32-prefixed JSON string
+///   kReload request  u32-prefixed store path ("" = re-open the path the
+///                    current generation was loaded from)
+///           response u32 new store generation. A reload that fails
+///                    validation answers kInternal and the previous
+///                    generation keeps serving untouched.
 ///
 /// Floats travel as their IEEE-754 bit pattern in a u32, so a score is
 /// bit-exact across the wire — the parity tests compare for equality,
@@ -34,6 +39,7 @@ enum class WireVerb : uint8_t {
   kTopK = 2,
   kHealth = 3,
   kStats = 4,
+  kReload = 5,
 };
 
 /// \brief Response status on the wire.
@@ -87,13 +93,19 @@ class WireReader {
 };
 
 /// \brief Writes one length-prefixed frame to a connected socket,
-/// looping over partial sends. IOError on any socket failure.
+/// looping over partial sends. Peer resets (ECONNRESET / EPIPE / a send
+/// that stops making progress after the peer closed) are Unavailable —
+/// transient transport failures a retry policy may reconnect through;
+/// every other socket failure is IOError.
 Status SendFrame(int fd, const std::vector<char>& payload);
 
-/// \brief Reads one length-prefixed frame. Distinguishes the three
-/// interesting failures: clean EOF before any byte (NotFound — the peer
-/// closed), receive timeout (FailedPrecondition), and everything else
-/// (IOError). A length prefix above `max_bytes` is an IOError.
+/// \brief Reads one length-prefixed frame. Distinguishes the interesting
+/// failures: clean EOF before any byte (NotFound — the peer closed),
+/// receive timeout (FailedPrecondition), peer reset / mid-frame EOF
+/// (Unavailable — the transport died under the frame, retryable on a
+/// fresh connection), and everything else (IOError). A length prefix
+/// above `max_bytes` is an IOError — a protocol violation, never
+/// retryable.
 Result<std::vector<char>> RecvFrame(int fd,
                                     uint32_t max_bytes = kMaxFrameBytes);
 
@@ -103,6 +115,13 @@ bool IsRecvTimeout(const Status& status);
 
 /// \brief True when RecvFrame saw a clean close before any frame byte.
 bool IsRecvClosed(const Status& status);
+
+/// \brief Retry taxonomy: true for failures a client may safely retry on
+/// a fresh connection — peer resets (Unavailable), clean closes between
+/// frames (NotFound), and receive timeouts. Protocol violations
+/// (IOError) and server-reported request errors are excluded: retrying
+/// those repeats a bug, not a transient.
+bool IsRetryableTransport(const Status& status);
 
 }  // namespace hignn
 

@@ -19,6 +19,7 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kIOError = 7,
+  kUnavailable = 8,  ///< transient transport failure; safe to retry
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -61,6 +62,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

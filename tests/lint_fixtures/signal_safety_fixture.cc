@@ -1,0 +1,24 @@
+// Exercises the signal-safety rule: functions installed as signal
+// handlers may only set sig_atomic_t / atomic flags. Lines are pinned.
+
+#include <csignal>
+#include <cstdio>
+
+volatile std::sig_atomic_t g_stop = 0;
+int g_request_count = 0;
+
+void GoodHandler(int) { g_stop = 1; }
+
+void BadHandler(int) {
+  g_request_count = 1;
+  std::printf("caught signal\n");
+}
+
+void UnregisteredLookalike(int) { g_request_count = 2; }
+
+void Install() {
+  struct sigaction action = {};
+  action.sa_handler = GoodHandler;
+  sigaction(SIGTERM, &action, nullptr);
+  std::signal(SIGINT, BadHandler);
+}

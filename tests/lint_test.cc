@@ -218,6 +218,26 @@ TEST(LintTest, SimdGuardFiresOnIntrinsicsAndVectorTypes) {
             "checked 1 files: 6 violation(s)\n");
 }
 
+TEST(LintTest, SignalSafetyFiresOnlyInsideRegisteredHandlers) {
+  const LintRun run = RunOnFixtures("signal_safety_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.output,
+            "signal_safety_fixture.cc:13: [signal-safety] signal handler "
+            "'BadHandler' writes 'g_request_count', which is not a "
+            "volatile std::sig_atomic_t or std::atomic; handlers may only "
+            "set such flags\n"
+            "signal_safety_fixture.cc:14: [signal-safety] call to 'printf' "
+            "inside signal handler 'BadHandler' is async-signal-unsafe; "
+            "set a volatile std::sig_atomic_t flag and do the work in the "
+            "main loop\n"
+            "allowed: none\n"
+            "checked 1 files: 2 violation(s)\n");
+  // The flag-setting handler and the never-registered lookalike both
+  // stay silent.
+  EXPECT_EQ(run.output.find("GoodHandler"), std::string::npos);
+  EXPECT_EQ(run.output.find("UnregisteredLookalike"), std::string::npos);
+}
+
 TEST(LintTest, AllowAnnotationSuppressesEveryRuleAndIsTallied) {
   const LintRun run = RunOnFixtures("allowed_fixture.cc");
   EXPECT_EQ(run.exit_code, 0);
@@ -239,11 +259,12 @@ TEST(LintTest, CleanIdiomaticCodePassesWithoutAnnotations) {
 TEST(LintTest, DirectoryScanAggregatesAndSortsAcrossFiles) {
   const LintRun run = RunOnFixtures(".");
   EXPECT_EQ(run.exit_code, 1);
-  // 4 + 3 + 4 + 3 + 3 + 1 + 6 + 2 + 1 + 1 pinned violations across the
-  // ten violating fixtures (socket fixture, wallclock fixture, the simd
-  // fixture, and the residual findings inside the two scope fixtures
-  // included); the allowed fixture contributes 5 tallied suppressions.
-  EXPECT_NE(run.output.find("checked 12 files: 28 violation(s)\n"),
+  // 4 + 3 + 4 + 3 + 3 + 1 + 6 + 2 + 2 + 1 + 1 pinned violations across
+  // the eleven violating fixtures (socket fixture, wallclock fixture, the
+  // simd and signal-safety fixtures, and the residual findings inside the
+  // two scope fixtures included); the allowed fixture contributes 5
+  // tallied suppressions.
+  EXPECT_NE(run.output.find("checked 13 files: 30 violation(s)\n"),
             std::string::npos);
   // Diagnostics are sorted by path, so the float-reduction fixture's
   // single finding leads the report.
@@ -259,7 +280,7 @@ TEST(LintTest, ListRulesPrintsTheCatalog) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"unordered-iter", "raw-write", "nondet-source", "naked-thread",
-        "parallel-float-reduction", "simd-guard"}) {
+        "parallel-float-reduction", "simd-guard", "signal-safety"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos)
         << "missing rule id: " << rule;
   }

@@ -25,6 +25,7 @@
 #include "serve/engine.h"
 #include "serve/serve_metrics.h"
 #include "serve/server.h"
+#include "serve/store_manager.h"
 #include "util/status.h"
 
 namespace hignn {
@@ -268,9 +269,10 @@ TEST_F(ServeFixture, EngineRejectsInvalidIds) {
 // -------------------------------------------------------------- batcher --
 
 TEST_F(ServeFixture, BatcherStopRejectsNewWorkAfterDraining) {
-  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  auto stores =
+      std::move(StoreManager::Open(store_path_, nullptr).ValueOrDie());
   ServeMetrics metrics;
-  MicroBatcher batcher(engine.get(), &metrics, BatcherConfig());
+  MicroBatcher batcher(stores.get(), &metrics, BatcherConfig());
   EXPECT_TRUE(batcher.Score(TestPairs(4)).ok());
   batcher.Stop();
   auto after = batcher.Score(TestPairs(1));
@@ -279,11 +281,12 @@ TEST_F(ServeFixture, BatcherStopRejectsNewWorkAfterDraining) {
 }
 
 TEST_F(ServeFixture, BatcherShedsRequestsBeyondTheQueueBound) {
-  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  auto stores =
+      std::move(StoreManager::Open(store_path_, nullptr).ValueOrDie());
   ServeMetrics metrics;
   BatcherConfig config;
   config.max_queue_rows = 8;
-  MicroBatcher batcher(engine.get(), &metrics, config);
+  MicroBatcher batcher(stores.get(), &metrics, config);
   auto shed = batcher.Score(TestPairs(16));  // 16 rows > bound of 8
   ASSERT_FALSE(shed.ok());
   EXPECT_EQ(shed.status().code(), StatusCode::kFailedPrecondition);
@@ -294,10 +297,11 @@ TEST_F(ServeFixture, BatcherShedsRequestsBeyondTheQueueBound) {
 // ----------------------------------------------------------- TCP server --
 
 TEST_F(ServeFixture, TcpRoundTripScoresMatchOfflineBitwise) {
-  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
   ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
   auto server =
-      std::move(ScoringServer::Start(engine.get(), &metrics, ServerConfig())
+      std::move(ScoringServer::Start(stores.get(), &metrics, ServerConfig())
                     .ValueOrDie());
   auto client =
       std::move(ScoringClient::Connect("127.0.0.1", server->port())
@@ -319,18 +323,20 @@ TEST_F(ServeFixture, TcpRoundTripScoresMatchOfflineBitwise) {
 }
 
 TEST_F(ServeFixture, TcpTopKMatchesEngineRanking) {
-  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
   ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
   auto server =
-      std::move(ScoringServer::Start(engine.get(), &metrics, ServerConfig())
+      std::move(ScoringServer::Start(stores.get(), &metrics, ServerConfig())
                     .ValueOrDie());
   auto client =
       std::move(ScoringClient::Connect("127.0.0.1", server->port())
                     .ValueOrDie());
 
+  const std::shared_ptr<const StoreGeneration> generation = stores->Current();
   for (int32_t user : {0, 7, 123}) {
     const std::vector<Recommendation> expected =
-        engine->RecommendTopK(user, 5).ValueOrDie();
+        generation->engine->RecommendTopK(user, 5).ValueOrDie();
     const std::vector<Recommendation> actual =
         client.TopK(user, 5).ValueOrDie();
     ASSERT_EQ(actual.size(), expected.size()) << "user " << user;
@@ -342,10 +348,11 @@ TEST_F(ServeFixture, TcpTopKMatchesEngineRanking) {
 }
 
 TEST_F(ServeFixture, TcpStatsReportsServedTraffic) {
-  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
   ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
   auto server =
-      std::move(ScoringServer::Start(engine.get(), &metrics, ServerConfig())
+      std::move(ScoringServer::Start(stores.get(), &metrics, ServerConfig())
                     .ValueOrDie());
   auto client =
       std::move(ScoringClient::Connect("127.0.0.1", server->port())
@@ -365,13 +372,14 @@ TEST_F(ServeFixture, TcpStatsReportsServedTraffic) {
 }
 
 TEST_F(ServeFixture, TcpOverloadShedsWithFastFailure) {
-  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
   ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
   ServerConfig config;
   config.batcher.max_queue_rows = 8;
   auto server =
       std::move(
-      ScoringServer::Start(engine.get(), &metrics, config).ValueOrDie());
+      ScoringServer::Start(stores.get(), &metrics, config).ValueOrDie());
   auto client =
       std::move(ScoringClient::Connect("127.0.0.1", server->port())
                     .ValueOrDie());
@@ -388,7 +396,8 @@ TEST_F(ServeFixture, TcpOverloadShedsWithFastFailure) {
 // or four handlers interleave them — the determinism half of the serving
 // contract, checked end to end through real sockets.
 TEST_F(ServeFixture, ConcurrentClientsGetIdenticalScoresAtAnyThreadCount) {
-  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  auto stores =
+      std::move(StoreManager::Open(store_path_, nullptr).ValueOrDie());
   const std::vector<ScoreRequest> pairs = TestPairs(32);
   const std::vector<float> expected = OfflineScores(pairs);
 
@@ -398,7 +407,7 @@ TEST_F(ServeFixture, ConcurrentClientsGetIdenticalScoresAtAnyThreadCount) {
     config.num_threads = num_threads;
     auto server =
         std::move(
-      ScoringServer::Start(engine.get(), &metrics, config).ValueOrDie());
+      ScoringServer::Start(stores.get(), &metrics, config).ValueOrDie());
 
     constexpr int kClients = 4;
     constexpr int kRoundsPerClient = 5;

@@ -32,6 +32,14 @@
 //                             code is centralized behind the dispatch
 //                             shim so the scalar fallback and the bitwise
 //                             parity tests cannot rot.
+//   signal-safety             inside a function installed as a signal
+//                             handler (sa_handler/sa_sigaction field or
+//                             signal() registration), only writes to
+//                             volatile std::sig_atomic_t / std::atomic
+//                             state and atomic member ops are allowed —
+//                             logging, allocation, and locks are
+//                             async-signal-unsafe; real work belongs in
+//                             the main loop that polls the flag.
 //
 // Escape hatch: `// hignn-lint: allow(<rule>) <justification>` on the
 // violating line or the line above suppresses the diagnostic; suppressions
@@ -111,6 +119,12 @@ const std::vector<RuleInfo>& Rules() {
        "dispatch shim; add kernels to the simd_*.cc ISA tables so the "
        "scalar fallback and parity tests stay in lockstep",
        {"src/nn/simd.h", "src/nn/simd_avx2.cc", "src/nn/simd_neon.cc"},
+       {}},
+      {"signal-safety",
+       "signal handlers may only set volatile std::sig_atomic_t flags or "
+       "std::atomic values; calls and other writes are async-signal-unsafe "
+       "— poll the flag from the main loop instead",
+       {},
        {}},
   };
   return kRules;
@@ -327,6 +341,7 @@ class FileLinter {
       CheckParallelFloatReduction();
     }
     if (active_rules.count("simd-guard")) CheckSimdGuard();
+    if (active_rules.count("signal-safety")) CheckSignalSafety();
   }
 
  private:
@@ -790,6 +805,177 @@ class FileLinter {
       FlagPrefix(prefix, "simd-guard",
                  "outside the nn/simd dispatch shim; vector code lives in "
                  "src/nn/simd.h and the simd_*.cc ISA tables");
+    }
+  }
+
+  // ---- rule: signal-safety ------------------------------------------------
+
+  // Names declared as (volatile) std::sig_atomic_t or std::atomic<...> —
+  // the only state a signal handler may write.
+  std::set<std::string> CollectSignalSafeNames() const {
+    std::set<std::string> safe;
+    const std::string& code = file_.code;
+    size_t pos = 0;
+    while ((pos = code.find("sig_atomic_t", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 12;
+      if (!IsWordBoundedAt(code, at, 12)) continue;
+      const size_t id = SkipSpaces(code, at + 12);
+      size_t id_end = id;
+      while (id_end < code.size() && IsWordChar(code[id_end])) ++id_end;
+      if (id_end > id) safe.insert(code.substr(id, id_end - id));
+    }
+    pos = 0;
+    while ((pos = code.find("atomic<", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 7;
+      if (at > 0 && IsWordChar(code[at - 1])) continue;
+      size_t after = MatchAngle(code, at + 6);
+      if (after == std::string::npos) continue;
+      after = SkipSpaces(code, after);
+      size_t id_end = after;
+      while (id_end < code.size() && IsWordChar(code[id_end])) ++id_end;
+      if (id_end > after) safe.insert(code.substr(after, id_end - after));
+    }
+    return safe;
+  }
+
+  // Function names installed as handlers: `sa_handler = NAME`,
+  // `sa_sigaction = NAME`, and `signal(SIGX, NAME)`.
+  std::set<std::string> CollectSignalHandlerNames() const {
+    std::set<std::string> handlers;
+    const std::string& code = file_.code;
+    auto take_identifier = [&](size_t p) -> std::string {
+      while (p < code.size() &&
+             (code[p] == '&' ||
+              std::isspace(static_cast<unsigned char>(code[p])))) {
+        ++p;
+      }
+      size_t end = p;
+      while (end < code.size() && IsWordChar(code[end])) ++end;
+      return code.substr(p, end - p);
+    };
+    for (const char* field : {"sa_handler", "sa_sigaction"}) {
+      const size_t field_len = std::strlen(field);
+      size_t pos = 0;
+      while ((pos = code.find(field, pos)) != std::string::npos) {
+        const size_t at = pos;
+        pos += field_len;
+        if (!IsWordBoundedAt(code, at, field_len)) continue;
+        const size_t eq = SkipSpaces(code, at + field_len);
+        if (eq >= code.size() || code[eq] != '=') continue;
+        const std::string name = take_identifier(eq + 1);
+        if (!name.empty() && name != "SIG_IGN" && name != "SIG_DFL") {
+          handlers.insert(name);
+        }
+      }
+    }
+    size_t pos = 0;
+    while ((pos = code.find("signal", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 6;
+      if (at > 0 && IsWordChar(code[at - 1])) continue;  // e.g. sigaction
+      if (at + 6 < code.size() && IsWordChar(code[at + 6])) continue;
+      const size_t paren = SkipSpaces(code, at + 6);
+      if (paren >= code.size() || code[paren] != '(') continue;
+      const size_t close = MatchBracket(code, paren, '(', ')');
+      if (close == std::string::npos) continue;
+      // Second argument: text after the depth-1 comma.
+      int depth = 0;
+      size_t comma = std::string::npos;
+      for (size_t i = paren; i < close; ++i) {
+        if (code[i] == '(') ++depth;
+        else if (code[i] == ')') --depth;
+        else if (code[i] == ',' && depth == 1) {
+          comma = i;
+          break;
+        }
+      }
+      if (comma == std::string::npos) continue;
+      const std::string name = take_identifier(comma + 1);
+      if (!name.empty() && name != "SIG_IGN" && name != "SIG_DFL") {
+        handlers.insert(name);
+      }
+    }
+    return handlers;
+  }
+
+  void ScanHandlerBody(const std::string& handler,
+                       const std::set<std::string>& safe_names, size_t begin,
+                       size_t end) {
+    const std::string& code = file_.code;
+    // Control-flow keywords and the handful of async-signal-safe
+    // operations: _exit (the POSIX-blessed immediate exit) and the
+    // lock-free atomic member ops.
+    static const std::set<std::string> kSkipWords = {
+        "if", "else", "while", "for", "switch", "return", "sizeof",
+        "static_cast", "reinterpret_cast", "const_cast", "case", "break",
+        "continue", "do", "goto"};
+    static const std::set<std::string> kSafeCalls = {
+        "_exit",     "store",       "load",  "exchange", "fetch_add",
+        "fetch_sub", "fetch_or",    "fetch_and", "test_and_set", "clear"};
+    for (size_t i = begin; i < end; ++i) {
+      if (!IsWordChar(code[i])) continue;
+      size_t word_end = i;
+      while (word_end < end && IsWordChar(code[word_end])) ++word_end;
+      const std::string word = code.substr(i, word_end - i);
+      const size_t at = i;
+      i = word_end;
+      if (kSkipWords.count(word) ||
+          std::isdigit(static_cast<unsigned char>(word[0]))) {
+        continue;
+      }
+      const size_t next = SkipSpaces(code, word_end);
+      if (next < end && code[next] == '(') {
+        if (kSafeCalls.count(word)) continue;
+        Report(at, "signal-safety",
+               "call to '" + word + "' inside signal handler '" + handler +
+                   "' is async-signal-unsafe; set a volatile "
+                   "std::sig_atomic_t flag and do the work in the main "
+                   "loop");
+        continue;
+      }
+      // Assignment (including compound) to anything but a sig_atomic_t /
+      // atomic flag.
+      size_t eq = next;
+      if (eq < end && (code[eq] == '+' || code[eq] == '-' ||
+                       code[eq] == '|' || code[eq] == '&')) {
+        ++eq;
+      }
+      if (eq < end && code[eq] == '=' &&
+          (eq + 1 >= code.size() || code[eq + 1] != '=')) {
+        if (!safe_names.count(word)) {
+          Report(at, "signal-safety",
+                 "signal handler '" + handler + "' writes '" + word +
+                     "', which is not a volatile std::sig_atomic_t or "
+                     "std::atomic; handlers may only set such flags");
+        }
+      }
+    }
+  }
+
+  void CheckSignalSafety() {
+    const std::set<std::string> handlers = CollectSignalHandlerNames();
+    if (handlers.empty()) return;
+    const std::set<std::string> safe_names = CollectSignalSafeNames();
+    const std::string& code = file_.code;
+    for (const std::string& handler : handlers) {
+      size_t pos = 0;
+      while ((pos = code.find(handler, pos)) != std::string::npos) {
+        const size_t at = pos;
+        pos += handler.size();
+        if (!IsWordBoundedAt(code, at, handler.size())) continue;
+        const size_t paren = SkipSpaces(code, at + handler.size());
+        if (paren >= code.size() || code[paren] != '(') continue;
+        const size_t close = MatchBracket(code, paren, '(', ')');
+        if (close == std::string::npos) continue;
+        const size_t brace = SkipSpaces(code, close);
+        if (brace >= code.size() || code[brace] != '{') continue;
+        const size_t body_end = MatchBracket(code, brace, '{', '}');
+        if (body_end == std::string::npos) break;
+        ScanHandlerBody(handler, safe_names, brace + 1, body_end - 1);
+        break;  // definitions precede registration in a TU; first wins
+      }
     }
   }
 

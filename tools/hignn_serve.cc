@@ -1,13 +1,19 @@
 // hignn_serve — the online scoring daemon and its command-line client.
 //
-// Serve mode loads an immutable embedding store (built by
-// `hignn export-store`) and answers score/topk/health/stats requests over
-// the wire.h TCP protocol until SIGINT/SIGTERM, then shuts down
-// gracefully and dumps a metrics JSON snapshot:
+// Serve mode loads an embedding store (built by `hignn export-store`)
+// and answers score/topk/health/stats/reload requests over the wire.h
+// TCP protocol until SIGINT/SIGTERM, then shuts down gracefully and
+// dumps a metrics JSON snapshot:
 //
 //   hignn export-store --preset tiny --out /tmp/tiny.hgnnstore
 //   hignn_serve serve --store /tmp/tiny.hgnnstore --port 0 \
 //       --port-file /tmp/port --metrics-out /tmp/serve_metrics.json
+//
+// The store can be hot-swapped with zero downtime: a SIGHUP re-opens
+// the current store path, and the `reload` client verb swaps to an
+// arbitrary path. In-flight requests finish on the generation they
+// started with; a reload that fails validation leaves the old store
+// serving untouched.
 //
 // The remaining verbs are one-shot clients (also the CI smoke test):
 //
@@ -15,6 +21,12 @@
 //   hignn_serve topk   --port $(cat /tmp/port) --user 3 --k 5
 //   hignn_serve health --port $(cat /tmp/port)
 //   hignn_serve stats  --port $(cat /tmp/port)
+//   hignn_serve reload --port $(cat /tmp/port) [--store NEW.hgnnstore]
+//
+// Client verbs take retry flags (--retries N --backoff-ms B
+// --retry-budget-ms T --connect-timeout-ms C --io-timeout-ms I) so
+// scripts can ride through a reload or a transient without hand-rolled
+// sleep loops.
 
 #include <chrono>
 #include <csignal>
@@ -26,9 +38,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/client.h"
-#include "serve/engine.h"
 #include "serve/serve_metrics.h"
 #include "serve/server.h"
+#include "serve/store_manager.h"
 #include "util/flags.h"
 #include "util/io.h"
 #include "util/string_util.h"
@@ -36,9 +48,15 @@
 namespace hignn {
 namespace {
 
+// Signal handlers may only set flags of this type (see the signal-safety
+// lint rule): the main loop polls them and does the real work — logging,
+// allocation, and the reload itself are all async-signal-unsafe.
 volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_reload_requested = 0;
 
 void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
+
+void HandleReloadSignal(int /*signum*/) { g_reload_requested = 1; }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -49,7 +67,8 @@ int Usage() {
   std::fprintf(stderr, R"(usage: hignn_serve <command> [flags]
 
 commands:
-  serve    run the TCP scoring server until SIGINT/SIGTERM
+  serve    run the TCP scoring server until SIGINT/SIGTERM; SIGHUP
+           hot-swaps the store (re-opens the current path)
            --store STORE.hgnnstore
            [--host 127.0.0.1] [--port 0]  (0 = ephemeral)
            [--port-file FILE]     (write the bound port, for scripts)
@@ -65,10 +84,21 @@ commands:
            --port P [--host 127.0.0.1] --user U --item I
   topk     top-k recommendations for a user
            --port P [--host 127.0.0.1] --user U [--k 10]
-  health   liveness probe (exit 0 iff the server answers)
+  health   liveness probe (prints the live store generation)
            --port P [--host 127.0.0.1]
   stats    print the server's metrics JSON
            --port P [--host 127.0.0.1]
+  reload   hot-swap the serving store with zero downtime
+           --port P [--host 127.0.0.1] [--store NEW.hgnnstore]
+           (no --store = re-open the path the server is serving from)
+
+client retry flags (score/topk/health/stats/reload):
+  [--retries 1]            total attempts; >1 retries transients with
+                           capped exponential backoff + seeded jitter
+  [--backoff-ms 10]        initial backoff (doubles per retry, cap 500)
+  [--retry-budget-ms 2000] total backoff sleep budget per call
+  [--connect-timeout-ms 2000]  non-blocking connect deadline
+  [--io-timeout-ms 2000]       per-call socket send/recv timeout
 )");
   return 2;
 }
@@ -91,12 +121,12 @@ int RunServe(const CommandLine& cl) {
 
   if (cl.GetBool("obs-off")) obs::SetEnabled(false);
 
-  auto engine = PredictionEngine::Open(store_path);
-  if (!engine.ok()) return Fail(engine.status());
   // The daemon reports into the process-wide registry, so `stats`
   // responses, --metrics-out dumps and any other instrumentation in
   // this process share one set of `serve.*` metrics.
   ServeMetrics metrics(&obs::MetricsRegistry::Global());
+  auto stores = StoreManager::Open(store_path, &metrics);
+  if (!stores.ok()) return Fail(stores.status());
 
   ServerConfig config;
   config.host = cl.GetString("host", "127.0.0.1");
@@ -114,8 +144,11 @@ int RunServe(const CommandLine& cl) {
   action.sa_handler = HandleStopSignal;
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
+  struct sigaction reload_action = {};
+  reload_action.sa_handler = HandleReloadSignal;
+  sigaction(SIGHUP, &reload_action, nullptr);
 
-  auto server = ScoringServer::Start(engine.value().get(), &metrics, config);
+  auto server = ScoringServer::Start(stores.value().get(), &metrics, config);
   if (!server.ok()) return Fail(server.status());
 
   const std::string port_file = cl.GetString("port-file");
@@ -126,14 +159,32 @@ int RunServe(const CommandLine& cl) {
       return Fail(status);
     }
   }
-  std::printf("serving %s on %s:%d (%d users x %d items, %d handlers)\n",
-              store_path.c_str(), config.host.c_str(),
-              server.value()->port(),
-              engine.value()->store().num_users(),
-              engine.value()->store().num_items(), config.num_threads);
+  {
+    const auto generation = stores.value()->Current();
+    std::printf(
+        "serving %s on %s:%d (%d users x %d items, %d handlers, "
+        "generation %lld)\n",
+        store_path.c_str(), config.host.c_str(), server.value()->port(),
+        generation->store().num_users(), generation->store().num_items(),
+        config.num_threads, static_cast<long long>(generation->number));
+  }
   std::fflush(stdout);
 
   while (g_stop_requested == 0) {
+    if (g_reload_requested != 0) {
+      g_reload_requested = 0;
+      // "" = re-open the current generation's path: the SIGHUP contract
+      // is "pick up whatever export-store just rewrote in place".
+      auto generation = stores.value()->Reload();
+      if (generation.ok()) {
+        std::printf("reloaded store (generation %lld)\n",
+                    static_cast<long long>(generation.value()));
+      } else {
+        std::fprintf(stderr, "reload failed, old store keeps serving: %s\n",
+                     generation.status().ToString().c_str());
+      }
+      std::fflush(stdout);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
@@ -162,8 +213,26 @@ Result<ScoringClient> ConnectFlag(const CommandLine& cl) {
   if (port.value() <= 0) {
     return Status::InvalidArgument("--port is required");
   }
+  auto retries = cl.GetInt("retries", 1);
+  auto backoff_ms = cl.GetInt("backoff-ms", 10);
+  auto retry_budget_ms = cl.GetInt("retry-budget-ms", 2000);
+  auto connect_timeout_ms = cl.GetInt("connect-timeout-ms", 2000);
+  auto io_timeout_ms = cl.GetInt("io-timeout-ms", 2000);
+  for (const Status& status :
+       {retries.status(), backoff_ms.status(), retry_budget_ms.status(),
+        connect_timeout_ms.status(), io_timeout_ms.status()}) {
+    if (!status.ok()) return status;
+  }
+  ClientConfig config;
+  config.connect_timeout_ms = static_cast<int32_t>(connect_timeout_ms.value());
+  config.send_timeout_ms = static_cast<int32_t>(io_timeout_ms.value());
+  config.recv_timeout_ms = static_cast<int32_t>(io_timeout_ms.value());
+  config.retry.max_attempts = static_cast<int32_t>(retries.value());
+  config.retry.initial_backoff_ms = static_cast<int32_t>(backoff_ms.value());
+  config.retry.retry_budget_ms =
+      static_cast<int32_t>(retry_budget_ms.value());
   return ScoringClient::Connect(cl.GetString("host", "127.0.0.1"),
-                                static_cast<int32_t>(port.value()));
+                                static_cast<int32_t>(port.value()), config);
 }
 
 int RunScore(const CommandLine& cl) {
@@ -204,10 +273,10 @@ int RunTopK(const CommandLine& cl) {
 int RunHealth(const CommandLine& cl) {
   auto client = ConnectFlag(cl);
   if (!client.ok()) return Fail(client.status());
-  if (Status status = client.value().Health(); !status.ok()) {
-    return Fail(status);
-  }
-  std::printf("ok\n");
+  auto generation = client.value().HealthGeneration();
+  if (!generation.ok()) return Fail(generation.status());
+  std::printf("ok generation=%lld\n",
+              static_cast<long long>(generation.value()));
   return 0;
 }
 
@@ -220,6 +289,16 @@ int RunStats(const CommandLine& cl) {
   return 0;
 }
 
+int RunReload(const CommandLine& cl) {
+  auto client = ConnectFlag(cl);
+  if (!client.ok()) return Fail(client.status());
+  auto generation = client.value().Reload(cl.GetString("store"));
+  if (!generation.ok()) return Fail(generation.status());
+  std::printf("reloaded generation=%lld\n",
+              static_cast<long long>(generation.value()));
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   auto cl = CommandLine::Parse(argc, argv);
   if (!cl.ok()) return Fail(cl.status());
@@ -229,6 +308,7 @@ int Run(int argc, char** argv) {
   if (command == "topk") return RunTopK(cl.value());
   if (command == "health") return RunHealth(cl.value());
   if (command == "stats") return RunStats(cl.value());
+  if (command == "reload") return RunReload(cl.value());
   return Usage();
 }
 
