@@ -17,6 +17,11 @@
 #   6. clang-tidy over src/ via compile_commands.json, when clang-tidy is
 #      installed (skipped with a notice otherwise, so the gate stays green
 #      in minimal containers)
+#   7. a Clang -Wthread-safety -Werror build of the hignn library, when
+#      clang++ is installed — the compiler-checked half of the concurrency
+#      contract (HIGNN_GUARDED_BY / HIGNN_REQUIRES annotations); skipped
+#      with a notice under GCC-only toolchains, where hignn_lint's
+#      lock-discipline and guard-annotation rules still gate the basics
 #
 # Exits non-zero on the first failing stage.
 
@@ -145,6 +150,22 @@ if command -v clang-tidy >/dev/null 2>&1; then
   clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_SOURCES[@]}"
 else
   echo "clang-tidy not installed; skipping (configs in .clang-tidy)"
+fi
+
+echo "== clang -Wthread-safety (concurrency contract)"
+if command -v clang++ >/dev/null 2>&1; then
+  # Separate tree: the thread-safety analysis only exists in Clang, and
+  # -Werror turns every unguarded access to a HIGNN_GUARDED_BY field into
+  # a build break. Also runs the compile-fail smoke proving the
+  # annotations are live (tests/tsa_compile_fail.cc must NOT compile).
+  cmake -B "$BUILD_DIR-tsa" -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DHIGNN_WERROR=ON >/dev/null
+  cmake --build "$BUILD_DIR-tsa" --target hignn -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR-tsa" -R 'lint.tsa_compile_fail' \
+    --output-on-failure
+else
+  echo "clang++ not installed; skipping (hignn_lint still enforces" \
+    "lock-discipline and guard-annotation)"
 fi
 
 echo "== all checks passed"

@@ -11,7 +11,10 @@
 # Intentional exceptions are annotated in-source with
 #   // hignn-lint: allow(<rule>) <justification>
 # on the violating line or the line directly above; the scan reports a
-# tally of every suppression so reviewers can audit them.
+# tally of every suppression so reviewers can audit them, and the final
+# step writes the full machine-readable inventory (rule, file, line,
+# justification per allow) to $BUILD_DIR/lint_allow_report.json so CI
+# can archive it and reviewers can diff suppressions across merges.
 
 set -euo pipefail
 
@@ -21,3 +24,7 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" --target hignn_lint hignn_lint_tests -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure -j "$(nproc)"
+
+"$BUILD_DIR/tools/hignn_lint" --root . --allow-report src bench tools \
+  > "$BUILD_DIR/lint_allow_report.json"
+echo "allow inventory written to $BUILD_DIR/lint_allow_report.json"

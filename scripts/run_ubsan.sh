@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build the kernel + crash-safety tests under UBSan alone and run them.
+#
+#   scripts/run_ubsan.sh [build-dir]
+#
+# Configures a separate build tree (default: build-ubsan) with
+# -DHIGNN_SANITIZE=undefined, builds the hignn_kernel_tests and
+# hignn_robustness_tests binaries, and runs the `kernels` + `asan`
+# labels under UBSan (SIMD/scalar kernel parity plus checkpoint and
+# corrupt-file paths — the shift-, convert-, and pointer-arithmetic-
+# heavy code where pure UB would hide). Unlike run_asan.sh this leg
+# carries no ASan
+# runtime, so its reports are pure UB with no memory-error noise and it
+# runs at near-native speed. Exits non-zero on any UB report or test
+# failure (-fno-sanitize-recover=all is set by the build).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ubsan}"
+
+cmake -B "$BUILD_DIR" -S . -DHIGNN_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target hignn_kernel_tests hignn_robustness_tests -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'kernels|asan' --output-on-failure -j "$(nproc)"

@@ -10,7 +10,9 @@
 #include "util/fault_injection.h"
 #include "util/io.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace hignn {
 
@@ -108,7 +110,15 @@ int64_t SequenceFromFilename(const std::string& name) {
   return sequence;
 }
 
-Status WriteManifest(const std::string& dir, int64_t sequence) {
+// Serializes the manifest-update + prune tail of SaveCheckpoint. The
+// checkpoint payload itself writes to a unique per-sequence path, but
+// LATEST is one shared file and pruning scans the shared directory:
+// two threads finishing saves concurrently must not interleave them
+// (a stale LATEST pointing at a just-pruned file would break resume).
+Mutex g_manifest_mu;
+
+Status WriteManifest(const std::string& dir, int64_t sequence)
+    HIGNN_REQUIRES(g_manifest_mu) {
   BinaryWriter writer(dir + "/" + kManifestName);
   if (!writer.ok()) {
     return Status::IOError("cannot open checkpoint manifest in " + dir);
@@ -124,7 +134,8 @@ Result<int64_t> ReadManifest(const std::string& dir) {
   return reader.ReadI64();
 }
 
-void PruneCheckpoints(const std::string& dir, int32_t keep_last) {
+void PruneCheckpoints(const std::string& dir, int32_t keep_last)
+    HIGNN_REQUIRES(g_manifest_mu) {
   if (keep_last <= 0) return;
   std::vector<int64_t> sequences;
   std::error_code ec;
@@ -259,12 +270,15 @@ Status SaveCheckpoint(const TrainingCheckpoint& ckpt,
     return Status::Internal("fault injection: checkpoint.saved");
   }
 
-  const Status manifest = WriteManifest(options.dir, ckpt.sequence);
-  if (!manifest.ok()) {
-    HIGNN_LOG(kWarning) << "checkpoint manifest update failed: "
-                        << manifest.ToString();
+  {
+    MutexLock manifest_lock(g_manifest_mu);
+    const Status manifest = WriteManifest(options.dir, ckpt.sequence);
+    if (!manifest.ok()) {
+      HIGNN_LOG(kWarning) << "checkpoint manifest update failed: "
+                          << manifest.ToString();
+    }
+    PruneCheckpoints(options.dir, options.keep_last);
   }
-  PruneCheckpoints(options.dir, options.keep_last);
   obs::CounterAdd("io.checkpoints_saved");
   obs::LatencyRecordUs("io.checkpoint_latency_us", save_timer.Micros());
   return Status::OK();

@@ -104,7 +104,7 @@ std::string Histogram::BucketsJson() const {
 
 void Series::Append(double value) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (values_.size() >= kSeriesCap) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -113,12 +113,12 @@ void Series::Append(double value) {
 }
 
 std::vector<double> Series::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return values_;
 }
 
 void Series::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   values_.clear();
   dropped_.store(0, std::memory_order_relaxed);
 }
@@ -138,14 +138,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -153,14 +153,14 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 Series& MetricsRegistry::GetSeries(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Series>& slot = series_[name];
   if (!slot) slot = std::make_unique<Series>();
   return *slot;
@@ -175,7 +175,7 @@ std::string MetricsRegistry::DumpJson() const {
   std::unordered_map<std::string, std::string> histograms;
   std::unordered_map<std::string, std::string> series;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, counter] : counters_) {
       counters[name] = counter->value();
     }
@@ -243,7 +243,7 @@ std::string MetricsRegistry::DumpJson() const {
 std::string MetricsRegistry::DumpText() const {
   std::unordered_map<std::string, std::string> lines;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, counter] : counters_) {
       lines[name] = StrFormat("%lld",
                               static_cast<long long>(counter->value()));
@@ -278,7 +278,7 @@ Status MetricsRegistry::DumpJsonToFile(const std::string& path) const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

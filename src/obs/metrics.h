@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hignn {
 namespace obs {
@@ -118,8 +119,8 @@ class Series {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> values_;
+  mutable Mutex mu_;
+  std::vector<double> values_ HIGNN_GUARDED_BY(mu_);
   std::atomic<int64_t> dropped_{0};
 };
 
@@ -168,11 +169,15 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
-  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::unordered_map<std::string, std::unique_ptr<Series>> series_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_
+      HIGNN_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_
+      HIGNN_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_
+      HIGNN_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<Series>> series_
+      HIGNN_GUARDED_BY(mu_);
 };
 
 /// \brief One-line helpers against the global registry for call sites

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 
 #include "obs/metrics.h"
 #include "util/io.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace hignn {
@@ -33,14 +34,16 @@ struct TraceEvent {
 // with other recording threads. The collector owns the buffers so
 // spans survive thread exit.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
-  int32_t tid = 0;
+  explicit ThreadBuffer(int32_t id) : tid(id) {}
+
+  Mutex mu;
+  std::vector<TraceEvent> events HIGNN_GUARDED_BY(mu);
+  const int32_t tid;  // registration index, fixed at construction
 };
 
 struct Collector {
-  std::mutex mu;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  Mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers HIGNN_GUARDED_BY(mu);
   std::atomic<int64_t> seq{0};
   std::atomic<int64_t> dropped{0};
 };
@@ -53,10 +56,9 @@ Collector& GlobalCollector() {
 ThreadBuffer& LocalBuffer() {
   thread_local ThreadBuffer* buffer = [] {
     Collector& collector = GlobalCollector();
-    std::lock_guard<std::mutex> lock(collector.mu);
-    collector.buffers.push_back(std::make_unique<ThreadBuffer>());
-    collector.buffers.back()->tid =
-        static_cast<int32_t>(collector.buffers.size() - 1);
+    MutexLock lock(collector.mu);
+    const int32_t tid = static_cast<int32_t>(collector.buffers.size());
+    collector.buffers.push_back(std::make_unique<ThreadBuffer>(tid));
     return collector.buffers.back().get();
   }();
   return *buffer;
@@ -66,7 +68,7 @@ void RecordSpan(const char* name, int64_t start_us, int64_t end_us,
                 std::vector<TraceArg> args) {
   Collector& collector = GlobalCollector();
   ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(buffer.mu);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     collector.dropped.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -112,9 +114,9 @@ std::string TraceJson(bool zero_timestamps) {
   Collector& collector = GlobalCollector();
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(collector.mu);
+    MutexLock lock(collector.mu);
     for (const std::unique_ptr<ThreadBuffer>& buffer : collector.buffers) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(buffer->mu);
       events.insert(events.end(), buffer->events.begin(),
                     buffer->events.end());
     }
@@ -160,9 +162,9 @@ int64_t TraceDropped() {
 
 void ResetTrace() {
   Collector& collector = GlobalCollector();
-  std::lock_guard<std::mutex> lock(collector.mu);
+  MutexLock lock(collector.mu);
   for (const std::unique_ptr<ThreadBuffer>& buffer : collector.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     buffer->events.clear();
   }
   collector.seq.store(0, std::memory_order_relaxed);

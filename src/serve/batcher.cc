@@ -42,15 +42,15 @@ MicroBatcher::~MicroBatcher() { Stop(); }
 
 void MicroBatcher::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  job_arrived_.notify_all();
+  job_arrived_.NotifyAll();
   if (collector_.joinable()) collector_.join();
 }
 
 int64_t MicroBatcher::queued_rows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queued_rows_;
 }
 
@@ -71,7 +71,7 @@ Result<std::vector<float>> MicroBatcher::Score(
   auto job = std::make_shared<Job>();
   job->requests = requests;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       return Status::FailedPrecondition("batcher is shutting down");
     }
@@ -85,54 +85,59 @@ Result<std::vector<float>> MicroBatcher::Score(
     }
     queue_.push_back(job);
     queued_rows_ += rows;
-    job_arrived_.notify_one();
-    job_finished_.wait(lock, [&] { return job->done; });
+    job_arrived_.NotifyOne();
+    while (!job->done) job_finished_.Wait(lock);
   }
   HIGNN_RETURN_IF_ERROR(job->status);
   return std::move(job->scores);
 }
 
 void MicroBatcher::CollectorLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    job_arrived_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stopping_) return;  // drained — graceful exit
-      continue;
-    }
-
-    // Batching window: from the first waiting job, give companions up to
-    // max_delay_us to arrive (or until max_batch rows are ready). Under
-    // shutdown the window collapses so draining is prompt.
-    const double delay_seconds =
-        static_cast<double>(config_.max_delay_us) * 1e-6;
-    // The batching window is time-driven control flow by design; it
-    // affects batch composition, never scores.
-    // hignn-lint: allow(nondet-source) reviewed wall-clock batching window
-    WallTimer window;
-    while (!stopping_ && queued_rows_ < config_.max_batch) {
-      const double remaining = delay_seconds - window.Seconds();
-      if (remaining <= 0.0) break;
-      job_arrived_.wait_for(lock,
-                            std::chrono::duration<double>(remaining));
-    }
-
-    // Close the batch: whole jobs up to max_batch rows, always at least
-    // one (a single oversized request runs alone).
+    // Phase 1 (locked): wait for work, run the batching window, pop a
+    // closed batch. The critical section ends before any scoring so the
+    // engine forward never runs under mu_ — that scope split is exactly
+    // what the lock-discipline lint rule checks for.
     std::vector<std::shared_ptr<Job>> batch;
     int64_t batch_rows = 0;
-    while (!queue_.empty()) {
-      const int64_t rows =
-          static_cast<int64_t>(queue_.front()->requests.size());
-      if (!batch.empty() && batch_rows + rows > config_.max_batch) break;
-      batch.push_back(queue_.front());
-      queue_.pop_front();
-      batch_rows += rows;
-      queued_rows_ -= rows;
+    {
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) job_arrived_.Wait(lock);
+      if (queue_.empty()) {
+        if (stopping_) return;  // drained — graceful exit
+        continue;
+      }
+
+      // Batching window: from the first waiting job, give companions up
+      // to max_delay_us to arrive (or until max_batch rows are ready).
+      // Under shutdown the window collapses so draining is prompt.
+      const double delay_seconds =
+          static_cast<double>(config_.max_delay_us) * 1e-6;
+      // The batching window is time-driven control flow by design; it
+      // affects batch composition, never scores.
+      // hignn-lint: allow(nondet-source) reviewed wall-clock batching window
+      WallTimer window;
+      while (!stopping_ && queued_rows_ < config_.max_batch) {
+        const double remaining = delay_seconds - window.Seconds();
+        if (remaining <= 0.0) break;
+        job_arrived_.WaitFor(lock, std::chrono::duration<double>(remaining));
+      }
+
+      // Close the batch: whole jobs up to max_batch rows, always at
+      // least one (a single oversized request runs alone).
+      while (!queue_.empty()) {
+        const int64_t rows =
+            static_cast<int64_t>(queue_.front()->requests.size());
+        if (!batch.empty() && batch_rows + rows > config_.max_batch) break;
+        batch.push_back(queue_.front());
+        queue_.pop_front();
+        batch_rows += rows;
+        queued_rows_ -= rows;
+      }
     }
 
-    lock.unlock();
-    // Acquire the published generation once per batch: every row in this
+    // Phase 2 (unlocked): score. Acquire the published generation once
+    // per batch: every row in this
     // forward scores against one consistent store, and a reload landing
     // mid-flight only affects the *next* batch. Jobs whose ids no longer
     // fit the acquired store (the shape changed since they were queued)
@@ -157,22 +162,26 @@ void MicroBatcher::CollectorLoop() {
         combined.empty() ? std::vector<float>{}
                          : generation->engine->ScoreBatch(combined);
     metrics_->RecordBatch(batch_rows);
-    lock.lock();
 
-    size_t offset = 0;
-    for (const auto& job : runnable) {
-      if (scores.ok()) {
-        const std::vector<float>& all = scores.value();
-        job->scores.assign(all.begin() + static_cast<long>(offset),
-                           all.begin() + static_cast<long>(
-                                             offset + job->requests.size()));
-      } else {
-        job->status = scores.status();
+    // Phase 3 (locked): distribute results and publish done under mu_ so
+    // the waiters' `while (!job->done)` loops observe the flag safely.
+    {
+      MutexLock lock(mu_);
+      size_t offset = 0;
+      for (const auto& job : runnable) {
+        if (scores.ok()) {
+          const std::vector<float>& all = scores.value();
+          job->scores.assign(
+              all.begin() + static_cast<long>(offset),
+              all.begin() + static_cast<long>(offset + job->requests.size()));
+        } else {
+          job->status = scores.status();
+        }
+        offset += job->requests.size();
       }
-      offset += job->requests.size();
+      for (const auto& job : batch) job->done = true;
     }
-    for (const auto& job : batch) job->done = true;
-    job_finished_.notify_all();
+    job_finished_.NotifyAll();
   }
 }
 

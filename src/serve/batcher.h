@@ -1,18 +1,18 @@
 #ifndef HIGNN_SERVE_BATCHER_H_
 #define HIGNN_SERVE_BATCHER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "serve/engine.h"
 #include "serve/serve_metrics.h"
 #include "serve/store_manager.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hignn {
 
@@ -83,16 +83,16 @@ class MicroBatcher {
 
   void CollectorLoop();
 
-  StoreManager* stores_;
-  ServeMetrics* metrics_;
-  BatcherConfig config_;
+  StoreManager* const stores_;
+  ServeMetrics* const metrics_;
+  const BatcherConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable job_arrived_;   // signalled to the collector
-  std::condition_variable job_finished_;  // signalled to waiting callers
-  std::deque<std::shared_ptr<Job>> queue_;
-  int64_t queued_rows_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar job_arrived_;   // signalled to the collector
+  CondVar job_finished_;  // signalled to waiting callers
+  std::deque<std::shared_ptr<Job>> queue_ HIGNN_GUARDED_BY(mu_);
+  int64_t queued_rows_ HIGNN_GUARDED_BY(mu_) = 0;
+  bool stopping_ HIGNN_GUARDED_BY(mu_) = false;
 
   // The collector blocks on its cv for whole batching windows; parking
   // it on a GlobalThreadPool worker would starve (and can deadlock) the

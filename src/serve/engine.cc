@@ -72,7 +72,7 @@ std::vector<float> PredictionEngine::ScoreValidated(
 
   std::vector<float> scores;
   scores.reserve(batch.size());
-  std::lock_guard<std::mutex> lock(model_mu_);
+  MutexLock lock(model_mu_);
   if (batch.size() <= kForwardChunk) {
     Result<std::vector<float>> batch_scores = model_.PredictRows(rows);
     HIGNN_CHECK(batch_scores.ok());

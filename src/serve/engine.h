@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "predict/recommender.h"
 #include "serve/embedding_store.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hignn {
 
@@ -54,9 +55,9 @@ class PredictionEngine {
   /// \brief Parallel row assembly + chunked forward. Ids must be valid.
   std::vector<float> ScoreValidated(const std::vector<ScoreRequest>& batch);
 
-  std::unique_ptr<EmbeddingStore> store_;
-  CvrModel model_;        ///< forwards record tape state → guarded
-  std::mutex model_mu_;   ///< serializes PredictRows calls
+  const std::unique_ptr<EmbeddingStore> store_;
+  Mutex model_mu_;  ///< serializes PredictRows calls
+  CvrModel model_ HIGNN_GUARDED_BY(model_mu_);  ///< forwards record tape state
 };
 
 }  // namespace hignn

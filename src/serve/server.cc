@@ -124,13 +124,13 @@ void ScoringServer::Stop() {
     return;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  fd_ready_.notify_all();
+  fd_ready_.NotifyAll();
   // hignn-lint: allow(naked-thread) joining the handler threads
   for (std::thread& handler : handlers_) {
     if (handler.joinable()) handler.join();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (int fd : pending_fds_) ::close(fd);
     pending_fds_.clear();
   }
@@ -163,10 +163,10 @@ void ScoringServer::AcceptLoop() {
     const int nodelay = 1;
     ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       pending_fds_.push_back(conn);
     }
-    fd_ready_.notify_one();
+    fd_ready_.NotifyOne();
   }
 }
 
@@ -174,11 +174,14 @@ void ScoringServer::HandlerLoop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      fd_ready_.wait_for(lock, std::chrono::milliseconds(kAcceptPollMs),
-                         [&] {
-                           return stopping_.load() || !pending_fds_.empty();
-                         });
+      MutexLock lock(mu_);
+      // One bounded wait, then recheck: the outer loop re-enters every
+      // kAcceptPollMs anyway, so a timed single Wait is equivalent to the
+      // predicate form and keeps every guarded read in this function's
+      // analysis scope.
+      if (pending_fds_.empty() && !stopping_.load()) {
+        fd_ready_.WaitFor(lock, std::chrono::milliseconds(kAcceptPollMs));
+      }
       if (!pending_fds_.empty()) {
         fd = pending_fds_.front();
         pending_fds_.pop_front();

@@ -2,11 +2,9 @@
 #define HIGNN_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +12,9 @@
 #include "serve/batcher.h"
 #include "serve/serve_metrics.h"
 #include "serve/store_manager.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hignn {
 
@@ -77,18 +77,25 @@ class ScoringServer {
   /// \brief Decodes one request frame and builds the response payload.
   std::vector<char> HandleRequest(const std::vector<char>& payload);
 
-  StoreManager* stores_;
-  ServeMetrics* metrics_;
-  ServerConfig config_;
-  std::unique_ptr<MicroBatcher> batcher_;
+  StoreManager* const stores_;
+  ServeMetrics* const metrics_;
+  const ServerConfig config_;
 
+  // Written once during Start() before any thread is spawned, then
+  // immutable until Stop() (which runs after every thread has joined) —
+  // the spawn/join edges order them without a lock.
+  // hignn-lint: allow(guard-annotation) immutable after Start(): ordered by thread spawn/join
+  std::unique_ptr<MicroBatcher> batcher_;
+  // hignn-lint: allow(guard-annotation) immutable after Start(): ordered by thread spawn/join
   int listen_fd_ = -1;
+  // hignn-lint: allow(guard-annotation) immutable after Start(): ordered by thread spawn/join
   int32_t port_ = 0;
+
   std::atomic<bool> stopping_{false};
 
-  std::mutex mu_;
-  std::condition_variable fd_ready_;
-  std::deque<int> pending_fds_;
+  Mutex mu_;
+  CondVar fd_ready_;
+  std::deque<int> pending_fds_ HIGNN_GUARDED_BY(mu_);
 
   // Accept and handler threads spend their lives blocked in poll()/
   // recv()/cv waits; GlobalThreadPool workers must stay available for

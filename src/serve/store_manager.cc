@@ -32,13 +32,13 @@ Result<std::unique_ptr<PredictionEngine>> StoreManager::OpenEngine(
 }
 
 std::shared_ptr<const StoreGeneration> StoreManager::Current() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_;
 }
 
 void StoreManager::Publish(std::shared_ptr<const StoreGeneration> next) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     current_ = std::move(next);
     generation_.store(current_->number, std::memory_order_relaxed);
   }
@@ -48,7 +48,7 @@ void StoreManager::Publish(std::shared_ptr<const StoreGeneration> next) {
 }
 
 Result<int64_t> StoreManager::Reload(const std::string& path) {
-  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  MutexLock reload_lock(reload_mu_);
   const std::shared_ptr<const StoreGeneration> previous = Current();
   const std::string source = path.empty() ? previous->path : path;
 

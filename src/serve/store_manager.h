@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "serve/engine.h"
 #include "serve/serve_metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hignn {
 
@@ -94,12 +95,12 @@ class StoreManager {
 
   void Publish(std::shared_ptr<const StoreGeneration> next);
 
-  ServeMetrics* metrics_;  // borrowed, may be null
+  ServeMetrics* const metrics_;  // borrowed, may be null
 
-  mutable std::mutex mu_;  ///< guards current_ (the RCU pointer)
-  std::shared_ptr<const StoreGeneration> current_;
+  mutable Mutex mu_;  ///< guards current_ (the RCU pointer)
+  std::shared_ptr<const StoreGeneration> current_ HIGNN_GUARDED_BY(mu_);
 
-  std::mutex reload_mu_;  ///< serializes whole Reload() calls
+  Mutex reload_mu_;  ///< serializes whole Reload() calls
   std::atomic<int64_t> generation_{0};
   std::atomic<int64_t> reload_total_{0};
   std::atomic<int64_t> reload_failed_total_{0};

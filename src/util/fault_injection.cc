@@ -3,11 +3,12 @@
 #include <unistd.h>
 
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace hignn {
 namespace fault {
@@ -27,8 +28,8 @@ struct Site {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, Site> sites;
+  Mutex mu;
+  std::unordered_map<std::string, Site> sites HIGNN_GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -37,7 +38,9 @@ Registry& GetRegistry() {
 }
 
 // Parses "site=action[@hit]" into the registry; ignores bad entries.
-void ParseSpecLocked(Registry& registry, const std::string& spec) {
+// Caller holds registry.mu (enforced by the annotation under Clang).
+void ParseSpecLocked(Registry& registry, const std::string& spec)
+    HIGNN_REQUIRES(registry.mu) {
   registry.sites.clear();
   for (const std::string& raw : Split(spec, ',')) {
     const std::string entry = Trim(raw);
@@ -78,7 +81,7 @@ void ParseSpecLocked(Registry& registry, const std::string& spec) {
 // Returns the armed action if this call is the trigger hit of `site`.
 bool HitSite(const char* site, Action* action) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.sites.find(site);
   if (it == registry.sites.end()) return false;
   ++it->second.hits;
@@ -115,7 +118,7 @@ void MaybeCrashSlow(const char* site) {
 void Configure(const std::string& spec) {
   Registry& registry = GetRegistry();
   {
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     ParseSpecLocked(registry, spec);
     internal::g_enabled.store(!registry.sites.empty(),
                               std::memory_order_relaxed);
@@ -124,7 +127,7 @@ void Configure(const std::string& spec) {
 
 int64_t HitCount(const std::string& site) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.sites.find(site);
   return it == registry.sites.end() ? 0 : it->second.hits;
 }

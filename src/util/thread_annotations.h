@@ -1,0 +1,78 @@
+#ifndef HIGNN_UTIL_THREAD_ANNOTATIONS_H_
+#define HIGNN_UTIL_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Portable wrappers over Clang's thread-safety attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under Clang
+/// with -Wthread-safety these turn locking mistakes — touching a
+/// HIGNN_GUARDED_BY field without its mutex held, releasing a lock twice,
+/// returning with a capability still held — into compile errors. Under
+/// GCC (which lacks the analysis) every macro expands to nothing, so the
+/// annotations cost nothing on boxes without Clang.
+///
+/// The contract they encode (DESIGN.md §14):
+///   - every mutable field shared across threads names its lock with
+///     HIGNN_GUARDED_BY(mu_);
+///   - locks are only taken through the RAII shim in util/mutex.h
+///     (hignn::Mutex / hignn::MutexLock), never via raw std::mutex —
+///     enforced in parallel by the `lock-discipline` hignn_lint rule;
+///   - functions that expect a lock already held say so with
+///     HIGNN_REQUIRES(mu_) instead of re-locking or trusting comments.
+///
+/// One Clang-specific wrinkle worth knowing: the analysis treats lambda
+/// bodies as separate functions, so a condition-variable predicate wait
+/// (`cv.wait(lock, [&]{ return guarded_field_; })`) warns even though it
+/// is perfectly synchronized. The codebase therefore writes cv waits as
+/// explicit `while (!cond) cv.Wait(lock);` loops, which the analysis
+/// understands exactly.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HIGNN_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef HIGNN_TSA
+#define HIGNN_TSA(x)  // no-op outside Clang's thread-safety analysis
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define HIGNN_CAPABILITY(x) HIGNN_TSA(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define HIGNN_SCOPED_CAPABILITY HIGNN_TSA(scoped_lockable)
+
+/// Field is only read/written with `x` held.
+#define HIGNN_GUARDED_BY(x) HIGNN_TSA(guarded_by(x))
+
+/// Pointer field whose *pointee* is only touched with `x` held.
+#define HIGNN_PT_GUARDED_BY(x) HIGNN_TSA(pt_guarded_by(x))
+
+/// Function acquires the listed capabilities and does not release them.
+#define HIGNN_ACQUIRE(...) HIGNN_TSA(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define HIGNN_RELEASE(...) HIGNN_TSA(release_capability(__VA_ARGS__))
+
+/// Caller must already hold the listed capabilities.
+#define HIGNN_REQUIRES(...) HIGNN_TSA(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard).
+#define HIGNN_EXCLUDES(...) HIGNN_TSA(locks_excluded(__VA_ARGS__))
+
+/// Function attempts the acquire; returns `b` on success.
+#define HIGNN_TRY_ACQUIRE(b, ...) \
+  HIGNN_TSA(try_acquire_capability(b, __VA_ARGS__))
+
+/// Declares that the capability is held here without acquiring it
+/// (e.g. asserted single-threaded start-up code).
+#define HIGNN_ASSERT_CAPABILITY(x) HIGNN_TSA(assert_capability(x))
+
+/// Function returns a reference to the mutex guarding its result.
+#define HIGNN_RETURN_CAPABILITY(x) HIGNN_TSA(lock_returned(x))
+
+/// Escape hatch: suppress the analysis inside one function. Use only
+/// where the locking pattern is correct but inexpressible (and say why).
+#define HIGNN_NO_THREAD_SAFETY_ANALYSIS \
+  HIGNN_TSA(no_thread_safety_analysis)
+
+#endif  // HIGNN_UTIL_THREAD_ANNOTATIONS_H_

@@ -30,10 +30,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -45,7 +45,7 @@ void ThreadPool::RunTask(const std::function<void()>& task) {
   try {
     task();
   } catch (...) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
 }
@@ -56,11 +56,11 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
@@ -72,24 +72,24 @@ void ThreadPool::Wait() {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop();
       }
       RunTask(task);
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         HIGNN_CHECK_GT(in_flight_, 0u);
         --in_flight_;
-        if (in_flight_ == 0) all_done_.notify_all();
+        if (in_flight_ == 0) all_done_.NotifyAll();
       }
     }
   }
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) all_done_.Wait(lock);
     error = std::exchange(first_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);
@@ -180,8 +180,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && tasks_.empty()) task_ready_.Wait(lock);
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -191,10 +191,10 @@ void ThreadPool::WorkerLoop() {
     }
     RunTask(task);
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       HIGNN_CHECK_GT(in_flight_, 0u);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

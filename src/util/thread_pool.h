@@ -1,14 +1,15 @@
 #ifndef HIGNN_UTIL_THREAD_POOL_H_
 #define HIGNN_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hignn {
 
@@ -97,14 +98,16 @@ class ThreadPool {
   bool OnWorkerThread() const;
   void RunTask(const std::function<void()>& task);
 
+  // Immutable after the constructor returns (workers are joined in the
+  // destructor only); everything mutable below names its lock.
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;  // guarded by mu_
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ HIGNN_GUARDED_BY(mu_);
+  size_t in_flight_ HIGNN_GUARDED_BY(mu_) = 0;
+  bool shutdown_ HIGNN_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ HIGNN_GUARDED_BY(mu_);
 };
 
 /// \brief Process-wide default pool (lazily created, never destroyed).

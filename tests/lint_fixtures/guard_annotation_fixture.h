@@ -1,0 +1,40 @@
+// Fixture: guard-annotation — a class holding a mutex must annotate every
+// mutable sibling field with HIGNN_GUARDED_BY; const/atomic/CondVar
+// members and classes without a mutex stay silent.
+#ifndef LINT_FIXTURE_GUARD_ANNOTATION_H_
+#define LINT_FIXTURE_GUARD_ANNOTATION_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class Tracker {
+ public:
+  void Add(double value);  // clean: method declaration, not a field
+
+ private:
+  hignn::Mutex mu_;
+  hignn::CondVar ready_;                              // clean: cv pairs mu_
+  std::vector<double> values_ HIGNN_GUARDED_BY(mu_);  // clean: annotated
+  double total_;                                      // violation
+  std::string name_;                                  // violation
+  const int capacity_ = 8;                            // clean: const
+  std::atomic<bool> dirty_{false};                    // clean: atomic
+  // hignn-lint: allow(guard-annotation) written only before threads start
+  int epoch_ = 0;
+};
+
+class Plain {
+ private:
+  double total_;      // clean: no mutex member in this class
+  std::string name_;  // clean: no mutex member in this class
+};
+
+}  // namespace fixture
+
+#endif  // LINT_FIXTURE_GUARD_ANNOTATION_H_

@@ -1,0 +1,42 @@
+// Fixture: lock-discipline — raw standard lock types, hand-rolled
+// lock()/unlock() calls, and blocking work under a MutexLock guard.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "util/mutex.h"
+
+namespace fixture {
+
+std::mutex g_raw_mu;  // violation: raw std::mutex
+
+void ManualLocking() {
+  g_raw_mu.lock();    // violation: manual .lock()
+  g_raw_mu.unlock();  // violation: manual .unlock()
+}
+
+void RawGuardType() {
+  std::lock_guard guard(g_raw_mu);  // violation: raw std::lock_guard
+  std::unique_lock probe(g_raw_mu, std::defer_lock);  // violation: raw type
+}
+
+hignn::Mutex g_mu;
+
+void BlockingUnderGuard() {
+  hignn::MutexLock lock(g_mu);
+  // violation: sleeping while the lock is held
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void BlockingOutsideGuard() {
+  {
+    hignn::MutexLock lock(g_mu);
+  }
+  // clean: the guard's scope closed before the sleep
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+// hignn-lint: allow(lock-discipline) fixture exercising the allow escape
+std::mutex g_allowed_mu;
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: unchecked-status — discarding the Status/bool return of a
+// Load*/Save*/Write* function. The declarations below feed the pass-1
+// symbol table; the call sites exercise the pass-2 discard detection.
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status SaveBlob(const char* path);
+bool LoadFlag(const char* key);
+void WriteLog(const char* line);
+
+Status Propagates(const char* path) {
+  return SaveBlob(path);  // clean: returned to the caller
+}
+
+void Consumes(const char* path) {
+  const Status status = SaveBlob(path);  // clean: assigned
+  if (!status.ok()) return;
+  if (!LoadFlag("feature")) return;  // clean: tested
+}
+
+void Discards(const char* path) {
+  SaveBlob(path);       // violation: Status discarded
+  LoadFlag("feature");  // violation: bool discarded
+  WriteLog("message");  // clean: void return, nothing to check
+}
+
+void CastAway(const char* path) {
+  (void)SaveBlob(path);  // clean: explicit discard
+}
+
+void Deliberate(const char* path) {
+  // hignn-lint: allow(unchecked-status) best-effort trace write
+  SaveBlob(path);
+}
+
+}  // namespace fixture

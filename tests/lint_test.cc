@@ -238,6 +238,110 @@ TEST(LintTest, SignalSafetyFiresOnlyInsideRegisteredHandlers) {
   EXPECT_EQ(run.output.find("UnregisteredLookalike"), std::string::npos);
 }
 
+TEST(LintTest, LockDisciplineFiresOnRawTypesManualCallsAndBlockedGuards) {
+  const LintRun run = RunOnFixtures("lock_discipline_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string type_advice =
+      "outside util/mutex.h; use the annotated hignn::Mutex / MutexLock / "
+      "CondVar shim so -Wthread-safety sees the critical section\n";
+  const std::string call_advice =
+      "call; critical sections are scoped MutexLock blocks (util/mutex.h), "
+      "never hand-rolled lock/unlock pairs\n";
+  EXPECT_EQ(run.output,
+            "lock_discipline_fixture.cc:11: [lock-discipline] raw "
+            "'std::mutex' " + type_advice +
+            "lock_discipline_fixture.cc:14: [lock-discipline] manual "
+            "'lock()' " + call_advice +
+            "lock_discipline_fixture.cc:15: [lock-discipline] manual "
+            "'unlock()' " + call_advice +
+            "lock_discipline_fixture.cc:19: [lock-discipline] raw "
+            "'std::lock_guard' " + type_advice +
+            "lock_discipline_fixture.cc:20: [lock-discipline] raw "
+            "'std::unique_lock' " + type_advice +
+            "lock_discipline_fixture.cc:28: [lock-discipline] blocking "
+            "call 'sleep_for' while MutexLock 'lock' is in scope; shrink "
+            "the critical section — do slow work outside the lock\n"
+            "allowed: lock-discipline=1 (1 total)\n"
+            "checked 1 files: 6 violation(s)\n");
+  // The sleep after the guard's scope closed (line 35) stays silent, as
+  // does the MutexLock declaration itself.
+  EXPECT_EQ(run.output.find("lock_discipline_fixture.cc:35"),
+            std::string::npos);
+}
+
+TEST(LintTest, GuardAnnotationFlagsUnguardedFieldsInMutexClassesOnly) {
+  const LintRun run = RunOnFixtures("guard_annotation_fixture.h");
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string advice =
+      "lacks HIGNN_GUARDED_BY(...); name its lock, or make the field "
+      "const/atomic, or allow with a justification\n";
+  EXPECT_EQ(run.output,
+            "guard_annotation_fixture.h:24: [guard-annotation] field "
+            "'total_' in mutex-holding class 'Tracker' " + advice +
+            "guard_annotation_fixture.h:25: [guard-annotation] field "
+            "'name_' in mutex-holding class 'Tracker' " + advice +
+            "allowed: guard-annotation=1 (1 total)\n"
+            "checked 1 files: 2 violation(s)\n");
+  // The annotated/const/atomic/CondVar members and the mutex-free class
+  // 'Plain' stay silent.
+  EXPECT_EQ(run.output.find("'Plain'"), std::string::npos);
+  EXPECT_EQ(run.output.find("values_"), std::string::npos);
+  EXPECT_EQ(run.output.find("capacity_"), std::string::npos);
+}
+
+TEST(LintTest, UncheckedStatusFlagsDiscardedReturnsViaTheSymbolTable) {
+  const LintRun run = RunOnFixtures("unchecked_status_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.output,
+            "unchecked_status_fixture.cc:25: [unchecked-status] result of "
+            "'SaveBlob' (Status) is discarded; propagate it, or spell a "
+            "deliberate best-effort write as (void)SaveBlob(...) under an "
+            "allow\n"
+            "unchecked_status_fixture.cc:26: [unchecked-status] result of "
+            "'LoadFlag' (bool) is discarded; propagate it, or spell a "
+            "deliberate best-effort write as (void)LoadFlag(...) under an "
+            "allow\n"
+            "allowed: unchecked-status=1 (1 total)\n"
+            "checked 1 files: 2 violation(s)\n");
+  // void-returning WriteLog, the returned/assigned/tested call sites and
+  // the (void) cast all stay silent.
+  EXPECT_EQ(run.output.find("WriteLog"), std::string::npos);
+  EXPECT_EQ(run.output.find("fixture.cc:15"), std::string::npos);
+  EXPECT_EQ(run.output.find("fixture.cc:31"), std::string::npos);
+}
+
+TEST(LintTest, AllowReportEmitsAMachineReadableInventory) {
+  const LintRun run = RunLint(
+      "--root " HIGNN_LINT_FIXTURE_DIR
+      " --allow-report guard_annotation_fixture.h "
+      "unchecked_status_fixture.cc");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.output,
+            "{\n"
+            "  \"allows\": [\n"
+            "    {\"rule\": \"guard-annotation\", \"file\": "
+            "\"guard_annotation_fixture.h\", \"line\": 28, "
+            "\"justification\": \"written only before threads start\"},\n"
+            "    {\"rule\": \"unchecked-status\", \"file\": "
+            "\"unchecked_status_fixture.cc\", \"line\": 35, "
+            "\"justification\": \"best-effort trace write\"}\n"
+            "  ],\n"
+            "  \"total\": 2\n"
+            "}\n");
+}
+
+TEST(LintTest, AllowReportOnACleanFileIsAnEmptyInventory) {
+  const LintRun run =
+      RunLint("--root " HIGNN_LINT_FIXTURE_DIR
+              " --allow-report clean_fixture.cc");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.output,
+            "{\n"
+            "  \"allows\": [],\n"
+            "  \"total\": 0\n"
+            "}\n");
+}
+
 TEST(LintTest, AllowAnnotationSuppressesEveryRuleAndIsTallied) {
   const LintRun run = RunOnFixtures("allowed_fixture.cc");
   EXPECT_EQ(run.exit_code, 0);
@@ -260,18 +364,20 @@ TEST(LintTest, DirectoryScanAggregatesAndSortsAcrossFiles) {
   const LintRun run = RunOnFixtures(".");
   EXPECT_EQ(run.exit_code, 1);
   // 4 + 3 + 4 + 3 + 3 + 1 + 6 + 2 + 2 + 1 + 1 pinned violations across
-  // the eleven violating fixtures (socket fixture, wallclock fixture, the
-  // simd and signal-safety fixtures, and the residual findings inside the
-  // two scope fixtures included); the allowed fixture contributes 5
-  // tallied suppressions.
-  EXPECT_NE(run.output.find("checked 13 files: 30 violation(s)\n"),
+  // the eleven original violating fixtures plus 6 + 2 + 2 from the
+  // lock-discipline, guard-annotation and unchecked-status fixtures; the
+  // allowed fixture contributes 5 tallied suppressions and each new
+  // fixture one more.
+  EXPECT_NE(run.output.find("checked 16 files: 40 violation(s)\n"),
             std::string::npos);
   // Diagnostics are sorted by path, so the float-reduction fixture's
   // single finding leads the report.
   EXPECT_EQ(run.output.rfind("float_reduction_fixture.cc:22:", 0), 0u);
-  EXPECT_NE(run.output.find("allowed: naked-thread=1 nondet-source=1 "
+  EXPECT_NE(run.output.find("allowed: guard-annotation=1 lock-discipline=1 "
+                            "naked-thread=1 nondet-source=1 "
                             "parallel-float-reduction=1 raw-write=1 "
-                            "unordered-iter=1 (5 total)\n"),
+                            "unchecked-status=1 unordered-iter=1 "
+                            "(8 total)\n"),
             std::string::npos);
 }
 
@@ -280,7 +386,8 @@ TEST(LintTest, ListRulesPrintsTheCatalog) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"unordered-iter", "raw-write", "nondet-source", "naked-thread",
-        "parallel-float-reduction", "simd-guard", "signal-safety"}) {
+        "parallel-float-reduction", "simd-guard", "signal-safety",
+        "lock-discipline", "guard-annotation", "unchecked-status"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos)
         << "missing rule id: " << rule;
   }

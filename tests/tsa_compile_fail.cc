@@ -1,0 +1,38 @@
+// Compile-fail probe for the thread-safety annotations (see the
+// lint.tsa_compile_fail test in tests/CMakeLists.txt, which builds this
+// TU under -Wthread-safety -Werror and expects the build to FAIL).
+//
+// The mistake below — writing a HIGNN_GUARDED_BY field without holding
+// its mutex — is exactly what the annotations in
+// src/util/thread_annotations.h exist to catch. If Clang ever compiles
+// this file cleanly, the macros have stopped expanding to real
+// attributes and the whole concurrency contract is silently off.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void SafeIncrement() {
+    hignn::MutexLock lock(mu_);
+    value_ += 1;  // fine: mu_ provably held
+  }
+
+  void UnsafeIncrement() {
+    value_ += 1;  // BAD: mu_ not held — must not compile under Clang
+  }
+
+ private:
+  hignn::Mutex mu_;
+  int value_ HIGNN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.SafeIncrement();
+  counter.UnsafeIncrement();
+  return 0;
+}

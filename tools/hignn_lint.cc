@@ -40,10 +40,40 @@
 //                             logging, allocation, and locks are
 //                             async-signal-unsafe; real work belongs in
 //                             the main loop that polls the flag.
+//   lock-discipline           raw std::mutex / lock_guard / unique_lock /
+//                             condition_variable types and manual
+//                             .lock()/.unlock()/.try_lock() calls outside
+//                             util/mutex.h — critical sections are scoped
+//                             hignn::MutexLock blocks over the annotated
+//                             Mutex shim, so Clang's -Wthread-safety can
+//                             see their extent; also flags blocking calls
+//                             (poll/accept/recv, sleeps, engine forwards)
+//                             made while a MutexLock guard is in scope.
+//   guard-annotation          a class that declares a mutex member must
+//                             annotate every sibling mutable field with
+//                             HIGNN_GUARDED_BY(<mutex>) (const, atomic,
+//                             thread, Mutex/CondVar members are exempt) —
+//                             the locking contract lives in the type, not
+//                             in comments.
+//   unchecked-status          a call to a Load*/Save*/Write* function
+//                             whose declared return type is Status /
+//                             Result<...> / bool, with the result
+//                             discarded — IO errors must be propagated or
+//                             explicitly (void)-cast under an allow.
+//
+// Two-pass, cross-file analysis: pass 1 strips every input file once and
+// builds a symbol table mapping each Load*/Save*/Write* function to its
+// declared return category, so a function declared in src/util/io.h is
+// matched against a careless call site in tools/ or bench/ even though
+// they were handed to the tool as separate files. Pass 2 runs the rules
+// per file against the merged table.
 //
 // Escape hatch: `// hignn-lint: allow(<rule>) <justification>` on the
 // violating line or the line above suppresses the diagnostic; suppressions
 // are tallied and reported so audits can review every exemption.
+// `--allow-report` prints a machine-readable JSON inventory of every such
+// annotation in the scanned tree (rule, file, line, justification) and
+// exits 0 — CI archives it so allowlist growth shows up in diffs.
 //
 // Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
 
@@ -124,6 +154,27 @@ const std::vector<RuleInfo>& Rules() {
        "signal handlers may only set volatile std::sig_atomic_t flags or "
        "std::atomic values; calls and other writes are async-signal-unsafe "
        "— poll the flag from the main loop instead",
+       {},
+       {}},
+      {"lock-discipline",
+       "no raw std::mutex/lock_guard/unique_lock/condition_variable and no "
+       "manual .lock()/.unlock() outside util/mutex.h; critical sections "
+       "are scoped hignn::MutexLock blocks, and blocking calls (poll/"
+       "accept/sleep/score) must not run while a MutexLock is in scope",
+       {"src/util/mutex.h"},
+       {}},
+      {"guard-annotation",
+       "a class that declares a mutex member must annotate every mutable "
+       "sibling field with HIGNN_GUARDED_BY(<mutex>); const/atomic/thread/"
+       "CondVar members are exempt — the locking contract lives in the "
+       "type, not in comments",
+       {"src/util/mutex.h"},
+       {}},
+      {"unchecked-status",
+       "the Status/Result/bool return of a Load*/Save*/Write* function "
+       "must be consumed at every call site (declarations are collected "
+       "across all scanned files in pass 1); a deliberate best-effort "
+       "write is spelled (void)Call() under an allow",
        {},
        {}},
   };
@@ -313,21 +364,158 @@ std::string TrailingIdentifier(const std::string& expr) {
   return expr.substr(begin, end - begin);
 }
 
+// ---- cross-file symbol table ---------------------------------------------
+
+/// Declared return category of a Load*/Save*/Write* function.
+enum class ReturnCat { kStatus, kResult, kBool, kVoid };
+
+const char* ReturnCatName(ReturnCat cat) {
+  switch (cat) {
+    case ReturnCat::kStatus: return "Status";
+    case ReturnCat::kResult: return "Result<...>";
+    case ReturnCat::kBool: return "bool";
+    case ReturnCat::kVoid: return "void";
+  }
+  return "?";
+}
+
+/// Built in pass 1 over *every* input file, consulted in pass 2 — this is
+/// what makes unchecked-status cross-file: the declaration and the
+/// careless call site are usually in different translation units.
+struct SymbolTable {
+  /// Function name -> declared return category. A name ever declared void
+  /// anywhere vetoes the whole name (kVoid wins merges): overload sets
+  /// that mix checkable and void returns are not worth guessing about.
+  std::map<std::string, ReturnCat> status_fns;
+};
+
+/// True for Load/Save/Write-prefixed identifiers where the prefix is a
+/// word in its own right (LoadGraph yes, Loader/Writer no — the character
+/// after the prefix must not be lowercase).
+bool HasStatusPrefix(const std::string& name) {
+  static const char* kPrefixes[] = {"Load", "Save", "Write"};
+  for (const char* prefix : kPrefixes) {
+    const size_t len = std::strlen(prefix);
+    if (name.size() >= len && name.compare(0, len, prefix) == 0 &&
+        (name.size() == len ||
+         !std::islower(static_cast<unsigned char>(name[len])))) {
+      return true;
+    }
+  }
+  return false;
+}
+
 /// Per-file analysis context.
 class FileLinter {
  public:
   FileLinter(std::string display_path, const std::string& raw)
       : path_(std::move(display_path)), file_(StripCommentsAndStrings(raw)) {}
 
+  const std::string& path() const { return path_; }
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
   const std::map<std::string, int>& allow_counts() const {
     return allow_counts_;
   }
 
-  /// `scoped_rules` lists rule ids whose scoped tokens (RuleInfo::
-  /// scoped_dirs) are exempt for this file.
+  /// Pass 1: contribute this file's Load*/Save*/Write* declarations to the
+  /// cross-file symbol table. Scans for a return-type token (Status,
+  /// Result<...>, bool, void) followed by a possibly-qualified identifier
+  /// and an opening paren — which covers free functions, member
+  /// declarations and out-of-line definitions alike.
+  void CollectSymbols(SymbolTable* symbols) const {
+    const std::string& code = file_.code;
+    struct TypeTok {
+      const char* word;
+      ReturnCat cat;
+    };
+    static const TypeTok kTypes[] = {{"Status", ReturnCat::kStatus},
+                                     {"Result", ReturnCat::kResult},
+                                     {"bool", ReturnCat::kBool},
+                                     {"void", ReturnCat::kVoid}};
+    for (const TypeTok& type : kTypes) {
+      const size_t type_len = std::strlen(type.word);
+      size_t pos = 0;
+      while ((pos = code.find(type.word, pos)) != std::string::npos) {
+        const size_t at = pos;
+        pos += type_len;
+        if (at > 0 && IsWordChar(code[at - 1])) continue;
+        size_t after = at + type_len;
+        if (type.cat == ReturnCat::kResult) {
+          if (after >= code.size() || code[after] != '<') continue;
+          after = MatchAngle(code, after);
+          if (after == std::string::npos) continue;
+        } else if (after < code.size() && IsWordChar(code[after])) {
+          continue;
+        }
+        // Possibly-qualified identifier; the final component is the name.
+        size_t id = SkipSpaces(code, after);
+        std::string name;
+        while (true) {
+          size_t id_end = id;
+          while (id_end < code.size() && IsWordChar(code[id_end])) ++id_end;
+          if (id_end == id) {
+            name.clear();
+            break;
+          }
+          name = code.substr(id, id_end - id);
+          if (code.compare(id_end, 2, "::") == 0) {
+            id = id_end + 2;
+            continue;
+          }
+          id = id_end;
+          break;
+        }
+        if (name.empty() || !HasStatusPrefix(name)) continue;
+        const size_t paren = SkipSpaces(code, id);
+        if (paren >= code.size() || code[paren] != '(') continue;
+        auto it = symbols->status_fns.find(name);
+        if (it == symbols->status_fns.end()) {
+          symbols->status_fns.emplace(name, type.cat);
+        } else if (type.cat == ReturnCat::kVoid) {
+          it->second = ReturnCat::kVoid;  // veto: mixed overload set
+        }
+      }
+    }
+  }
+
+  /// One `// hignn-lint: allow(<rule>) <justification>` occurrence, for
+  /// the --allow-report inventory.
+  struct AllowAnnotation {
+    std::string file;
+    int line;
+    std::string rule;
+    std::string justification;
+  };
+
+  void CollectAllowAnnotations(std::vector<AllowAnnotation>* out) const {
+    static const std::string kNeedle = "hignn-lint: allow(";
+    for (size_t line = 1; line < file_.comments.size(); ++line) {
+      const std::string& comment = file_.comments[line];
+      size_t pos = 0;
+      while ((pos = comment.find(kNeedle, pos)) != std::string::npos) {
+        const size_t rule_begin = pos + kNeedle.size();
+        const size_t close = comment.find(')', rule_begin);
+        if (close == std::string::npos) break;
+        std::string justification = comment.substr(close + 1);
+        const size_t first = justification.find_first_not_of(" \t");
+        const size_t last = justification.find_last_not_of(" \t");
+        justification = first == std::string::npos
+                            ? std::string()
+                            : justification.substr(first, last - first + 1);
+        out->push_back({path_, static_cast<int>(line),
+                        comment.substr(rule_begin, close - rule_begin),
+                        justification});
+        pos = close + 1;
+      }
+    }
+  }
+
+  /// Pass 2. `scoped_rules` lists rule ids whose scoped tokens (RuleInfo::
+  /// scoped_dirs) are exempt for this file; `symbols` is the cross-file
+  /// table assembled by pass 1 over every input.
   void Run(const std::set<std::string>& active_rules,
-           const std::set<std::string>& scoped_rules) {
+           const std::set<std::string>& scoped_rules,
+           const SymbolTable& symbols) {
     if (active_rules.count("unordered-iter")) CheckUnorderedIter();
     if (active_rules.count("raw-write")) {
       CheckRawWrite(/*sockets_scoped=*/scoped_rules.count("raw-write") > 0);
@@ -342,6 +530,9 @@ class FileLinter {
     }
     if (active_rules.count("simd-guard")) CheckSimdGuard();
     if (active_rules.count("signal-safety")) CheckSignalSafety();
+    if (active_rules.count("lock-discipline")) CheckLockDiscipline();
+    if (active_rules.count("guard-annotation")) CheckGuardAnnotation();
+    if (active_rules.count("unchecked-status")) CheckUncheckedStatus(symbols);
   }
 
  private:
@@ -979,6 +1170,490 @@ class FileLinter {
     }
   }
 
+  // ---- rule: lock-discipline ----------------------------------------------
+
+  void CheckLockDiscipline() {
+    // (a) Raw standard lock/cv types anywhere outside util/mutex.h.
+    static const char* kRawTypes[] = {
+        "std::mutex",          "std::recursive_mutex",
+        "std::timed_mutex",    "std::shared_mutex",
+        "std::condition_variable", "std::condition_variable_any",
+        "std::unique_lock",    "std::lock_guard",
+        "std::scoped_lock",    "std::shared_lock"};
+    for (const char* token : kRawTypes) {
+      FlagWord(token, "lock-discipline",
+               std::string("raw '") + token +
+                   "' outside util/mutex.h; use the annotated hignn::Mutex "
+                   "/ MutexLock / CondVar shim so -Wthread-safety sees the "
+                   "critical section");
+    }
+    // (b) Manual member lock calls (`mu.lock()`, `mu->unlock()`, ...).
+    // RAII-only acquisition is the rule: a hand-rolled lock/unlock pair
+    // has no syntactic scope for the analysis (or a reviewer) to check.
+    static const char* kManualCalls[] = {"lock",         "unlock",
+                                         "try_lock",     "try_lock_for",
+                                         "try_lock_until", "Lock",
+                                         "Unlock"};
+    const std::string& code = file_.code;
+    for (const char* fn : kManualCalls) {
+      const size_t fn_len = std::strlen(fn);
+      size_t pos = 0;
+      while ((pos = code.find(fn, pos)) != std::string::npos) {
+        const size_t at = pos;
+        pos += fn_len;
+        if (!IsWordBoundedAt(code, at, fn_len)) continue;
+        const size_t paren = SkipSpaces(code, at + fn_len);
+        if (paren >= code.size() || code[paren] != '(') continue;
+        const size_t prev = PrevNonSpace(code, at);
+        if (prev == std::string::npos) continue;
+        const bool member_call =
+            code[prev] == '.' ||
+            (code[prev] == '>' && prev > 0 && code[prev - 1] == '-');
+        if (!member_call) continue;
+        Report(at, "lock-discipline",
+               std::string("manual '") + fn +
+                   "()' call; critical sections are scoped MutexLock "
+                   "blocks (util/mutex.h), never hand-rolled "
+                   "lock/unlock pairs");
+      }
+    }
+    // (c) Blocking calls while a MutexLock guard is in scope. The guard's
+    // scope runs from its declaration to the closing brace of the
+    // enclosing block; slow work (socket syscalls, sleeps, scoring)
+    // belongs outside it.
+    size_t pos = 0;
+    while ((pos = code.find("MutexLock", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 9;
+      if (!IsWordBoundedAt(code, at, 9)) continue;
+      const size_t id = SkipSpaces(code, at + 9);
+      size_t id_end = id;
+      while (id_end < code.size() && IsWordChar(code[id_end])) ++id_end;
+      if (id_end == id) continue;  // not a declaration (cast, class def)
+      const std::string guard = code.substr(id, id_end - id);
+      const size_t open = SkipSpaces(code, id_end);
+      if (open >= code.size() || (code[open] != '(' && code[open] != '{')) {
+        continue;
+      }
+      const size_t close = code[open] == '('
+                               ? MatchBracket(code, open, '(', ')')
+                               : MatchBracket(code, open, '{', '}');
+      if (close == std::string::npos) continue;
+      int depth = 0;
+      size_t scope_end = code.size();
+      for (size_t i = close; i < code.size(); ++i) {
+        if (code[i] == '{') {
+          ++depth;
+        } else if (code[i] == '}') {
+          if (--depth < 0) {
+            scope_end = i;
+            break;
+          }
+        }
+      }
+      ScanGuardScope(guard, close, scope_end);
+    }
+  }
+
+  void ScanGuardScope(const std::string& guard, size_t begin, size_t end) {
+    const std::string& code = file_.code;
+    auto report_blocking = [&](size_t at, const std::string& what) {
+      Report(at, "lock-discipline",
+             "blocking call '" + what + "' while MutexLock '" + guard +
+                 "' is in scope; shrink the critical section — do slow "
+                 "work outside the lock");
+    };
+    // POSIX syscalls in the hignn `::fn(` style.
+    static const char* kGlobalCalls[] = {"poll",   "accept", "recv",
+                                         "send",   "connect", "select"};
+    for (const char* fn : kGlobalCalls) {
+      const std::string token = std::string("::") + fn;
+      size_t pos = begin;
+      while ((pos = code.find(token, pos)) != std::string::npos &&
+             pos < end) {
+        const size_t at = pos;
+        pos += token.size();
+        if (at > 0 && (IsWordChar(code[at - 1]) || code[at - 1] == ':')) {
+          continue;
+        }
+        if (at + token.size() < code.size() &&
+            IsWordChar(code[at + token.size()])) {
+          continue;
+        }
+        const size_t paren = SkipSpaces(code, at + token.size());
+        if (paren >= code.size() || code[paren] != '(') continue;
+        report_blocking(at, token);
+      }
+    }
+    // Sleeps and the heavyweight engine forwards. CondVar Wait/WaitFor
+    // are deliberately absent: releasing the lock while sleeping is the
+    // whole point of a condition variable.
+    static const char* kSlowCalls[] = {"sleep_for", "sleep_until", "usleep",
+                                       "nanosleep", "ScoreBatch", "Enqueue"};
+    for (const char* fn : kSlowCalls) {
+      const size_t fn_len = std::strlen(fn);
+      size_t pos = begin;
+      while ((pos = code.find(fn, pos)) != std::string::npos && pos < end) {
+        const size_t at = pos;
+        pos += fn_len;
+        if (!IsWordBoundedAt(code, at, fn_len)) continue;
+        const size_t paren = SkipSpaces(code, at + fn_len);
+        if (paren >= code.size() || code[paren] != '(') continue;
+        report_blocking(at, fn);
+      }
+    }
+    // Thread joins: joining while holding a lock the joined thread may
+    // want is the classic self-deadlock.
+    size_t pos = begin;
+    while ((pos = code.find("join", pos)) != std::string::npos && pos < end) {
+      const size_t at = pos;
+      pos += 4;
+      if (!IsWordBoundedAt(code, at, 4)) continue;
+      const size_t paren = SkipSpaces(code, at + 4);
+      if (paren >= code.size() || code[paren] != '(') continue;
+      const size_t prev = PrevNonSpace(code, at);
+      if (prev == std::string::npos) continue;
+      const bool member_call =
+          code[prev] == '.' ||
+          (code[prev] == '>' && prev > 0 && code[prev - 1] == '-');
+      if (member_call) report_blocking(at, "join");
+    }
+  }
+
+  // ---- rule: guard-annotation ---------------------------------------------
+
+  static bool ContainsWord(const std::string& text, const std::string& word) {
+    size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+      if (IsWordBoundedAt(text, pos, word.size())) return true;
+      pos += word.size();
+    }
+    return false;
+  }
+
+  /// Removes HIGNN_*(...) annotation macros (and bare HIGNN_* tokens) so
+  /// a statement's *declaration* shape can be inspected without the
+  /// annotation's parens looking like a function signature.
+  static std::string StripAnnotationMacros(const std::string& stmt) {
+    std::string out;
+    size_t i = 0;
+    while (i < stmt.size()) {
+      if (stmt.compare(i, 6, "HIGNN_") == 0 &&
+          (i == 0 || !IsWordChar(stmt[i - 1]))) {
+        size_t end = i + 6;
+        while (end < stmt.size() && IsWordChar(stmt[end])) ++end;
+        const size_t paren = SkipSpaces(stmt, end);
+        if (paren < stmt.size() && stmt[paren] == '(') {
+          const size_t close = MatchBracket(stmt, paren, '(', ')');
+          if (close != std::string::npos) {
+            i = close;
+            continue;
+          }
+        }
+        i = end;
+        continue;
+      }
+      out += stmt[i++];
+    }
+    return out;
+  }
+
+  /// Removes template argument lists (std::vector<int> x -> std::vector x)
+  /// so parens inside template arguments (std::function<void()>) don't
+  /// make a field look like a method declaration.
+  static std::string StripTemplateArgs(const std::string& stmt) {
+    std::string out;
+    size_t i = 0;
+    while (i < stmt.size()) {
+      if (stmt[i] == '<' && i > 0 && IsWordChar(stmt[i - 1])) {
+        const size_t close = MatchAngle(stmt, i);
+        if (close != std::string::npos) {
+          i = close;
+          continue;
+        }
+      }
+      out += stmt[i++];
+    }
+    return out;
+  }
+
+  void CheckGuardAnnotation() {
+    const std::string& code = file_.code;
+    for (const char* keyword : {"class", "struct"}) {
+      const size_t kw_len = std::strlen(keyword);
+      size_t pos = 0;
+      while ((pos = code.find(keyword, pos)) != std::string::npos) {
+        const size_t at = pos;
+        pos += kw_len;
+        if (!IsWordBoundedAt(code, at, kw_len)) continue;
+        // `enum class` is an enumeration, not a record.
+        const size_t prev = PrevNonSpace(code, at);
+        if (prev != std::string::npos && IsWordChar(code[prev])) {
+          size_t w_begin = prev + 1;
+          while (w_begin > 0 && IsWordChar(code[w_begin - 1])) --w_begin;
+          if (code.compare(w_begin, prev + 1 - w_begin, "enum") == 0 &&
+              prev + 1 - w_begin == 4) {
+            continue;
+          }
+        }
+        // Name: step over attribute macros (HIGNN_CAPABILITY(...)) and
+        // `final`; the first plain identifier wins.
+        size_t p = SkipSpaces(code, at + kw_len);
+        std::string name;
+        while (p < code.size()) {
+          size_t w_end = p;
+          while (w_end < code.size() && IsWordChar(code[w_end])) ++w_end;
+          if (w_end == p) break;
+          const std::string word = code.substr(p, w_end - p);
+          const size_t after = SkipSpaces(code, w_end);
+          if (after < code.size() && code[after] == '(') {
+            const size_t close = MatchBracket(code, after, '(', ')');
+            if (close == std::string::npos) break;
+            p = SkipSpaces(code, close);
+            continue;
+          }
+          if (word == "final") {
+            p = after;
+            continue;
+          }
+          name = word;
+          p = after;
+          break;
+        }
+        if (name.empty()) continue;
+        // Body '{' (base-clause template args tolerated); ';' first means
+        // a forward declaration, '(' or ')' means this was a type mention
+        // inside an expression or parameter list.
+        size_t q = p;
+        int angle = 0;
+        size_t body = std::string::npos;
+        while (q < code.size()) {
+          const char c = code[q];
+          if (c == '<') {
+            ++angle;
+          } else if (c == '>' && (q == 0 || code[q - 1] != '-')) {
+            --angle;
+          } else if (angle <= 0 &&
+                     (c == ';' || c == '(' || c == ')' || c == '=')) {
+            break;
+          } else if (angle <= 0 && c == '{') {
+            body = q;
+            break;
+          }
+          ++q;
+        }
+        if (body == std::string::npos) continue;
+        const size_t body_end = MatchBracket(code, body, '{', '}');
+        if (body_end == std::string::npos) continue;
+        AnalyzeClassBody(name, body + 1, body_end - 1);
+      }
+    }
+  }
+
+  struct Field {
+    std::string name;
+    size_t pos;
+  };
+
+  void AnalyzeClassBody(const std::string& class_name, size_t begin,
+                        size_t end) {
+    const std::string& code = file_.code;
+    std::vector<Field> unguarded;
+    bool has_mutex = false;
+    size_t stmt_begin = begin;
+    size_t i = begin;
+    while (i < end) {
+      const char c = code[i];
+      if (c == '(' || c == '[') {
+        const size_t close =
+            MatchBracket(code, i, c, c == '(' ? ')' : ']');
+        if (close == std::string::npos || close > end) break;
+        i = close;
+        continue;
+      }
+      if (c == '{') {
+        const size_t close = MatchBracket(code, i, '{', '}');
+        if (close == std::string::npos || close > end) break;
+        const size_t next = SkipSpaces(code, close);
+        if (next < end && code[next] == ';') {
+          // Brace initializer / nested type: stays part of the statement
+          // (the nested type is independently found by the keyword scan).
+          i = close;
+          continue;
+        }
+        // Method or constructor body — discard the pending declaration.
+        stmt_begin = close;
+        i = close;
+        continue;
+      }
+      if (c == ':') {
+        if ((i + 1 < end && code[i + 1] == ':') ||
+            (i > begin && code[i - 1] == ':')) {
+          ++i;  // '::' qualifier, not a statement boundary
+          continue;
+        }
+        // Access specifier or constructor initializer list: both end
+        // whatever declaration text came before.
+        ProcessFieldStatement(class_name, stmt_begin, i, &has_mutex,
+                              &unguarded);
+        stmt_begin = i + 1;
+        ++i;
+        continue;
+      }
+      if (c == ';') {
+        ProcessFieldStatement(class_name, stmt_begin, i, &has_mutex,
+                              &unguarded);
+        stmt_begin = i + 1;
+        ++i;
+        continue;
+      }
+      ++i;
+    }
+    if (!has_mutex) return;
+    for (const Field& f : unguarded) {
+      Report(f.pos, "guard-annotation",
+             "field '" + f.name + "' in mutex-holding class '" + class_name +
+                 "' lacks HIGNN_GUARDED_BY(...); name its lock, or make "
+                 "the field const/atomic, or allow with a justification");
+    }
+  }
+
+  void ProcessFieldStatement(const std::string& class_name, size_t begin,
+                             size_t end, bool* has_mutex,
+                             std::vector<Field>* unguarded) {
+    (void)class_name;
+    const std::string& code = file_.code;
+    const size_t first = SkipSpaces(code, begin);
+    if (first >= end) return;
+    const std::string stmt = code.substr(first, end - first);
+    size_t w_end = 0;
+    while (w_end < stmt.size() && IsWordChar(stmt[w_end])) ++w_end;
+    if (w_end == 0) return;
+    const std::string first_word = stmt.substr(0, w_end);
+    // Non-field statements: access specifiers, aliases, friends, methods
+    // by keyword, static storage (class-level state has its own story).
+    static const std::set<std::string> kSkipLead = {
+        "public",   "private", "protected", "using",    "typedef",
+        "friend",   "template", "static",   "enum",     "class",
+        "struct",   "operator", "explicit", "virtual",  "inline",
+        "return",   "if",       "while",    "for",      "switch",
+        "case",     "default",  "else",     "do",       "break",
+        "continue", "goto",     "extern"};
+    if (kSkipLead.count(first_word)) return;
+    const bool annotated =
+        stmt.find("HIGNN_GUARDED_BY") != std::string::npos ||
+        stmt.find("HIGNN_PT_GUARDED_BY") != std::string::npos;
+    const std::string no_macros = StripAnnotationMacros(stmt);
+    // The lock itself.
+    if (ContainsWord(no_macros, "Mutex") ||
+        no_macros.find("std::mutex") != std::string::npos ||
+        no_macros.find("std::shared_mutex") != std::string::npos ||
+        no_macros.find("std::recursive_mutex") != std::string::npos) {
+      *has_mutex = true;
+      return;
+    }
+    if (annotated) return;
+    // Exempt categories: immutable, inherently atomic, thread handles,
+    // and the condition variables that pair with the mutex.
+    static const char* kExemptWords[] = {"const",   "constexpr", "CondVar",
+                                         "atomic",  "thread",    "jthread",
+                                         "once_flag", "sig_atomic_t"};
+    for (const char* word : kExemptWords) {
+      if (ContainsWord(no_macros, word)) return;
+    }
+    const std::string flat = StripTemplateArgs(no_macros);
+    if (flat.find('(') != std::string::npos) return;  // method declaration
+    size_t cut = flat.find_first_of("={");
+    std::string decl = cut == std::string::npos ? flat : flat.substr(0, cut);
+    // Trailing array extents: `int histo[8];` declares histo, not 8.
+    size_t tail = decl.find_last_not_of(" \t\n");
+    while (tail != std::string::npos && decl[tail] == ']') {
+      const size_t open = decl.rfind('[', tail);
+      if (open == std::string::npos) break;
+      decl = decl.substr(0, open);
+      tail = decl.find_last_not_of(" \t\n");
+    }
+    const std::string field = TrailingIdentifier(decl);
+    if (field.empty() ||
+        std::isdigit(static_cast<unsigned char>(field[0]))) {
+      return;
+    }
+    // A lone identifier is not a declaration (e.g. a stray expression).
+    const std::string head = decl.substr(0, decl.size() - field.size());
+    bool head_has_type = false;
+    for (char hc : head) {
+      if (IsWordChar(hc)) {
+        head_has_type = true;
+        break;
+      }
+    }
+    if (!head_has_type) return;
+    unguarded->push_back({field, first});
+  }
+
+  // ---- rule: unchecked-status ---------------------------------------------
+
+  void CheckUncheckedStatus(const SymbolTable& symbols) {
+    const std::string& code = file_.code;
+    for (const auto& [name, cat] : symbols.status_fns) {
+      if (cat == ReturnCat::kVoid) continue;
+      size_t pos = 0;
+      while ((pos = code.find(name, pos)) != std::string::npos) {
+        const size_t at = pos;
+        pos += name.size();
+        if (!IsWordBoundedAt(code, at, name.size())) continue;
+        const size_t paren = SkipSpaces(code, at + name.size());
+        if (paren >= code.size() || code[paren] != '(') continue;
+        const size_t close = MatchBracket(code, paren, '(', ')');
+        if (close == std::string::npos) continue;
+        // Discarded only when the statement is exactly the call: the
+        // character after the argument list must be ';' ...
+        const size_t next = SkipSpaces(code, close);
+        if (next >= code.size() || code[next] != ';') continue;
+        // ... and walking left over the object/qualifier chain
+        // (obj.SaveX / ns::SaveX / p->SaveX) must reach a statement
+        // boundary. Anything else — an '=', a 'return', a wrapping call,
+        // a (void) cast, an expression-produced object — consumes or
+        // deliberately discards the value, so we stay quiet.
+        size_t chain_begin = at;
+        bool consumed = false;
+        while (true) {
+          const size_t prev = PrevNonSpace(code, chain_begin);
+          if (prev == std::string::npos) break;  // file start
+          const char c = code[prev];
+          size_t sep_begin;
+          if (c == '.') {
+            sep_begin = prev;
+          } else if (c == ':' && prev > 0 && code[prev - 1] == ':') {
+            sep_begin = prev - 1;
+          } else if (c == '>' && prev > 0 && code[prev - 1] == '-') {
+            sep_begin = prev - 1;
+          } else if (c == ';' || c == '{' || c == '}') {
+            break;  // statement starts with the call: result discarded
+          } else {
+            consumed = true;  // declaration, assignment, cast, wrap, ...
+            break;
+          }
+          const size_t id_last = PrevNonSpace(code, sep_begin);
+          if (id_last == std::string::npos || !IsWordChar(code[id_last])) {
+            consumed = true;  // expression-produced object: conservative
+            break;
+          }
+          size_t id_begin = id_last + 1;
+          while (id_begin > 0 && IsWordChar(code[id_begin - 1])) --id_begin;
+          chain_begin = id_begin;
+        }
+        if (consumed) continue;
+        Report(at, "unchecked-status",
+               "result of '" + name + "' (" +
+                   ReturnCatName(cat) +
+                   ") is discarded; propagate it, or spell a deliberate "
+                   "best-effort write as (void)" +
+                   name + "(...) under an allow");
+      }
+    }
+  }
+
   // ---- shared matchers ---------------------------------------------------
 
   // A preceding word character means we matched inside a longer
@@ -1106,14 +1781,38 @@ bool RuleScopesPath(const RuleInfo& rule, const std::string& display_path) {
   return false;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: hignn_lint [--root DIR] [--compile-commands FILE] "
-      "[--list-rules] [paths...]\n"
+      "[--list-rules] [--allow-report] [paths...]\n"
       "  Scans the given files/directories (or the compile_commands.json\n"
       "  file list) for violations of the hignn invariant catalog\n"
-      "  (DESIGN.md §9). Paths are resolved relative to --root.\n");
+      "  (DESIGN.md §9). Paths are resolved relative to --root.\n"
+      "  --allow-report prints a JSON inventory of every\n"
+      "  `hignn-lint: allow(...)` annotation instead of linting.\n");
   return 2;
 }
 
@@ -1123,12 +1822,15 @@ int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::string compile_commands;
   std::vector<std::string> inputs;
+  bool allow_report = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = fs::path(argv[++i]);
     } else if (arg == "--compile-commands" && i + 1 < argc) {
       compile_commands = argv[++i];
+    } else if (arg == "--allow-report") {
+      allow_report = true;
     } else if (arg == "--list-rules") {
       for (const RuleInfo& rule : Rules()) {
         std::printf("%s: %s\n", rule.id, rule.summary);
@@ -1177,9 +1879,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Diagnostic> diagnostics;
-  std::map<std::string, int> allow_totals;
-  size_t files_scanned = 0;
+  // Pass 1: read and strip every file once, building the cross-file
+  // symbol table the per-file rules consult in pass 2.
+  std::vector<FileLinter> linters;
+  SymbolTable symbols;
   for (const std::string& file : file_set) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -1188,16 +1891,59 @@ int main(int argc, char** argv) {
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    const std::string display = NormalizeDisplay(fs::path(file), root);
+    linters.emplace_back(NormalizeDisplay(fs::path(file), root),
+                         buffer.str());
+    linters.back().CollectSymbols(&symbols);
+  }
 
+  if (allow_report) {
+    std::vector<FileLinter::AllowAnnotation> allows;
+    for (const FileLinter& linter : linters) {
+      linter.CollectAllowAnnotations(&allows);
+    }
+    // Only inventory real rules: documentation that *describes* the allow
+    // syntax (`allow(<rule>)`) is not a suppression.
+    std::set<std::string> rule_ids;
+    for (const RuleInfo& rule : Rules()) rule_ids.insert(rule.id);
+    allows.erase(std::remove_if(allows.begin(), allows.end(),
+                                [&](const FileLinter::AllowAnnotation& a) {
+                                  return rule_ids.count(a.rule) == 0;
+                                }),
+                 allows.end());
+    std::sort(allows.begin(), allows.end(),
+              [](const FileLinter::AllowAnnotation& a,
+                 const FileLinter::AllowAnnotation& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    std::printf("{\n  \"allows\": [");
+    for (size_t i = 0; i < allows.size(); ++i) {
+      const FileLinter::AllowAnnotation& a = allows[i];
+      std::printf(
+          "%s\n    {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, "
+          "\"justification\": \"%s\"}",
+          i == 0 ? "" : ",", JsonEscape(a.rule).c_str(),
+          JsonEscape(a.file).c_str(), a.line,
+          JsonEscape(a.justification).c_str());
+    }
+    std::printf("%s],\n  \"total\": %zu\n}\n",
+                allows.empty() ? "" : "\n  ", allows.size());
+    return 0;
+  }
+
+  // Pass 2: run the rule set per file against the merged table.
+  std::vector<Diagnostic> diagnostics;
+  std::map<std::string, int> allow_totals;
+  size_t files_scanned = 0;
+  for (FileLinter& linter : linters) {
     std::set<std::string> active;
     std::set<std::string> scoped;
     for (const RuleInfo& rule : Rules()) {
-      if (!RuleAllowsPath(rule, display)) active.insert(rule.id);
-      if (RuleScopesPath(rule, display)) scoped.insert(rule.id);
+      if (!RuleAllowsPath(rule, linter.path())) active.insert(rule.id);
+      if (RuleScopesPath(rule, linter.path())) scoped.insert(rule.id);
     }
-    FileLinter linter(display, buffer.str());
-    linter.Run(active, scoped);
+    linter.Run(active, scoped, symbols);
     diagnostics.insert(diagnostics.end(), linter.diagnostics().begin(),
                        linter.diagnostics().end());
     for (const auto& [rule, count] : linter.allow_counts()) {
