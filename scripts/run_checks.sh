@@ -11,9 +11,12 @@
 #   3. the kernels + tsan labels again with HIGNN_SIMD=off (the scalar
 #      fallback must stay bit-identical to the vector paths)
 #   4. the `lint` label: hignn_lint fixture tests + whole-tree scan
-#   5. the `serve` label plus two end-to-end smokes: the client-verb round
-#      trip and a chaos leg (HIGNN_FAULT_INJECT-failed reload, wire
-#      reload, SIGHUP hot-swap, bitwise score stability throughout)
+#   5. the `serve` label plus three end-to-end smokes: the client-verb
+#      round trip, a retrieval-index leg (beamed-vs-exact topk parity,
+#      the legacy --no-index store layout, truncated index sections
+#      rejected on reload), and a chaos leg (HIGNN_FAULT_INJECT-failed
+#      reload, wire reload, SIGHUP hot-swap, bitwise score stability
+#      throughout)
 #   6. clang-tidy over src/ via compile_commands.json, when clang-tidy is
 #      installed (skipped with a notice otherwise, so the gate stays green
 #      in minimal containers)
@@ -67,6 +70,38 @@ PORT="$(cat "$SMOKE_DIR/port")"
 "$BUILD_DIR/tools/hignn_serve" score --port "$PORT" --user 3 --item 7
 "$BUILD_DIR/tools/hignn_serve" topk --port "$PORT" --user 3 --k 5
 "$BUILD_DIR/tools/hignn_serve" stats --port "$PORT"
+
+echo "== retrieval-index smoke (beamed vs exact, --no-index leg, corruption)"
+# Beamed (server default --topk-beam) vs exact (--beam -1): at this scale
+# the beam never prunes, so the answers must match byte for byte.
+TOPK_BEAMED="$("$BUILD_DIR/tools/hignn_serve" topk --port "$PORT" \
+  --user 3 --k 5)"
+TOPK_EXACT="$("$BUILD_DIR/tools/hignn_serve" topk --port "$PORT" \
+  --user 3 --k 5 --beam -1)"
+[ "$TOPK_BEAMED" = "$TOPK_EXACT" ]
+# Legacy layout: a --no-index (version-1) export of the same pipeline
+# serves identical answers — the index is rebuilt deterministically on
+# load, not required in the file.
+"$BUILD_DIR/tools/hignn" export-store --preset tiny --users 120 --items 60 \
+  --steps 30 --no-index --out "$SMOKE_DIR/store_v1.hgnnstore"
+RELOAD="$("$BUILD_DIR/tools/hignn_serve" reload --port "$PORT" \
+  --store "$SMOKE_DIR/store_v1.hgnnstore")"
+[ "$RELOAD" = "reloaded generation=2" ]
+TOPK_V1="$("$BUILD_DIR/tools/hignn_serve" topk --port "$PORT" \
+  --user 3 --k 5)"
+[ "$TOPK_V1" = "$TOPK_BEAMED" ]
+# The index sections obey the store-corruption contract: a truncated v2
+# file is rejected at open (IOError), so the reload fails and the
+# previous generation keeps serving.
+head -c "$(( $(wc -c < "$SMOKE_DIR/store.hgnnstore") - 64 ))" \
+  "$SMOKE_DIR/store.hgnnstore" > "$SMOKE_DIR/store_truncated.hgnnstore"
+if "$BUILD_DIR/tools/hignn_serve" reload --port "$PORT" \
+    --store "$SMOKE_DIR/store_truncated.hgnnstore"; then
+  echo "expected reload of truncated index store to fail" >&2
+  exit 1
+fi
+HEALTH="$("$BUILD_DIR/tools/hignn_serve" health --port "$PORT")"
+[ "$HEALTH" = "ok generation=2" ]
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 test -s "$SMOKE_DIR/metrics.json"

@@ -1,0 +1,83 @@
+#ifndef HIGNN_DATA_PLANTED_H_
+#define HIGNN_DATA_PLANTED_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/hignn.h"
+#include "data/synthetic.h"
+#include "predict/cvr_model.h"
+#include "predict/features.h"
+#include "util/status.h"
+
+namespace hignn {
+
+/// \brief Knobs for the planted-hierarchy serving world.
+struct PlantedWorldConfig {
+  int32_t num_users = 256;
+  int32_t num_items = 4096;
+
+  /// Embedding width d of every planted level.
+  int32_t level_dim = 8;
+
+  /// Cluster-count decay, matching HignnConfig: level l has
+  /// max(min_clusters, round(n_{l-1} / alpha)) clusters; levels stop
+  /// when the count bottoms out at min_clusters.
+  double alpha = 5.0;
+  int32_t min_clusters = 4;
+
+  /// Noise added around each cluster code (code entries are unit
+  /// normal); small values make scores hierarchy-smooth.
+  float jitter = 0.05f;
+
+  /// CVR head training budget over the synthesized affinity labels.
+  int32_t cvr_epochs = 3;
+  int32_t cvr_train_samples = 20000;
+
+  uint64_t seed = 1;
+};
+
+/// \brief A synthetic serving world whose score landscape follows a
+/// *planted* item hierarchy — the fixture behind the cluster-tree
+/// index's recall tests and the BENCH_serving index-vs-scan curves.
+///
+/// Training a real multi-level HiGNN at benchmark scale (100k+ items)
+/// takes minutes and — on the generator's tail-driven labels — yields a
+/// CVR head the item hierarchy cannot route, which would measure label
+/// noise rather than the index. This fixture plants the structure
+/// instead:
+///
+///   - Balanced contiguous cluster chains on both sides (child c of a
+///     level with n_c vertices maps to parent c * n_p / n_c), with the
+///     same alpha-decay level shape Hignn::Fit would produce.
+///   - Per-cluster "code" vectors; a vertex's level-l embedding block
+///     is its level-l ancestor's code plus jitter, so members of a
+///     cluster sit tightly around a representative the index's
+///     centroids recover.
+///   - Each user's embedding chain copies the codes of one target
+///     item's ancestor path, so the per-level match dots peak exactly
+///     on the planted branch.
+///   - CVR labels are synthesized from that planted affinity (positives
+///     near the user's target item, negatives uniform) and a small MLP
+///     is trained on them, making the served score a hierarchy-smooth
+///     function the beam descent can follow.
+///
+/// Everything is a pure function of `config` (fixed seeds, fixed
+/// traversal order) — two builds are bitwise identical.
+struct PlantedWorld {
+  SyntheticDataset dataset;
+  HignnModel model;
+  FeatureSpec spec;
+  CvrModel cvr;
+
+  /// The planted target item of each user — the center of the score
+  /// peak; recall tests check the exact and beamed top-k around it.
+  std::vector<int32_t> user_target;
+};
+
+Result<std::unique_ptr<PlantedWorld>> BuildPlantedWorld(
+    const PlantedWorldConfig& config);
+
+}  // namespace hignn
+
+#endif  // HIGNN_DATA_PLANTED_H_

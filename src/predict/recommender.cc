@@ -18,9 +18,23 @@ std::vector<Recommendation> TopKByScore(const std::vector<int32_t>& items,
   std::vector<size_t> order(items.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   const size_t top = std::min<size_t>(static_cast<size_t>(k), order.size());
+  // Explicit total order: score descending, NaN after every real score,
+  // ties (including NaN-vs-NaN, where `<` and `>` are both false) broken
+  // by ascending item id. The old `scores[a] != scores[b]` guard treated
+  // two NaNs as unequal and then ranked them by `>` — a comparator that
+  // was neither irreflexive nor total, so partial_sort's output depended
+  // on the candidate order. This form is a strict weak ordering for any
+  // float input, which is what the index-vs-exact byte-for-byte
+  // agreement on ties rests on.
   std::partial_sort(order.begin(), order.begin() + static_cast<long>(top),
                     order.end(), [&](size_t a, size_t b) {
-                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      const bool nan_a = std::isnan(scores[a]);
+                      const bool nan_b = std::isnan(scores[b]);
+                      if (nan_a != nan_b) return nan_b;
+                      if (!nan_a) {
+                        if (scores[a] > scores[b]) return true;
+                        if (scores[a] < scores[b]) return false;
+                      }
                       return items[a] < items[b];
                     });
   std::vector<Recommendation> out;

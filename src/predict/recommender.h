@@ -23,10 +23,13 @@ struct Recommendation {
 };
 
 /// \brief Ranks (item, score) pairs and returns the k best, the one
-/// ranking implementation shared by the offline TopKRecommender and the
-/// online serving engine's recommend-topk verb. Order: score descending,
-/// ties broken by ascending item id — a total order, so the result is
-/// deterministic for any candidate ordering and thread count.
+/// ranking implementation shared by the offline TopKRecommender, the
+/// online serving engine's recommend-topk verb, and the cluster-tree
+/// index's per-level beam selection. Order: score descending, any NaN
+/// after every real score, ties (equal scores or NaN-vs-NaN) broken by
+/// ascending item id — an explicit total order, so the result is
+/// deterministic for any candidate ordering and thread count, and the
+/// beamed and exact topk paths agree byte for byte on ties.
 std::vector<Recommendation> TopKByScore(const std::vector<int32_t>& items,
                                         const std::vector<float>& scores,
                                         int32_t k);

@@ -283,10 +283,19 @@ Result<std::vector<float>> ScoringClient::Score(
 
 Result<std::vector<Recommendation>> ScoringClient::TopK(int32_t user,
                                                         int32_t k) {
+  return TopK(user, k, /*beam=*/0);
+}
+
+Result<std::vector<Recommendation>> ScoringClient::TopK(int32_t user,
+                                                        int32_t k,
+                                                        int32_t beam) {
   WireWriter writer;
   writer.PutU8(static_cast<uint8_t>(WireVerb::kTopK));
   writer.PutI32(user);
   writer.PutI32(k);
+  // Trailing optional field: 0 (server default) still travels
+  // explicitly — only pre-beam clients send the 8-byte body.
+  writer.PutI32(beam);
   HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
                          RoundTrip(writer.bytes()));
   WireReader reader(body);

@@ -94,8 +94,17 @@ class ScoringClient {
   Result<std::vector<float>> Score(const std::vector<ScoreRequest>& requests);
 
   /// \brief Top-k recommendations for `user`, ranked like the offline
-  /// recommender (score descending, ties by ascending item id).
+  /// recommender (score descending, ties by ascending item id), served
+  /// with the server's configured retrieval beam.
   Result<std::vector<Recommendation>> TopK(int32_t user, int32_t k);
+
+  /// \brief TopK with an explicit per-request beam override (wire.h):
+  /// 0 defers to the server's --topk-beam, negative forces the exact
+  /// linear scan, positive forces that beam width on the cluster-tree
+  /// index. The two-argument overload sends the legacy 8-byte body, so
+  /// old servers keep answering it.
+  Result<std::vector<Recommendation>> TopK(int32_t user, int32_t k,
+                                           int32_t beam);
 
   /// \brief Liveness probe.
   Status Health();

@@ -70,16 +70,22 @@ std::vector<float> PredictionEngine::ScoreValidated(
     GlobalThreadPool().ParallelFor(0, batch.size(), fill);
   }
 
+  return ForwardRows(rows);
+}
+
+std::vector<float> PredictionEngine::ForwardRows(const Matrix& rows) {
+  const size_t count = rows.rows();
+  const size_t dim = rows.cols();
   std::vector<float> scores;
-  scores.reserve(batch.size());
+  scores.reserve(count);
   MutexLock lock(model_mu_);
-  if (batch.size() <= kForwardChunk) {
+  if (count <= kForwardChunk) {
     Result<std::vector<float>> batch_scores = model_.PredictRows(rows);
     HIGNN_CHECK(batch_scores.ok());
     return std::move(batch_scores).value();
   }
-  for (size_t begin = 0; begin < batch.size(); begin += kForwardChunk) {
-    const size_t end = std::min(batch.size(), begin + kForwardChunk);
+  for (size_t begin = 0; begin < count; begin += kForwardChunk) {
+    const size_t end = std::min(count, begin + kForwardChunk);
     Matrix chunk(end - begin, dim);
     std::copy(rows.row(begin), rows.row(begin) + (end - begin) * dim,
               chunk.row(0));
@@ -109,6 +115,38 @@ Result<std::vector<Recommendation>> PredictionEngine::RecommendTopK(
   }
   const std::vector<float> scores = ScoreValidated(batch);
   return TopKByScore(items, scores, k);
+}
+
+Result<std::vector<Recommendation>> PredictionEngine::RecommendTopK(
+    int32_t user, int32_t k, int32_t beam,
+    ClusterTreeIndex::SearchStats* stats) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (user < 0 || user >= store_->num_users()) {
+    return Status::InvalidArgument(StrFormat(
+        "user id %d out of range [0, %d)", user, store_->num_users()));
+  }
+  const ClusterTreeIndex& index = store_->index();
+  if (beam <= 0 || index.num_levels() == 0) {
+    // Exactness knob: no beam (or nothing to route on) means the plain
+    // linear scan — bitwise identical to the two-argument overload.
+    if (stats != nullptr) *stats = ClusterTreeIndex::SearchStats{};
+    return RecommendTopK(user, k);
+  }
+  const ClusterTreeIndex::RowScorer scorer =
+      [this](const Matrix& rows) -> Result<std::vector<float>> {
+    return ForwardRows(rows);
+  };
+  HIGNN_ASSIGN_OR_RETURN(
+      const std::vector<int32_t> leaves,
+      index.SelectLeaves(store_->UserBlock(user), store_->UserTail(user),
+                         beam, scorer, stats));
+  std::vector<ScoreRequest> batch;
+  batch.reserve(leaves.size());
+  for (const int32_t item : leaves) {
+    batch.push_back(ScoreRequest{user, item});
+  }
+  const std::vector<float> scores = ScoreValidated(batch);
+  return TopKByScore(leaves, scores, k);
 }
 
 }  // namespace hignn

@@ -47,6 +47,19 @@ class PredictionEngine {
   /// descending, ties by ascending item id).
   Result<std::vector<Recommendation>> RecommendTopK(int32_t user, int32_t k);
 
+  /// \brief Top-k through the cluster-tree retrieval index: beam-search
+  /// descent over the store's hierarchy selects candidate leaves, and
+  /// only those are brute-forced through the CVR head (same ScoreBatch
+  /// arithmetic, same TopKByScore order). Exactness knob: `beam` <= 0 —
+  /// or an empty index (store without an item hierarchical block) —
+  /// falls back to the full linear scan, bitwise identical to the
+  /// two-argument overload. Results are deterministic for any fixed
+  /// beam regardless of thread count. `stats` (optional) receives the
+  /// per-search index telemetry; it is zeroed on the exact path.
+  Result<std::vector<Recommendation>> RecommendTopK(
+      int32_t user, int32_t k, int32_t beam,
+      ClusterTreeIndex::SearchStats* stats = nullptr);
+
   const EmbeddingStore& store() const { return *store_; }
 
  private:
@@ -54,6 +67,10 @@ class PredictionEngine {
 
   /// \brief Parallel row assembly + chunked forward. Ids must be valid.
   std::vector<float> ScoreValidated(const std::vector<ScoreRequest>& batch);
+
+  /// \brief Chunked forward over pre-assembled rows (the shared tail of
+  /// ScoreValidated and the index's per-level centroid scoring).
+  std::vector<float> ForwardRows(const Matrix& rows);
 
   const std::unique_ptr<EmbeddingStore> store_;
   Mutex model_mu_;  ///< serializes PredictRows calls

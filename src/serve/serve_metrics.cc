@@ -40,6 +40,13 @@ void ServeMetrics::BindMetrics(obs::MetricsRegistry* registry) {
   shed_ = &registry->GetCounter("serve.shed_total");
   reload_ = &registry->GetCounter("serve.reload_total");
   reload_failed_ = &registry->GetCounter("serve.reload_failed_total");
+  index_searches_ = &registry->GetCounter("serve.index.searches_total");
+  index_exact_ = &registry->GetCounter("serve.index.exact_total");
+  index_nodes_scored_ =
+      &registry->GetCounter("serve.index.nodes_scored_total");
+  index_leaves_scored_ =
+      &registry->GetCounter("serve.index.leaves_scored_total");
+  index_beam_ = &registry->GetGauge("serve.index.beam");
   store_generation_ = &registry->GetGauge("serve.store_generation");
   latency_us_ = &registry->GetHistogram("serve.latency_us",
                                         obs::DefaultLatencyBoundsUs());
@@ -69,6 +76,19 @@ void ServeMetrics::RecordBatch(int64_t rows) {
   batch_rows_->Record(static_cast<double>(rows));
 }
 
+void ServeMetrics::RecordIndexSearch(int64_t nodes_scored,
+                                     int64_t leaves_scored, int32_t beam,
+                                     bool exact) {
+  index_searches_->Add(1);
+  if (exact) {
+    index_exact_->Add(1);
+    return;
+  }
+  index_nodes_scored_->Add(nodes_scored);
+  index_leaves_scored_->Add(leaves_scored);
+  index_beam_->Set(static_cast<double>(beam));
+}
+
 int64_t ServeMetrics::requests_total() const {
   int64_t total = 0;
   for (const obs::Counter* counter : requests_) total += counter->value();
@@ -95,6 +115,26 @@ int64_t ServeMetrics::store_generation() const {
 
 int64_t ServeMetrics::batches_total() const { return batch_rows_->count(); }
 
+int64_t ServeMetrics::index_searches_total() const {
+  return index_searches_->value();
+}
+
+int64_t ServeMetrics::index_exact_total() const {
+  return index_exact_->value();
+}
+
+int64_t ServeMetrics::index_nodes_scored_total() const {
+  return index_nodes_scored_->value();
+}
+
+int64_t ServeMetrics::index_leaves_scored_total() const {
+  return index_leaves_scored_->value();
+}
+
+int64_t ServeMetrics::index_beam() const {
+  return static_cast<int64_t>(index_beam_->value());
+}
+
 double ServeMetrics::LatencyPercentile(double p) const {
   return latency_us_->Percentile(p);
 }
@@ -117,6 +157,14 @@ std::string ServeMetrics::ToJson() const {
       "  \"reloads\": {\"total\": %lld, \"failed\": %lld},\n",
       static_cast<long long>(reload_->value()),
       static_cast<long long>(reload_failed_->value()));
+  json += StrFormat(
+      "  \"index\": {\"searches\": %lld, \"exact\": %lld, "
+      "\"nodes_scored\": %lld, \"leaves_scored\": %lld, \"beam\": %lld},\n",
+      static_cast<long long>(index_searches_->value()),
+      static_cast<long long>(index_exact_->value()),
+      static_cast<long long>(index_nodes_scored_->value()),
+      static_cast<long long>(index_leaves_scored_->value()),
+      static_cast<long long>(index_beam()));
   json += StrFormat(
       "  \"latency_us\": {\"count\": %lld, \"p50\": %.1f, \"p95\": %.1f, "
       "\"p99\": %.1f, \"histogram\": %s},\n",

@@ -25,8 +25,10 @@ const char* ServeVerbStatName(ServeVerbStat verb);
 /// \brief Serve-side observability: request/error counters per verb,
 /// a fixed-bucket request-latency histogram with p50/p95/p99, shed
 /// (overload fast-fail) counts, the micro-batcher's batch-size
-/// distribution, and the hot-reload lifecycle (store generation gauge,
-/// reload / reload-failed counters).
+/// distribution, the hot-reload lifecycle (store generation gauge,
+/// reload / reload-failed counters), and the cluster-tree retrieval
+/// index (`serve.index.*`: searches, exact fallbacks, nodes/leaves
+/// scored, last beam).
 ///
 /// Since PR 5 this is a thin façade over obs::MetricsRegistry — the
 /// counters live in a registry under `serve.*` names and the histogram /
@@ -61,6 +63,14 @@ class ServeMetrics {
   /// \brief The currently-published store generation (monotonic).
   void SetStoreGeneration(int64_t generation);
 
+  /// \brief One kTopK retrieval answered: how many internal centroids
+  /// the beam descent ran through the MLP, how many surviving leaves
+  /// were brute-forced, the effective beam, and whether the request
+  /// fell back to (or asked for) the exact linear scan. Observation
+  /// only — stats come out of the engine, they never feed back in.
+  void RecordIndexSearch(int64_t nodes_scored, int64_t leaves_scored,
+                         int32_t beam, bool exact);
+
   int64_t requests_total() const;
   int64_t errors_total() const;
   int64_t shed_total() const;
@@ -68,6 +78,11 @@ class ServeMetrics {
   int64_t reload_total() const;
   int64_t reload_failed_total() const;
   int64_t store_generation() const;
+  int64_t index_searches_total() const;
+  int64_t index_exact_total() const;
+  int64_t index_nodes_scored_total() const;
+  int64_t index_leaves_scored_total() const;
+  int64_t index_beam() const;  ///< beam of the most recent beamed search
   double LatencyPercentile(double p) const;
 
   /// \brief Full JSON snapshot (stable key order, pre-refactor format).
@@ -86,6 +101,11 @@ class ServeMetrics {
   obs::Counter* shed_ = nullptr;
   obs::Counter* reload_ = nullptr;
   obs::Counter* reload_failed_ = nullptr;
+  obs::Counter* index_searches_ = nullptr;
+  obs::Counter* index_exact_ = nullptr;
+  obs::Counter* index_nodes_scored_ = nullptr;
+  obs::Counter* index_leaves_scored_ = nullptr;
+  obs::Gauge* index_beam_ = nullptr;
   obs::Gauge* store_generation_ = nullptr;
   obs::Histogram* latency_us_ = nullptr;
   obs::Histogram* batch_rows_ = nullptr;

@@ -264,17 +264,39 @@ std::vector<char> ScoringServer::HandleRequest(
                       ErrorResponse(WireStatus::kBadRequest,
                                     "truncated topk request"));
       }
+      // Optional trailing beam override (wire.h): absent (old clients)
+      // or 0 means the configured default, negative means exact.
+      int32_t beam = 0;
+      if (!reader.AtEnd()) {
+        Result<int32_t> wire_beam = reader.TakeI32();
+        if (!wire_beam.ok()) {
+          return finish(ServeVerbStat::kTopK, false,
+                        ErrorResponse(WireStatus::kBadRequest,
+                                      "truncated topk beam field"));
+        }
+        beam = wire_beam.value();
+      }
+      const int32_t effective_beam = beam == 0 ? config_.topk_beam : beam;
       // Hold one generation for the whole ranking pass; a concurrent
-      // reload cannot swap the store out from under it.
+      // reload cannot swap the store out from under it — the index is
+      // part of the generation's store, so beamed descent and leaf
+      // brute-force see one consistent hierarchy.
       const std::shared_ptr<const StoreGeneration> generation =
           stores_->Current();
+      ClusterTreeIndex::SearchStats search_stats;
       Result<std::vector<Recommendation>> top =
-          generation->engine->RecommendTopK(user.value(), k.value());
+          generation->engine->RecommendTopK(user.value(), k.value(),
+                                            effective_beam, &search_stats);
       if (!top.ok()) {
         return finish(ServeVerbStat::kTopK, false,
                       ErrorResponse(WireStatusForError(top.status()),
                                     top.status().message()));
       }
+      metrics_->RecordIndexSearch(search_stats.nodes_scored,
+                                  search_stats.leaves_selected,
+                                  effective_beam,
+                                  /*exact=*/search_stats.levels_descended ==
+                                      0);
       WireWriter writer;
       writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
       writer.PutU32(static_cast<uint32_t>(top.value().size()));

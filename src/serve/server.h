@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "serve/batcher.h"
+#include "serve/index/cluster_tree.h"
 #include "serve/serve_metrics.h"
 #include "serve/store_manager.h"
 #include "util/mutex.h"
@@ -31,6 +32,12 @@ struct ServerConfig {
   /// shutdown; also bounds how long a half-written frame can stall a
   /// handler.
   int32_t recv_timeout_ms = 200;
+
+  /// Default beam width for kTopK requests that don't override it
+  /// (wire beam field 0): beam-search descent of the store's
+  /// cluster-tree index. <= 0 serves every such request with the exact
+  /// linear scan instead.
+  int32_t topk_beam = kDefaultTopKBeam;
 
   BatcherConfig batcher;
 };

@@ -81,7 +81,9 @@ Result<int64_t> StoreManager::Reload(const std::string& path) {
   if (metrics_ != nullptr) metrics_->RecordReload(true);
   HIGNN_LOG(kInfo) << "store reloaded from '" << source << "' (generation "
                    << next->number << ", " << next->store().num_users()
-                   << " users x " << next->store().num_items() << " items)";
+                   << " users x " << next->store().num_items() << " items, "
+                   << next->store().index().num_levels()
+                   << "-level retrieval index)";
   return next->number;
 }
 

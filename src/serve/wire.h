@@ -21,8 +21,15 @@ namespace hignn {
 /// Verb bodies:
 ///   kScore  request  u32 n, then n x (i32 user, i32 item)
 ///           response u32 n, then n x f32 probability (request order)
-///   kTopK   request  i32 user, i32 k
+///   kTopK   request  i32 user, i32 k [, i32 beam]
 ///           response u32 n, then n x (i32 item, f32 score), ranked
+///
+///           `beam` is an optional trailing field (the only versioned
+///           spot in the protocol): 8-byte bodies from older clients
+///           parse as beam 0. 0 = use the server's configured beam
+///           (--topk-beam); < 0 = exact linear scan (bitwise identical
+///           to the pre-index protocol); > 0 = beam-search descent of
+///           the store's cluster-tree index with that width.
 ///   kHealth request  empty; response u8 1, u32 store generation
 ///   kStats  request  empty; response u32-prefixed JSON string
 ///   kReload request  u32-prefixed store path ("" = re-open the path the

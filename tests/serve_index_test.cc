@@ -1,0 +1,435 @@
+// Cluster-tree retrieval index tests (serve/index/cluster_tree.h): the
+// exactness knob (beam <= 0 and beam = "infinity" are bitwise identical
+// to the linear scan), determinism across thread counts and hot-reload
+// generations, recall@10 at the default beam on a planted hierarchy,
+// byte-identical on-load index reconstruction for legacy version-1
+// stores, rejection of corrupted/truncated index sections, the wire
+// protocol's optional per-request beam field (including the pre-beam
+// 8-byte body old clients send), and the shared TopKByScore tie-break
+// contract both paths rest on.
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "data/planted.h"
+#include "predict/recommender.h"
+#include "serve/client.h"
+#include "serve/embedding_store.h"
+#include "serve/engine.h"
+#include "serve/index/cluster_tree.h"
+#include "serve/serve_metrics.h"
+#include "serve/server.h"
+#include "serve/store_manager.h"
+#include "serve/wire.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace hignn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// One planted world shared by every test: cluster structure and score
+// landscape are planted (data/planted.h), so beam descent has a
+// hierarchy it can actually route — exported once with the index
+// sections (v2) and once in the legacy pre-index layout (v1).
+class PlantedIndexFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PlantedWorldConfig config;
+    config.num_users = 200;
+    config.num_items = 4000;
+    config.level_dim = 8;
+    config.cvr_train_samples = 12000;
+    config.cvr_epochs = 2;
+    config.seed = 7;
+    world_ = BuildPlantedWorld(config).ValueOrDie().release();
+
+    store_path_ = TempPath("planted_index.hgnnstore");
+    EXPECT_TRUE(ExportEmbeddingStore(world_->model, world_->dataset,
+                                     world_->spec, world_->cvr, store_path_)
+                    .ok());
+    legacy_path_ = TempPath("planted_index_v1.hgnnstore");
+    StoreExportOptions legacy;
+    legacy.include_index = false;
+    EXPECT_TRUE(ExportEmbeddingStore(world_->model, world_->dataset,
+                                     world_->spec, world_->cvr, legacy_path_,
+                                     legacy)
+                    .ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static PlantedWorld* world_;
+  static std::string store_path_;
+  static std::string legacy_path_;
+};
+
+PlantedWorld* PlantedIndexFixture::world_ = nullptr;
+std::string PlantedIndexFixture::store_path_;
+std::string PlantedIndexFixture::legacy_path_;
+
+// ------------------------------------------------------ tie-breaking --
+
+// Satellite regression: TopKByScore must be an explicit total order
+// (score desc, NaN last, ties by ascending id) for ANY candidate
+// permutation — the property that makes the beamed and exact paths
+// agree byte for byte on ties.
+TEST(TopKByScoreOrder, TiesBreakByAscendingIdForAnyInputOrder) {
+  const std::vector<int32_t> forward{3, 9, 1, 7, 5};
+  const std::vector<float> scores_fwd{0.5f, 0.5f, 0.25f, 0.5f, 0.75f};
+  const std::vector<int32_t> backward{5, 7, 1, 9, 3};
+  const std::vector<float> scores_bwd{0.75f, 0.5f, 0.25f, 0.5f, 0.5f};
+
+  const std::vector<Recommendation> a = TopKByScore(forward, scores_fwd, 4);
+  const std::vector<Recommendation> b = TopKByScore(backward, scores_bwd, 4);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "rank " << i;
+  }
+  EXPECT_EQ(a[0].item, 5);  // 0.75
+  EXPECT_EQ(a[1].item, 3);  // 0.5 tie -> smallest id first
+  EXPECT_EQ(a[2].item, 7);
+  EXPECT_EQ(a[3].item, 9);
+}
+
+TEST(TopKByScoreOrder, NaNsRankLastAndTieByIdDeterministically) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<int32_t> forward{4, 2, 8, 6};
+  const std::vector<float> scores_fwd{nan, 0.1f, nan, 0.9f};
+  const std::vector<int32_t> backward{6, 8, 2, 4};
+  const std::vector<float> scores_bwd{0.9f, nan, 0.1f, nan};
+
+  const std::vector<Recommendation> a = TopKByScore(forward, scores_fwd, 4);
+  const std::vector<Recommendation> b = TopKByScore(backward, scores_bwd, 4);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(a[0].item, 6);
+  EXPECT_EQ(a[1].item, 2);
+  EXPECT_EQ(a[2].item, 4);  // NaN-vs-NaN tie -> ascending id
+  EXPECT_EQ(a[3].item, 8);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item) << "rank " << i;
+    EXPECT_EQ(std::isnan(a[i].score), std::isnan(b[i].score)) << "rank " << i;
+  }
+}
+
+// -------------------------------------------------------- exactness --
+
+TEST_F(PlantedIndexFixture, BeamAtInfinityIsBitwiseIdenticalToLinearScan) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  const int32_t num_items = engine->store().num_items();
+  for (int32_t user : {0, 17, 63, 121, 199}) {
+    const std::vector<Recommendation> exact =
+        engine->RecommendTopK(user, 10).ValueOrDie();
+    // beam <= 0: the explicit exactness knob.
+    const std::vector<Recommendation> knob =
+        engine->RecommendTopK(user, 10, -1).ValueOrDie();
+    // beam >= every frontier: descent never prunes, all leaves survive.
+    const std::vector<Recommendation> infinite =
+        engine->RecommendTopK(user, 10, num_items).ValueOrDie();
+    ASSERT_EQ(exact.size(), knob.size());
+    ASSERT_EQ(exact.size(), infinite.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(exact[i], knob[i]) << "user " << user << " rank " << i;
+      EXPECT_EQ(exact[i], infinite[i]) << "user " << user << " rank " << i;
+    }
+  }
+}
+
+TEST_F(PlantedIndexFixture, BeamedSearchPrunesAndReportsStats) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  ClusterTreeIndex::SearchStats stats;
+  const std::vector<Recommendation> top =
+      engine->RecommendTopK(42, 10, kDefaultTopKBeam, &stats).ValueOrDie();
+  EXPECT_EQ(top.size(), 10u);
+  EXPECT_GT(stats.nodes_scored, 0);
+  EXPECT_GT(stats.leaves_selected, 0);
+  EXPECT_EQ(stats.levels_descended, engine->store().index().num_levels());
+  // The whole point: far fewer rows through the MLP than a linear scan.
+  EXPECT_LT(stats.nodes_scored + stats.leaves_selected,
+            engine->store().num_items() / 2);
+}
+
+// ------------------------------------------------------ determinism --
+
+TEST_F(PlantedIndexFixture, BeamedTopKIsIdenticalAcrossThreadCounts) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  std::vector<std::vector<Recommendation>> with_one, with_four;
+  SetGlobalThreadPoolThreads(1);
+  for (int32_t user : {3, 58, 142}) {
+    with_one.push_back(
+        engine->RecommendTopK(user, 10, kDefaultTopKBeam).ValueOrDie());
+  }
+  SetGlobalThreadPoolThreads(4);
+  for (int32_t user : {3, 58, 142}) {
+    with_four.push_back(
+        engine->RecommendTopK(user, 10, kDefaultTopKBeam).ValueOrDie());
+  }
+  SetGlobalThreadPoolThreads(1);
+  ASSERT_EQ(with_one.size(), with_four.size());
+  for (size_t u = 0; u < with_one.size(); ++u) {
+    ASSERT_EQ(with_one[u].size(), with_four[u].size());
+    for (size_t i = 0; i < with_one[u].size(); ++i) {
+      EXPECT_EQ(with_one[u][i], with_four[u][i])
+          << "query " << u << " rank " << i;
+    }
+  }
+}
+
+TEST_F(PlantedIndexFixture, BeamedTopKIsIdenticalAcrossHotReloads) {
+  ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
+  const std::vector<Recommendation> before =
+      stores->Current()
+          ->engine->RecommendTopK(77, 10, kDefaultTopKBeam)
+          .ValueOrDie();
+  ASSERT_TRUE(stores->Reload().ok());
+  ASSERT_TRUE(stores->Reload(legacy_path_).ok());  // v1: index rebuilt
+  const std::vector<Recommendation> after =
+      stores->Current()
+          ->engine->RecommendTopK(77, 10, kDefaultTopKBeam)
+          .ValueOrDie();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << "rank " << i;
+  }
+}
+
+// ----------------------------------------------------------- recall --
+
+TEST_F(PlantedIndexFixture, DefaultBeamHoldsRecallAt10Above95Percent) {
+  auto engine = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  int64_t hits = 0;
+  int64_t wanted = 0;
+  for (int32_t user = 0; user < engine->store().num_users(); user += 4) {
+    const std::vector<Recommendation> exact =
+        engine->RecommendTopK(user, 10).ValueOrDie();
+    const std::vector<Recommendation> beamed =
+        engine->RecommendTopK(user, 10, kDefaultTopKBeam).ValueOrDie();
+    std::set<int32_t> found;
+    for (const Recommendation& rec : beamed) found.insert(rec.item);
+    for (const Recommendation& rec : exact) {
+      ++wanted;
+      hits += found.count(rec.item) ? 1 : 0;
+    }
+  }
+  ASSERT_GT(wanted, 0);
+  const double recall =
+      static_cast<double>(hits) / static_cast<double>(wanted);
+  EXPECT_GE(recall, 0.95) << hits << "/" << wanted;
+}
+
+// ----------------------------------------------- store format / load --
+
+TEST_F(PlantedIndexFixture, LegacyStoreRebuildsByteIdenticalIndex) {
+  auto v2 = std::move(EmbeddingStore::Open(store_path_).ValueOrDie());
+  auto v1 = std::move(EmbeddingStore::Open(legacy_path_).ValueOrDie());
+  const ClusterTreeIndex& a = v2->index();
+  const ClusterTreeIndex& b = v1->index();
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  ASSERT_GE(a.num_levels(), 2);
+  const int32_t block = a.geometry().item_block_cols;
+  const int32_t tail = a.geometry().item_tail_dim;
+  for (int32_t l = 1; l <= a.num_levels(); ++l) {
+    const ClusterTreeLevel& la = a.level(l);
+    const ClusterTreeLevel& lb = b.level(l);
+    ASSERT_EQ(la.num_clusters, lb.num_clusters) << "level " << l;
+    ASSERT_EQ(la.num_children, lb.num_children) << "level " << l;
+    EXPECT_EQ(0, std::memcmp(la.centroid_block, lb.centroid_block,
+                             static_cast<size_t>(la.num_clusters) *
+                                 static_cast<size_t>(block) * sizeof(float)))
+        << "level " << l << " centroid block";
+    EXPECT_EQ(0, std::memcmp(la.centroid_tail, lb.centroid_tail,
+                             static_cast<size_t>(la.num_clusters) *
+                                 static_cast<size_t>(tail) * sizeof(float)))
+        << "level " << l << " centroid tail";
+    EXPECT_EQ(0,
+              std::memcmp(la.child_offsets, lb.child_offsets,
+                          static_cast<size_t>(la.num_clusters + 1) *
+                              sizeof(int32_t)))
+        << "level " << l << " offsets";
+    EXPECT_EQ(0, std::memcmp(la.child_ids, lb.child_ids,
+                             static_cast<size_t>(la.num_children) *
+                                 sizeof(int32_t)))
+        << "level " << l << " children";
+  }
+}
+
+TEST_F(PlantedIndexFixture, LegacyAndIndexedStoresServeIdenticalBeamedTopK) {
+  auto indexed = std::move(PredictionEngine::Open(store_path_).ValueOrDie());
+  auto legacy = std::move(PredictionEngine::Open(legacy_path_).ValueOrDie());
+  for (int32_t user : {5, 99, 180}) {
+    const std::vector<Recommendation> a =
+        indexed->RecommendTopK(user, 10, kDefaultTopKBeam).ValueOrDie();
+    const std::vector<Recommendation> b =
+        legacy->RecommendTopK(user, 10, kDefaultTopKBeam).ValueOrDie();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "user " << user << " rank " << i;
+    }
+  }
+}
+
+TEST_F(PlantedIndexFixture, CorruptedIndexSectionIsRejectedAsIOError) {
+  std::string bytes = ReadBytes(store_path_);
+  const std::string v1_bytes = ReadBytes(legacy_path_);
+  ASSERT_GT(bytes.size(), v1_bytes.size());
+  // The index sections are everything the v2 layout appends after the
+  // v1 layout; flip a bit comfortably inside them.
+  const size_t index_start = v1_bytes.size();
+  const size_t target = index_start + (bytes.size() - index_start) / 2;
+  bytes[target] = static_cast<char>(bytes[target] ^ 0x10);
+  const std::string corrupt_path = TempPath("planted_index_corrupt.hgnnstore");
+  WriteBytes(corrupt_path, bytes);
+  auto store = EmbeddingStore::Open(corrupt_path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIOError)
+      << store.status().ToString();
+}
+
+TEST_F(PlantedIndexFixture, TruncatedIndexSectionIsRejectedAsIOError) {
+  const std::string bytes = ReadBytes(store_path_);
+  ASSERT_GT(bytes.size(), 128u);
+  const std::string truncated_path =
+      TempPath("planted_index_truncated.hgnnstore");
+  WriteBytes(truncated_path, bytes.substr(0, bytes.size() - 96));
+  auto store = EmbeddingStore::Open(truncated_path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIOError)
+      << store.status().ToString();
+}
+
+// ------------------------------------------------------------- wire --
+
+TEST_F(PlantedIndexFixture, WireBeamOverrideSelectsExactOrBeamedPath) {
+  ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
+  auto server =
+      std::move(ScoringServer::Start(stores.get(), &metrics, ServerConfig())
+                    .ValueOrDie());
+  auto client = std::move(
+      ScoringClient::Connect("127.0.0.1", server->port()).ValueOrDie());
+
+  const std::shared_ptr<const StoreGeneration> generation = stores->Current();
+  for (int32_t user : {11, 87}) {
+    const std::vector<Recommendation> exact =
+        generation->engine->RecommendTopK(user, 5).ValueOrDie();
+    const std::vector<Recommendation> beamed =
+        generation->engine->RecommendTopK(user, 5, kDefaultTopKBeam)
+            .ValueOrDie();
+
+    // beam 0 -> server default (kDefaultTopKBeam), beam -1 -> exact,
+    // explicit beam -> that beam.
+    const std::vector<Recommendation> wire_default =
+        client.TopK(user, 5).ValueOrDie();
+    const std::vector<Recommendation> wire_exact =
+        client.TopK(user, 5, -1).ValueOrDie();
+    const std::vector<Recommendation> wire_beamed =
+        client.TopK(user, 5, kDefaultTopKBeam).ValueOrDie();
+
+    ASSERT_EQ(wire_default.size(), beamed.size());
+    ASSERT_EQ(wire_exact.size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(wire_default[i], beamed[i]) << "user " << user << " rank " << i;
+      EXPECT_EQ(wire_beamed[i], beamed[i]) << "user " << user << " rank " << i;
+      EXPECT_EQ(wire_exact[i], exact[i]) << "user " << user << " rank " << i;
+    }
+  }
+
+  // serve.index.* metrics observed the traffic: four beamed searches,
+  // two exact ones.
+  EXPECT_EQ(metrics.index_searches_total(), 6);
+  EXPECT_EQ(metrics.index_exact_total(), 2);
+  EXPECT_GT(metrics.index_nodes_scored_total(), 0);
+  EXPECT_GT(metrics.index_leaves_scored_total(), 0);
+  EXPECT_EQ(metrics.index_beam(), kDefaultTopKBeam);
+  const std::string json = client.Stats().ValueOrDie();
+  EXPECT_NE(json.find("\"index\": {\"searches\": 6, \"exact\": 2"),
+            std::string::npos)
+      << json;
+  server->Stop();
+}
+
+TEST_F(PlantedIndexFixture, PreBeamEightByteTopKBodyStillParses) {
+  ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
+  auto server =
+      std::move(ScoringServer::Start(stores.get(), &metrics, ServerConfig())
+                    .ValueOrDie());
+
+  // Hand-rolled legacy client: verb + user + k, no beam field — exactly
+  // the body a pre-index binary emits. Must be served with the
+  // configured default beam.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  WireWriter request;
+  request.PutU8(static_cast<uint8_t>(WireVerb::kTopK));
+  request.PutI32(33);
+  request.PutI32(5);
+  ASSERT_EQ(request.bytes().size(), 9u);  // the old fixed-size body
+  ASSERT_TRUE(SendFrame(fd, request.bytes()).ok());
+  const std::vector<char> body = RecvFrame(fd).ValueOrDie();
+  ::close(fd);
+
+  WireReader reader(body);
+  ASSERT_EQ(reader.TakeU8().ValueOrDie(),
+            static_cast<uint8_t>(WireStatus::kOk));
+  const uint32_t count = reader.TakeU32().ValueOrDie();
+  const std::vector<Recommendation> expected =
+      stores->Current()
+          ->engine->RecommendTopK(33, 5, kDefaultTopKBeam)
+          .ValueOrDie();
+  ASSERT_EQ(count, expected.size());
+  for (uint32_t i = 0; i < count; ++i) {
+    Recommendation rec;
+    rec.item = reader.TakeI32().ValueOrDie();
+    rec.score = reader.TakeF32().ValueOrDie();
+    EXPECT_EQ(rec, expected[i]) << "rank " << i;
+  }
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace hignn

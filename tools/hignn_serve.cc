@@ -75,6 +75,8 @@ commands:
            [--threads 2]          (connection handler threads)
            [--max-batch 64] [--max-delay-us 1000] [--max-queue 4096]
            [--recv-timeout-ms 200]
+           [--topk-beam 32]       (default retrieval beam for topk;
+                                   <= 0 serves the exact linear scan)
            [--metrics-out FILE]   (dump metrics JSON on shutdown)
            [--trace-out FILE]     (dump Chrome trace_event JSON on
                                    shutdown; open in chrome://tracing)
@@ -83,7 +85,9 @@ commands:
   score    score one (user, item) pair
            --port P [--host 127.0.0.1] --user U --item I
   topk     top-k recommendations for a user
-           --port P [--host 127.0.0.1] --user U [--k 10]
+           --port P [--host 127.0.0.1] --user U [--k 10] [--beam 0]
+           (--beam: 0 = server default, < 0 = exact scan, > 0 = that
+            cluster-tree beam width)
   health   liveness probe (prints the live store generation)
            --port P [--host 127.0.0.1]
   stats    print the server's metrics JSON
@@ -112,10 +116,11 @@ int RunServe(const CommandLine& cl) {
   auto max_delay_us = cl.GetInt("max-delay-us", 1000);
   auto max_queue = cl.GetInt("max-queue", 4096);
   auto recv_timeout_ms = cl.GetInt("recv-timeout-ms", 200);
+  auto topk_beam = cl.GetInt("topk-beam", kDefaultTopKBeam);
   for (const Status& status :
        {port.status(), threads.status(), max_batch.status(),
         max_delay_us.status(), max_queue.status(),
-        recv_timeout_ms.status()}) {
+        recv_timeout_ms.status(), topk_beam.status()}) {
     if (!status.ok()) return Fail(status);
   }
 
@@ -133,6 +138,7 @@ int RunServe(const CommandLine& cl) {
   config.port = static_cast<int32_t>(port.value());
   config.num_threads = static_cast<int32_t>(threads.value());
   config.recv_timeout_ms = static_cast<int32_t>(recv_timeout_ms.value());
+  config.topk_beam = static_cast<int32_t>(topk_beam.value());
   config.batcher.max_batch = static_cast<int32_t>(max_batch.value());
   config.batcher.max_delay_us = static_cast<int32_t>(max_delay_us.value());
   config.batcher.max_queue_rows = static_cast<int32_t>(max_queue.value());
@@ -256,13 +262,16 @@ int RunScore(const CommandLine& cl) {
 int RunTopK(const CommandLine& cl) {
   auto user = cl.GetInt("user", -1);
   auto k = cl.GetInt("k", 10);
+  auto beam = cl.GetInt("beam", 0);
   if (!user.ok()) return Fail(user.status());
   if (!k.ok()) return Fail(k.status());
+  if (!beam.ok()) return Fail(beam.status());
   if (user.value() < 0) return Usage();
   auto client = ConnectFlag(cl);
   if (!client.ok()) return Fail(client.status());
   auto top = client.value().TopK(static_cast<int32_t>(user.value()),
-                                 static_cast<int32_t>(k.value()));
+                                 static_cast<int32_t>(k.value()),
+                                 static_cast<int32_t>(beam.value()));
   if (!top.ok()) return Fail(top.status());
   for (const Recommendation& rec : top.value()) {
     std::printf("%d\t%.9g\n", rec.item, rec.score);
