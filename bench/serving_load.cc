@@ -200,6 +200,48 @@ int Run(int32_t bench_users, int32_t bench_items) {
               requests_per_client, kPairsPerRequest, wall_seconds,
               static_cast<long long>(metrics.batches_total()));
 
+  // Server-side phase attribution (DESIGN.md §17): the handler stamped
+  // every request's lifecycle during the load above, and RecordPhases
+  // folded the deltas into the shared registry's serve.phase.*
+  // histograms — read them back so the artifact splits the end-to-end
+  // percentiles into where the time actually went.
+  struct PhaseRow {
+    const char* name;
+    obs::Histogram* histogram;
+  };
+  const PhaseRow phase_rows[] = {
+      {"parse", &registry.GetHistogram("serve.phase.parse_us",
+                                       obs::DefaultLatencyBoundsUs())},
+      {"queue_wait", &registry.GetHistogram("serve.phase.queue_wait_us",
+                                            obs::DefaultLatencyBoundsUs())},
+      {"assemble", &registry.GetHistogram("serve.phase.assemble_us",
+                                          obs::DefaultLatencyBoundsUs())},
+      {"forward", &registry.GetHistogram("serve.phase.forward_us",
+                                         obs::DefaultLatencyBoundsUs())},
+      {"index", &registry.GetHistogram("serve.phase.index_us",
+                                       obs::DefaultLatencyBoundsUs())},
+      {"reply", &registry.GetHistogram("serve.phase.reply_us",
+                                       obs::DefaultLatencyBoundsUs())},
+  };
+  std::printf("\n%-26s %12s %12s %12s %12s\n", "phase", "count", "p50(us)",
+              "p95(us)", "p99(us)");
+  std::string phases_json;
+  for (size_t i = 0; i < sizeof(phase_rows) / sizeof(phase_rows[0]); ++i) {
+    const PhaseRow& row = phase_rows[i];
+    std::printf("%-26s %12lld %12.0f %12.0f %12.0f\n", row.name,
+                static_cast<long long>(row.histogram->count()),
+                row.histogram->Percentile(0.50),
+                row.histogram->Percentile(0.95),
+                row.histogram->Percentile(0.99));
+    phases_json += StrFormat(
+        "    \"%s\": {\"count\": %lld, \"p50\": %.1f, \"p95\": %.1f, "
+        "\"p99\": %.1f}%s\n",
+        row.name, static_cast<long long>(row.histogram->count()),
+        row.histogram->Percentile(0.50), row.histogram->Percentile(0.95),
+        row.histogram->Percentile(0.99),
+        i + 1 < sizeof(phase_rows) / sizeof(phase_rows[0]) ? "," : "");
+  }
+
   // ---------------------------------------------------------------------
   // Phase 2: cluster-tree index vs exact linear scan on a planted
   // catalog of --items items. Recall@10 is measured against the exact
@@ -301,6 +343,7 @@ int Run(int32_t bench_users, int32_t bench_items) {
       "  \"latency_us\": {\"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, "
       "\"p99\": %.1f},\n",
       mean_us, p50, p95, p99);
+  json += "  \"phase_latency_us\": {\n" + phases_json + "  },\n";
   json += StrFormat(
       "  \"server\": {\"requests_total\": %lld, \"batches_total\": %lld, "
       "\"shed_total\": %lld, \"errors_total\": %lld},\n",

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/io.h"
 #include "util/logging.h"
@@ -28,7 +29,40 @@ Histogram::Histogram(std::vector<double> bounds)
   HIGNN_CHECK(!bounds_.empty());
   HIGNN_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
   for (size_t b = 0; b <= bounds_.size(); ++b) counts_[b].store(0);
+  // Infinity sentinels make the very first AtomicMin/AtomicMax in Record
+  // win unconditionally — no first-sample special case to race on.
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
 }
+
+namespace {
+
+// C++17 has no fetch_add/fetch_min for atomic<double>; a relaxed CAS loop
+// keeps Record() lock-free without giving up exactness.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 void Histogram::Record(double value) {
   if (!Enabled()) return;
@@ -42,6 +76,9 @@ void Histogram::Record(double value) {
   counts_[std::min(index, bounds_.size())].fetch_add(
       1, std::memory_order_relaxed);
   total_.fetch_add(1, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+  AtomicAdd(sum_, value);
 }
 
 std::vector<int64_t> Histogram::SnapshotCounts() const {
@@ -85,6 +122,11 @@ void Histogram::Reset() {
     counts_[b].store(0, std::memory_order_relaxed);
   }
   total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 std::string Histogram::BucketsJson() const {
@@ -185,10 +227,14 @@ std::string MetricsRegistry::DumpJson() const {
     for (const auto& [name, histogram] : histograms_) {
       histograms[name] = StrFormat(
           "{\"count\": %lld, \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, "
+          "\"min\": %.6g, \"max\": %.6g, \"overflow\": %lld, "
           "\"buckets\": %s}",
           static_cast<long long>(histogram->count()),
           histogram->Percentile(0.50), histogram->Percentile(0.95),
-          histogram->Percentile(0.99), histogram->BucketsJson().c_str());
+          histogram->Percentile(0.99), histogram->observed_min(),
+          histogram->observed_max(),
+          static_cast<long long>(histogram->overflow()),
+          histogram->BucketsJson().c_str());
     }
     for (const auto& [name, s] : series_) {
       const std::vector<double> values = s->Snapshot();
@@ -269,6 +315,83 @@ std::string MetricsRegistry::DumpText() const {
     text += '\t';
     text += value;
     text += '\n';
+  }
+  return text;
+}
+
+namespace {
+
+// Prometheus metric names admit [a-zA-Z0-9_:]; our dotted registry names
+// map through `hignn_` + dots-to-underscores (serve.latency_us becomes
+// hignn_serve_latency_us).
+std::string PrometheusName(const std::string& name) {
+  std::string out = "hignn_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  struct HistogramSnapshot {
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;  // overflow last
+    double sum = 0.0;
+    int64_t total = 0;
+  };
+  std::unordered_map<std::string, int64_t> counters;
+  std::unordered_map<std::string, double> gauges;
+  std::unordered_map<std::string, HistogramSnapshot> histograms;
+  {
+    MutexLock lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      counters[name] = counter->value();
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      gauges[name] = gauge->value();
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      HistogramSnapshot snapshot;
+      snapshot.bounds = histogram->bounds();
+      snapshot.counts = histogram->SnapshotCounts();
+      snapshot.sum = histogram->sum();
+      snapshot.total = histogram->count();
+      histograms[name] = std::move(snapshot);
+    }
+    // Series have no exposition-format equivalent and are deliberately
+    // omitted: a scraper wants rates and distributions, not raw points.
+  }
+
+  std::string text;
+  for (const auto& [name, value] : SortedEntries(counters)) {
+    const std::string prom = PrometheusName(name);
+    text += StrFormat("# TYPE %s counter\n%s %lld\n", prom.c_str(),
+                      prom.c_str(), static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : SortedEntries(gauges)) {
+    const std::string prom = PrometheusName(name);
+    text += StrFormat("# TYPE %s gauge\n%s %.6g\n", prom.c_str(),
+                      prom.c_str(), value);
+  }
+  for (const auto& [name, snapshot] : SortedEntries(histograms)) {
+    const std::string prom = PrometheusName(name);
+    text += StrFormat("# TYPE %s histogram\n", prom.c_str());
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < snapshot.bounds.size(); ++b) {
+      cumulative += snapshot.counts[b];
+      text += StrFormat("%s_bucket{le=\"%g\"} %lld\n", prom.c_str(),
+                        snapshot.bounds[b],
+                        static_cast<long long>(cumulative));
+    }
+    text += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", prom.c_str(),
+                      static_cast<long long>(snapshot.total));
+    text += StrFormat("%s_sum %.6g\n%s_count %lld\n", prom.c_str(),
+                      snapshot.sum, prom.c_str(),
+                      static_cast<long long>(snapshot.total));
   }
   return text;
 }

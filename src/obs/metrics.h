@@ -78,6 +78,23 @@ class Histogram {
   int64_t count() const { return total_.load(std::memory_order_relaxed); }
   const std::vector<double>& bounds() const { return bounds_; }
 
+  /// \brief Samples past the last bucket edge. Percentile() floors these
+  /// to the last finite bound, so the overflow tally (with min()/max())
+  /// is how a reader tells a saturated estimate from a real one.
+  int64_t overflow() const {
+    return counts_[bounds_.size()].load(std::memory_order_relaxed);
+  }
+
+  /// \brief Exact observed extremes and running sum — not bucketed, so
+  /// they stay honest past the last edge. Zero when count() == 0.
+  double observed_min() const {
+    return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  }
+  double observed_max() const {
+    return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
   /// \brief Point-in-time copy of the bucket counts (overflow last).
   std::vector<int64_t> SnapshotCounts() const;
 
@@ -97,6 +114,9 @@ class Histogram {
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1
   std::atomic<int64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only while total_ > 0
+  std::atomic<double> max_{0.0};
 };
 
 /// \brief Percentile over an explicit (bounds, counts) snapshot — the
@@ -161,6 +181,13 @@ class MetricsRegistry {
 
   /// \brief `name<TAB>value` lines, sorted by name — grep-friendly.
   std::string DumpText() const;
+
+  /// \brief Prometheus text exposition (version 0.0.4): every metric name
+  /// prefixed `hignn_` with dots mapped to underscores, `# TYPE` comments,
+  /// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+  /// `_count`. Series are omitted (no exposition equivalent). Names come
+  /// out sorted, so two dumps of the same state are byte-identical.
+  std::string DumpPrometheus() const;
 
   /// \brief Atomically writes DumpJson() to `path`.
   Status DumpJsonToFile(const std::string& path) const;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -11,6 +13,13 @@
 namespace hignn {
 
 namespace {
+
+// Observation-only phase stamping (DESIGN.md §17): gated on the global
+// telemetry switch so --obs-off keeps the batcher clock-free outside the
+// batching window itself.
+void Stamp(RequestContext* ctx, int64_t RequestContext::*field) {
+  if (ctx != nullptr && obs::Enabled()) ctx->*field = obs::NowMicros();
+}
 
 // True when every id in `requests` is addressable in `store`.
 bool RequestsValidFor(const EmbeddingStore& store,
@@ -55,7 +64,7 @@ int64_t MicroBatcher::queued_rows() const {
 }
 
 Result<std::vector<float>> MicroBatcher::Score(
-    const std::vector<ScoreRequest>& requests) {
+    const std::vector<ScoreRequest>& requests, RequestContext* ctx) {
   if (requests.empty()) return std::vector<float>{};
   // Validate before queueing so one bad id rejects only its own request,
   // never a coalesced batch containing other callers' rows. (The
@@ -70,6 +79,8 @@ Result<std::vector<float>> MicroBatcher::Score(
 
   auto job = std::make_shared<Job>();
   job->requests = requests;
+  job->ctx = ctx;
+  Stamp(ctx, &RequestContext::enqueue_us);
   {
     MutexLock lock(mu_);
     if (stopping_) {
@@ -134,6 +145,12 @@ void MicroBatcher::CollectorLoop() {
         batch_rows += rows;
         queued_rows_ -= rows;
       }
+      // Stamp the window close on every member while still under mu_ —
+      // the owning callers are parked in job_finished_.Wait, so these
+      // writes cannot race their eventual reads.
+      for (const auto& job : batch) {
+        Stamp(job->ctx, &RequestContext::batch_close_us);
+      }
     }
 
     // Phase 2 (unlocked): score. Acquire the published generation once
@@ -158,9 +175,16 @@ void MicroBatcher::CollectorLoop() {
             "request invalidated by a store reload");
       }
     }
+    // The batch shares one forward, so its members share the assembly /
+    // forward stamps; collect them only when some member wants them.
+    bool any_ctx = false;
+    for (const auto& job : runnable) any_ctx |= job->ctx != nullptr;
+    ScorePhases batch_phases;
     Result<std::vector<float>> scores =
-        combined.empty() ? std::vector<float>{}
-                         : generation->engine->ScoreBatch(combined);
+        combined.empty()
+            ? std::vector<float>{}
+            : generation->engine->ScoreBatch(
+                  combined, any_ctx ? &batch_phases : nullptr);
     metrics_->RecordBatch(batch_rows);
 
     // Phase 3 (locked): distribute results and publish done under mu_ so
@@ -176,6 +200,10 @@ void MicroBatcher::CollectorLoop() {
               all.begin() + static_cast<long>(offset + job->requests.size()));
         } else {
           job->status = scores.status();
+        }
+        if (job->ctx != nullptr) {
+          job->ctx->rows_assembled_us = batch_phases.rows_assembled_us;
+          job->ctx->forward_done_us = batch_phases.forward_done_us;
         }
         offset += job->requests.size();
       }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "serve/engine.h"
+#include "serve/request_context.h"
 #include "serve/serve_metrics.h"
 #include "serve/store_manager.h"
 #include "util/mutex.h"
@@ -65,7 +66,14 @@ class MicroBatcher {
   /// completes. Thread-safe. Fails fast with FailedPrecondition when the
   /// queue is full (overload shed) or the batcher is stopping; invalid
   /// ids fail with InvalidArgument before entering the queue.
-  Result<std::vector<float>> Score(const std::vector<ScoreRequest>& requests);
+  ///
+  /// `ctx` (optional, borrowed — the caller blocks here for the job's
+  /// whole lifetime, so the pointer cannot dangle) receives the enqueue /
+  /// batch-close / rows-assembled / forward-done phase stamps. The
+  /// collector writes them before publishing Job::done under the batcher
+  /// mutex, so the caller reads them race-free after Score returns.
+  Result<std::vector<float>> Score(const std::vector<ScoreRequest>& requests,
+                                   RequestContext* ctx = nullptr);
 
   /// \brief Graceful shutdown: new requests are rejected, queued ones
   /// are drained and answered, then the collector exits. Idempotent.
@@ -79,6 +87,7 @@ class MicroBatcher {
     std::vector<float> scores;
     Status status;
     bool done = false;
+    RequestContext* ctx = nullptr;  ///< borrowed from the blocked caller
   };
 
   void CollectorLoop();

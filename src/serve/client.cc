@@ -16,6 +16,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "serve/request_id.h"
 #include "serve/wire.h"
 #include "util/string_util.h"
 
@@ -166,6 +167,8 @@ ScoringClient::ScoringClient(ScoringClient&& other) noexcept
       port_(other.port_),
       config_(other.config_),
       jitter_(other.jitter_),
+      next_request_n_(other.next_request_n_),
+      last_trace_(other.last_trace_),
       retries_attempted_(other.retries_attempted_) {
   other.fd_ = -1;
 }
@@ -178,6 +181,8 @@ ScoringClient& ScoringClient::operator=(ScoringClient&& other) noexcept {
     port_ = other.port_;
     config_ = other.config_;
     jitter_ = other.jitter_;
+    next_request_n_ = other.next_request_n_;
+    last_trace_ = other.last_trace_;
     retries_attempted_ = other.retries_attempted_;
     other.fd_ = -1;
   }
@@ -256,6 +261,43 @@ Result<std::vector<char>> ScoringClient::RoundTrip(
   }
 }
 
+uint64_t ScoringClient::TagRequest(std::vector<char>* frame) {
+  if (config_.request_id_seed == 0) return 0;
+  const uint64_t id =
+      RequestIdGenerator::Derive(config_.request_id_seed, next_request_n_++);
+  WireWriter trailer;
+  trailer.PutU8(kRequestIdTag);
+  trailer.PutU64(id);
+  frame->insert(frame->end(), trailer.bytes().begin(), trailer.bytes().end());
+  return id;
+}
+
+void ScoringClient::ParseReplyTrailer(WireReader& reader,
+                                      uint64_t request_id) {
+  // Trailer := tag(1) + id(8) + eight i64 phase stamps (64). Anything
+  // else trailing the body is some future server's extension — skip it
+  // and keep last_trace_ as the previous traced reply.
+  constexpr size_t kTrailerBytes = 1 + 8 + 8 * 8;
+  if (request_id == 0 || reader.remaining() != kTrailerBytes) return;
+  RequestContext trace;
+  const Result<uint8_t> tag = reader.TakeU8();
+  if (!tag.ok() || tag.value() != kRequestIdTag) return;
+  const Result<uint64_t> echoed = reader.TakeU64();
+  if (!echoed.ok() || echoed.value() != request_id) return;
+  trace.request_id = echoed.value();
+  int64_t* const stamps[] = {
+      &trace.accept_us,         &trace.parse_us,
+      &trace.enqueue_us,        &trace.batch_close_us,
+      &trace.rows_assembled_us, &trace.forward_done_us,
+      &trace.index_descent_us,  &trace.reply_flushed_us};
+  for (int64_t* stamp : stamps) {
+    const Result<int64_t> value = reader.TakeI64();
+    if (!value.ok()) return;
+    *stamp = value.value();
+  }
+  last_trace_ = trace;
+}
+
 Result<std::vector<float>> ScoringClient::Score(
     const std::vector<ScoreRequest>& requests) {
   WireWriter writer;
@@ -265,8 +307,9 @@ Result<std::vector<float>> ScoringClient::Score(
     writer.PutI32(request.user);
     writer.PutI32(request.item);
   }
-  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
-                         RoundTrip(writer.bytes()));
+  std::vector<char> frame = writer.bytes();
+  const uint64_t request_id = TagRequest(&frame);
+  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body, RoundTrip(frame));
   WireReader reader(body);
   HIGNN_ASSIGN_OR_RETURN(const uint32_t count, reader.TakeU32());
   if (count != requests.size()) {
@@ -278,6 +321,7 @@ Result<std::vector<float>> ScoringClient::Score(
     HIGNN_ASSIGN_OR_RETURN(const float score, reader.TakeF32());
     scores.push_back(score);
   }
+  ParseReplyTrailer(reader, request_id);
   return scores;
 }
 
@@ -294,10 +338,13 @@ Result<std::vector<Recommendation>> ScoringClient::TopK(int32_t user,
   writer.PutI32(user);
   writer.PutI32(k);
   // Trailing optional field: 0 (server default) still travels
-  // explicitly — only pre-beam clients send the 8-byte body.
+  // explicitly — only pre-beam clients send the 8-byte body. The beam
+  // must precede the request-ID tag: the server discriminates the two
+  // optional fields by remaining length (4 = beam, 9 = tag, 13 = both).
   writer.PutI32(beam);
-  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
-                         RoundTrip(writer.bytes()));
+  std::vector<char> frame = writer.bytes();
+  const uint64_t request_id = TagRequest(&frame);
+  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body, RoundTrip(frame));
   WireReader reader(body);
   HIGNN_ASSIGN_OR_RETURN(const uint32_t count, reader.TakeU32());
   std::vector<Recommendation> top;
@@ -308,6 +355,7 @@ Result<std::vector<Recommendation>> ScoringClient::TopK(int32_t user,
     HIGNN_ASSIGN_OR_RETURN(rec.score, reader.TakeF32());
     top.push_back(rec);
   }
+  ParseReplyTrailer(reader, request_id);
   return top;
 }
 
@@ -328,6 +376,24 @@ Result<int64_t> ScoringClient::HealthGeneration() {
 Result<std::string> ScoringClient::Stats() {
   WireWriter writer;
   writer.PutU8(static_cast<uint8_t>(WireVerb::kStats));
+  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
+                         RoundTrip(writer.bytes()));
+  WireReader reader(body);
+  return reader.TakeString();
+}
+
+Result<std::string> ScoringClient::Metrics() {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(WireVerb::kMetrics));
+  HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
+                         RoundTrip(writer.bytes()));
+  WireReader reader(body);
+  return reader.TakeString();
+}
+
+Result<std::string> ScoringClient::TraceDump() {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(WireVerb::kTraceDump));
   HIGNN_ASSIGN_OR_RETURN(const std::vector<char> body,
                          RoundTrip(writer.bytes()));
   WireReader reader(body);

@@ -7,10 +7,13 @@
 
 #include "predict/recommender.h"
 #include "serve/engine.h"
+#include "serve/request_context.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace hignn {
+
+class WireReader;
 
 /// \brief Client-side retry policy: capped exponential backoff with
 /// deterministic (seeded) jitter and a total-sleep budget.
@@ -52,6 +55,14 @@ struct ClientConfig {
   /// SO_SNDTIMEO / SO_RCVTIMEO on the connected socket; <= 0 = no bound.
   int32_t send_timeout_ms = 2000;
   int32_t recv_timeout_ms = 2000;
+
+  /// Non-zero enables request tracing (DESIGN.md §17): every kScore /
+  /// kTopK frame carries a tagged request ID drawn deterministically from
+  /// this seed (RequestIdGenerator::Derive(seed, 0), Derive(seed, 1), ...)
+  /// and the server's reply trailer is parsed into last_trace(). Zero (the
+  /// default) sends untagged legacy frames — byte-identical to a pre-§17
+  /// client.
+  uint64_t request_id_seed = 0;
 
   RetryPolicy retry;
 };
@@ -116,6 +127,14 @@ class ScoringClient {
   /// \brief Server metrics snapshot as JSON.
   Result<std::string> Stats();
 
+  /// \brief Server metrics in Prometheus text exposition format
+  /// (cumulative `le` buckets; see MetricsRegistry::DumpPrometheus).
+  Result<std::string> Metrics();
+
+  /// \brief The server's per-request event log as JSONL — one line per
+  /// recent request, slow exemplars retained past ring eviction.
+  Result<std::string> TraceDump();
+
   /// \brief Asks the server to hot-swap its store ("" = re-open the
   /// current generation's path). Returns the new generation number; on
   /// failure the server keeps serving the old generation. Reload is NOT
@@ -126,6 +145,12 @@ class ScoringClient {
   /// \brief Retries performed over this client's lifetime (reconnects
   /// and re-sends, not first attempts).
   int64_t retries_attempted() const { return retries_attempted_; }
+
+  /// \brief Server-side phase stamps echoed in the most recent traced
+  /// reply (request_id == 0 until a traced Score/TopK succeeds against a
+  /// trailer-aware server; reply_flushed_us is always -1 — the server
+  /// cannot know the flush time before flushing).
+  const RequestContext& last_trace() const { return last_trace_; }
 
  private:
   ScoringClient(int fd, const std::string& host, int32_t port,
@@ -145,11 +170,23 @@ class ScoringClient {
   /// \brief A single send/recv/parse exchange with no retry logic.
   Result<std::vector<char>> RoundTripOnce(const std::vector<char>& request);
 
+  /// \brief Appends the tagged request-ID trailer to `frame` when tracing
+  /// is enabled; returns the ID used (0 when tracing is off). One ID per
+  /// logical call — retries re-send the same bytes, so client and server
+  /// logs join on a single ID no matter how many attempts it took.
+  uint64_t TagRequest(std::vector<char>* frame);
+
+  /// \brief Parses the optional reply trailer into last_trace_. Absent or
+  /// foreign trailers are ignored (an old server or an untagged request).
+  void ParseReplyTrailer(WireReader& reader, uint64_t request_id);
+
   int fd_ = -1;
   std::string host_;
   int32_t port_ = 0;
   ClientConfig config_;
   Rng jitter_;
+  uint64_t next_request_n_ = 0;  ///< counter behind RequestIdGenerator::Derive
+  RequestContext last_trace_;
   int64_t retries_attempted_ = 0;
   /// Set by RoundTripOnce when the server answered kOverloaded — the one
   /// server-reported error that is retryable (the connection stays

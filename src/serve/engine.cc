@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "nn/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -20,6 +22,13 @@ constexpr size_t kForwardChunk = 4096;
 // row-assembly work itself.
 constexpr size_t kParallelRowCutoff = 32;
 
+// Phase stamps are observational and gated on the telemetry switch: with
+// --obs-off the engine never reads the clock (the §11 contract's spirit,
+// and what keeps bench/obs_overhead's off-leg an honest baseline).
+void Stamp(int64_t* slot) {
+  if (slot != nullptr && obs::Enabled()) *slot = obs::NowMicros();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<PredictionEngine>> PredictionEngine::Open(
@@ -36,7 +45,7 @@ PredictionEngine::PredictionEngine(std::unique_ptr<EmbeddingStore> store,
     : store_(std::move(store)), model_(std::move(model)) {}
 
 Result<std::vector<float>> PredictionEngine::ScoreBatch(
-    const std::vector<ScoreRequest>& batch) {
+    const std::vector<ScoreRequest>& batch, ScorePhases* phases) {
   if (batch.empty()) return std::vector<float>{};
   for (const ScoreRequest& request : batch) {
     if (request.user < 0 || request.user >= store_->num_users()) {
@@ -50,11 +59,11 @@ Result<std::vector<float>> PredictionEngine::ScoreBatch(
                     store_->num_items()));
     }
   }
-  return ScoreValidated(batch);
+  return ScoreValidated(batch, phases);
 }
 
 std::vector<float> PredictionEngine::ScoreValidated(
-    const std::vector<ScoreRequest>& batch) {
+    const std::vector<ScoreRequest>& batch, ScorePhases* phases) {
   const size_t dim = static_cast<size_t>(store_->feature_dim());
   Matrix rows(batch.size(), dim);
   const auto fill = [&](size_t begin, size_t end) {
@@ -69,8 +78,11 @@ std::vector<float> PredictionEngine::ScoreValidated(
   } else {
     GlobalThreadPool().ParallelFor(0, batch.size(), fill);
   }
+  Stamp(phases ? &phases->rows_assembled_us : nullptr);
 
-  return ForwardRows(rows);
+  std::vector<float> scores = ForwardRows(rows);
+  Stamp(phases ? &phases->forward_done_us : nullptr);
+  return scores;
 }
 
 std::vector<float> PredictionEngine::ForwardRows(const Matrix& rows) {
@@ -98,8 +110,8 @@ std::vector<float> PredictionEngine::ForwardRows(const Matrix& rows) {
   return scores;
 }
 
-Result<std::vector<Recommendation>> PredictionEngine::RecommendTopK(
-    int32_t user, int32_t k) {
+Result<std::vector<Recommendation>> PredictionEngine::RecommendExact(
+    int32_t user, int32_t k, ScorePhases* phases) {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
   if (user < 0 || user >= store_->num_users()) {
     return Status::InvalidArgument(StrFormat(
@@ -113,13 +125,18 @@ Result<std::vector<Recommendation>> PredictionEngine::RecommendTopK(
     batch.push_back(ScoreRequest{user, item});
     items.push_back(item);
   }
-  const std::vector<float> scores = ScoreValidated(batch);
+  const std::vector<float> scores = ScoreValidated(batch, phases);
   return TopKByScore(items, scores, k);
 }
 
 Result<std::vector<Recommendation>> PredictionEngine::RecommendTopK(
+    int32_t user, int32_t k) {
+  return RecommendExact(user, k, nullptr);
+}
+
+Result<std::vector<Recommendation>> PredictionEngine::RecommendTopK(
     int32_t user, int32_t k, int32_t beam,
-    ClusterTreeIndex::SearchStats* stats) {
+    ClusterTreeIndex::SearchStats* stats, ScorePhases* phases) {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
   if (user < 0 || user >= store_->num_users()) {
     return Status::InvalidArgument(StrFormat(
@@ -128,9 +145,10 @@ Result<std::vector<Recommendation>> PredictionEngine::RecommendTopK(
   const ClusterTreeIndex& index = store_->index();
   if (beam <= 0 || index.num_levels() == 0) {
     // Exactness knob: no beam (or nothing to route on) means the plain
-    // linear scan — bitwise identical to the two-argument overload.
+    // linear scan — bitwise identical to the two-argument overload. No
+    // descent ran, so index_descent_us stays -1.
     if (stats != nullptr) *stats = ClusterTreeIndex::SearchStats{};
-    return RecommendTopK(user, k);
+    return RecommendExact(user, k, phases);
   }
   const ClusterTreeIndex::RowScorer scorer =
       [this](const Matrix& rows) -> Result<std::vector<float>> {
@@ -140,12 +158,13 @@ Result<std::vector<Recommendation>> PredictionEngine::RecommendTopK(
       const std::vector<int32_t> leaves,
       index.SelectLeaves(store_->UserBlock(user), store_->UserTail(user),
                          beam, scorer, stats));
+  Stamp(phases ? &phases->index_descent_us : nullptr);
   std::vector<ScoreRequest> batch;
   batch.reserve(leaves.size());
   for (const int32_t item : leaves) {
     batch.push_back(ScoreRequest{user, item});
   }
-  const std::vector<float> scores = ScoreValidated(batch);
+  const std::vector<float> scores = ScoreValidated(batch, phases);
   return TopKByScore(leaves, scores, k);
 }
 

@@ -21,6 +21,17 @@ struct ScoreRequest {
   int32_t item = 0;
 };
 
+/// \brief Optional phase-stamp out-params for the engine's compute
+/// pipeline (DESIGN.md §17): obs::NowMicros() values written as each
+/// phase completes, -1 for phases the call never entered. Purely
+/// observational — no engine decision reads them — and only written when
+/// telemetry is enabled, so the --obs-off path does not touch the clock.
+struct ScorePhases {
+  int64_t rows_assembled_us = -1;  ///< feature rows gathered
+  int64_t forward_done_us = -1;    ///< MLP forward finished
+  int64_t index_descent_us = -1;   ///< beam descent finished (index path)
+};
+
 /// \brief In-process scoring engine over an EmbeddingStore: assembles
 /// feature rows (thread-pool parallel) and runs the stored CVR MLP.
 ///
@@ -40,7 +51,8 @@ class PredictionEngine {
   /// forward runs (the caller — the micro-batcher — validates per
   /// request, so a mixed batch never reaches the model).
   Result<std::vector<float>> ScoreBatch(
-      const std::vector<ScoreRequest>& batch);
+      const std::vector<ScoreRequest>& batch,
+      ScorePhases* phases = nullptr);
 
   /// \brief Scores every item for `user` and returns the k best via the
   /// same TopKByScore ranking the offline recommender uses (score
@@ -58,7 +70,8 @@ class PredictionEngine {
   /// per-search index telemetry; it is zeroed on the exact path.
   Result<std::vector<Recommendation>> RecommendTopK(
       int32_t user, int32_t k, int32_t beam,
-      ClusterTreeIndex::SearchStats* stats = nullptr);
+      ClusterTreeIndex::SearchStats* stats = nullptr,
+      ScorePhases* phases = nullptr);
 
   const EmbeddingStore& store() const { return *store_; }
 
@@ -66,7 +79,12 @@ class PredictionEngine {
   PredictionEngine(std::unique_ptr<EmbeddingStore> store, CvrModel model);
 
   /// \brief Parallel row assembly + chunked forward. Ids must be valid.
-  std::vector<float> ScoreValidated(const std::vector<ScoreRequest>& batch);
+  std::vector<float> ScoreValidated(const std::vector<ScoreRequest>& batch,
+                                    ScorePhases* phases = nullptr);
+
+  /// \brief Shared exact-scan tail of both RecommendTopK overloads.
+  Result<std::vector<Recommendation>> RecommendExact(int32_t user, int32_t k,
+                                                     ScorePhases* phases);
 
   /// \brief Chunked forward over pre-assembled rows (the shared tail of
   /// ScoreValidated and the index's per-level centroid scoring).

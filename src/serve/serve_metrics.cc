@@ -17,6 +17,10 @@ const char* ServeVerbStatName(ServeVerbStat verb) {
       return "stats";
     case ServeVerbStat::kReload:
       return "reload";
+    case ServeVerbStat::kMetrics:
+      return "metrics";
+    case ServeVerbStat::kTraceDump:
+      return "trace_dump";
   }
   return "unknown";
 }
@@ -31,6 +35,7 @@ ServeMetrics::ServeMetrics(obs::MetricsRegistry* registry) {
 }
 
 void ServeMetrics::BindMetrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
   for (int32_t v = 0; v < kNumServeVerbs; ++v) {
     const char* name = ServeVerbStatName(static_cast<ServeVerbStat>(v));
     requests_[v] =
@@ -52,6 +57,18 @@ void ServeMetrics::BindMetrics(obs::MetricsRegistry* registry) {
                                         obs::DefaultLatencyBoundsUs());
   batch_rows_ = &registry->GetHistogram("serve.batch_rows",
                                         obs::DefaultBatchRowBounds());
+  phase_parse_ = &registry->GetHistogram("serve.phase.parse_us",
+                                         obs::DefaultLatencyBoundsUs());
+  phase_queue_wait_ = &registry->GetHistogram(
+      "serve.phase.queue_wait_us", obs::DefaultLatencyBoundsUs());
+  phase_assemble_ = &registry->GetHistogram("serve.phase.assemble_us",
+                                            obs::DefaultLatencyBoundsUs());
+  phase_forward_ = &registry->GetHistogram("serve.phase.forward_us",
+                                           obs::DefaultLatencyBoundsUs());
+  phase_index_ = &registry->GetHistogram("serve.phase.index_us",
+                                         obs::DefaultLatencyBoundsUs());
+  phase_reply_ = &registry->GetHistogram("serve.phase.reply_us",
+                                         obs::DefaultLatencyBoundsUs());
 }
 
 void ServeMetrics::RecordRequest(ServeVerbStat verb, double latency_us,
@@ -59,6 +76,31 @@ void ServeMetrics::RecordRequest(ServeVerbStat verb, double latency_us,
   requests_[static_cast<int32_t>(verb)]->Add(1);
   if (!ok) errors_[static_cast<int32_t>(verb)]->Add(1);
   latency_us_->Record(latency_us);
+}
+
+void ServeMetrics::RecordPhases(const RequestContext& ctx) {
+  const auto record = [](obs::Histogram* histogram, int64_t end,
+                         int64_t begin) {
+    if (begin >= 0 && end >= begin) {
+      histogram->Record(static_cast<double>(end - begin));
+    }
+  };
+  record(phase_parse_, ctx.parse_us, ctx.accept_us);
+  record(phase_queue_wait_, ctx.batch_close_us, ctx.enqueue_us);
+  record(phase_index_, ctx.index_descent_us, ctx.parse_us);
+  // Row assembly starts where the previous phase on this verb's path
+  // ended: the batch close (batched score), the index descent (beamed
+  // topk), or the parse (exact-scan topk).
+  const int64_t assemble_from = ctx.batch_close_us >= 0
+                                    ? ctx.batch_close_us
+                                    : ctx.index_descent_us >= 0
+                                          ? ctx.index_descent_us
+                                          : ctx.parse_us;
+  record(phase_assemble_, ctx.rows_assembled_us, assemble_from);
+  record(phase_forward_, ctx.forward_done_us, ctx.rows_assembled_us);
+  const int64_t reply_from =
+      ctx.forward_done_us >= 0 ? ctx.forward_done_us : ctx.parse_us;
+  record(phase_reply_, ctx.reply_flushed_us, reply_from);
 }
 
 void ServeMetrics::RecordShed() { shed_->Add(1); }

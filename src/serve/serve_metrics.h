@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "serve/request_context.h"
 #include "util/status.h"
 
 namespace hignn {
@@ -18,8 +19,10 @@ enum class ServeVerbStat : int32_t {
   kHealth = 2,
   kStats = 3,
   kReload = 4,
+  kMetrics = 5,
+  kTraceDump = 6,
 };
-inline constexpr int32_t kNumServeVerbs = 5;
+inline constexpr int32_t kNumServeVerbs = 7;
 const char* ServeVerbStatName(ServeVerbStat verb);
 
 /// \brief Serve-side observability: request/error counters per verb,
@@ -48,6 +51,13 @@ class ServeMetrics {
 
   /// \brief One finished request: verb, wall latency, success flag.
   void RecordRequest(ServeVerbStat verb, double latency_us, bool ok);
+
+  /// \brief Per-phase latency attribution from a completed request's
+  /// context (DESIGN.md §17): adjacent stamp deltas land in the
+  /// `serve.phase.*_us` histograms. A phase is recorded only when both of
+  /// its boundary stamps are present, so verbs that skip a phase (health,
+  /// exact-scan topk) never pollute the distribution with zeros.
+  void RecordPhases(const RequestContext& ctx);
 
   /// \brief One request rejected by overload shedding (fast-fail).
   void RecordShed();
@@ -85,6 +95,11 @@ class ServeMetrics {
   int64_t index_beam() const;  ///< beam of the most recent beamed search
   double LatencyPercentile(double p) const;
 
+  /// \brief The registry this façade reports into — the daemon's metrics
+  /// verb serves obs::MetricsRegistry::DumpPrometheus() straight off it.
+  obs::MetricsRegistry& registry() { return *registry_; }
+  const obs::MetricsRegistry& registry() const { return *registry_; }
+
   /// \brief Full JSON snapshot (stable key order, pre-refactor format).
   std::string ToJson() const;
 
@@ -96,6 +111,7 @@ class ServeMetrics {
   void BindMetrics(obs::MetricsRegistry* registry);
 
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
   obs::Counter* requests_[kNumServeVerbs] = {};
   obs::Counter* errors_[kNumServeVerbs] = {};
   obs::Counter* shed_ = nullptr;
@@ -109,6 +125,12 @@ class ServeMetrics {
   obs::Gauge* store_generation_ = nullptr;
   obs::Histogram* latency_us_ = nullptr;
   obs::Histogram* batch_rows_ = nullptr;
+  obs::Histogram* phase_parse_ = nullptr;
+  obs::Histogram* phase_queue_wait_ = nullptr;
+  obs::Histogram* phase_assemble_ = nullptr;
+  obs::Histogram* phase_forward_ = nullptr;
+  obs::Histogram* phase_index_ = nullptr;
+  obs::Histogram* phase_reply_ = nullptr;
 };
 
 }  // namespace hignn

@@ -11,6 +11,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/wire.h"
 #include "util/fault_injection.h"
@@ -44,6 +46,28 @@ std::vector<char> ErrorResponse(WireStatus code, const std::string& message) {
   writer.PutU8(static_cast<uint8_t>(code));
   writer.PutString(message);
   return writer.bytes();
+}
+
+// Observation-only phase stamp, no-op under --obs-off (§17).
+void Stamp(int64_t* slot) {
+  if (obs::Enabled()) *slot = obs::NowMicros();
+}
+
+// RequestContext -> structured event-log record.
+obs::Event EventFromContext(const RequestContext& ctx) {
+  obs::Event event;
+  event.request_id = ctx.request_id;
+  event.verb = ctx.verb;
+  event.ok = ctx.ok;
+  event.stamps[obs::kPhaseAccept] = ctx.accept_us;
+  event.stamps[obs::kPhaseParse] = ctx.parse_us;
+  event.stamps[obs::kPhaseEnqueue] = ctx.enqueue_us;
+  event.stamps[obs::kPhaseBatchClose] = ctx.batch_close_us;
+  event.stamps[obs::kPhaseRowsAssembled] = ctx.rows_assembled_us;
+  event.stamps[obs::kPhaseForwardDone] = ctx.forward_done_us;
+  event.stamps[obs::kPhaseIndexDescent] = ctx.index_descent_us;
+  event.stamps[obs::kPhaseReplyFlushed] = ctx.reply_flushed_us;
+  return event;
 }
 
 }  // namespace
@@ -100,6 +124,12 @@ Result<std::unique_ptr<ScoringServer>> ScoringServer::Start(
   }
   server->port_ = static_cast<int32_t>(ntohs(bound.sin_port));
 
+  server->event_log_ = config.event_log != nullptr
+                           ? config.event_log
+                           : &obs::EventLog::Global();
+  server->event_log_->set_slow_threshold_us(config.slow_threshold_us);
+  server->start_us_ = obs::NowMicros();
+  server->start_generation_ = stores->generation();
   server->batcher_ = std::make_unique<MicroBatcher>(stores, metrics,
                                                     config.batcher);
   // hignn-lint: allow(naked-thread) long-blocking accept thread (server.h)
@@ -200,25 +230,53 @@ void ScoringServer::ServeConnection(int fd) {
       if (IsRecvTimeout(frame.status()) && !stopping_.load()) continue;
       break;  // closed, corrupt, or shutting down
     }
-    const std::vector<char> response = HandleRequest(frame.value());
-    if (!SendFrame(fd, response).ok()) break;
+    RequestContext ctx;
+    Stamp(&ctx.accept_us);
+    const std::vector<char> response = HandleRequest(frame.value(), &ctx);
+    const bool sent = SendFrame(fd, response).ok();
+    if (sent) Stamp(&ctx.reply_flushed_us);
+    // Full-lifecycle accounting happens only now that the reply has been
+    // flushed (or failed): per-phase histograms plus the structured event
+    // record, slow exemplars retained by the log itself.
+    metrics_->RecordPhases(ctx);
+    event_log_->Record(EventFromContext(ctx));
+    if (!sent) break;
   }
   ::close(fd);
 }
 
 std::vector<char> ScoringServer::HandleRequest(
-    const std::vector<char>& payload) {
+    const std::vector<char>& payload, RequestContext* ctx) {
   obs::Stopwatch timer;
   WireReader reader(payload);
   Result<uint8_t> verb_byte = reader.TakeU8();
   if (!verb_byte.ok()) {
     return ErrorResponse(WireStatus::kBadRequest, "empty request frame");
   }
+  ctx->verb = verb_byte.value();
 
   const auto finish = [&](ServeVerbStat verb, bool ok,
                           std::vector<char> response) {
+    ctx->ok = ok;
     metrics_->RecordRequest(verb, timer.Seconds() * 1e6, ok);
     return response;
+  };
+
+  // Appends the reply trace trailer (wire.h) when the request carried a
+  // request-ID tag: the ID echoed back plus the phase stamps known while
+  // the reply is being built (reply_flushed is by definition not yet).
+  const auto append_trace = [&](WireWriter& writer) {
+    if (ctx->request_id == 0) return;
+    writer.PutU8(kRequestIdTag);
+    writer.PutU64(ctx->request_id);
+    writer.PutI64(ctx->accept_us);
+    writer.PutI64(ctx->parse_us);
+    writer.PutI64(ctx->enqueue_us);
+    writer.PutI64(ctx->batch_close_us);
+    writer.PutI64(ctx->rows_assembled_us);
+    writer.PutI64(ctx->forward_done_us);
+    writer.PutI64(ctx->index_descent_us);
+    writer.PutI64(-1);  // reply_flushed: unknowable until after send
   };
 
   switch (static_cast<WireVerb>(verb_byte.value())) {
@@ -244,7 +302,15 @@ std::vector<char> ScoringServer::HandleRequest(
         request.item = item.value();
         requests.push_back(request);
       }
-      Result<std::vector<float>> scores = batcher_->Score(requests);
+      Result<uint64_t> request_id = TakeOptionalRequestId(reader);
+      if (!request_id.ok()) {
+        return finish(ServeVerbStat::kScore, false,
+                      ErrorResponse(WireStatus::kBadRequest,
+                                    request_id.status().message()));
+      }
+      ctx->request_id = request_id.value();
+      Stamp(&ctx->parse_us);
+      Result<std::vector<float>> scores = batcher_->Score(requests, ctx);
       if (!scores.ok()) {
         return finish(ServeVerbStat::kScore, false,
                       ErrorResponse(WireStatusForError(scores.status()),
@@ -254,6 +320,7 @@ std::vector<char> ScoringServer::HandleRequest(
       writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
       writer.PutU32(static_cast<uint32_t>(scores.value().size()));
       for (float score : scores.value()) writer.PutF32(score);
+      append_trace(writer);
       return finish(ServeVerbStat::kScore, true, writer.bytes());
     }
     case WireVerb::kTopK: {
@@ -264,10 +331,11 @@ std::vector<char> ScoringServer::HandleRequest(
                       ErrorResponse(WireStatus::kBadRequest,
                                     "truncated topk request"));
       }
-      // Optional trailing beam override (wire.h): absent (old clients)
-      // or 0 means the configured default, negative means exact.
+      // Optional trailing fields, discriminated by remaining length
+      // (wire.h): 0 = neither, 4 = beam, 9 = request-ID tag, 13 = both.
+      // Absent or 0 beam means the configured default, negative exact.
       int32_t beam = 0;
-      if (!reader.AtEnd()) {
+      if (reader.remaining() == 4 || reader.remaining() == 13) {
         Result<int32_t> wire_beam = reader.TakeI32();
         if (!wire_beam.ok()) {
           return finish(ServeVerbStat::kTopK, false,
@@ -276,6 +344,14 @@ std::vector<char> ScoringServer::HandleRequest(
         }
         beam = wire_beam.value();
       }
+      Result<uint64_t> request_id = TakeOptionalRequestId(reader);
+      if (!request_id.ok()) {
+        return finish(ServeVerbStat::kTopK, false,
+                      ErrorResponse(WireStatus::kBadRequest,
+                                    request_id.status().message()));
+      }
+      ctx->request_id = request_id.value();
+      Stamp(&ctx->parse_us);
       const int32_t effective_beam = beam == 0 ? config_.topk_beam : beam;
       // Hold one generation for the whole ranking pass; a concurrent
       // reload cannot swap the store out from under it — the index is
@@ -284,9 +360,14 @@ std::vector<char> ScoringServer::HandleRequest(
       const std::shared_ptr<const StoreGeneration> generation =
           stores_->Current();
       ClusterTreeIndex::SearchStats search_stats;
+      ScorePhases phases;
       Result<std::vector<Recommendation>> top =
           generation->engine->RecommendTopK(user.value(), k.value(),
-                                            effective_beam, &search_stats);
+                                            effective_beam, &search_stats,
+                                            &phases);
+      ctx->rows_assembled_us = phases.rows_assembled_us;
+      ctx->forward_done_us = phases.forward_done_us;
+      ctx->index_descent_us = phases.index_descent_us;
       if (!top.ok()) {
         return finish(ServeVerbStat::kTopK, false,
                       ErrorResponse(WireStatusForError(top.status()),
@@ -304,9 +385,11 @@ std::vector<char> ScoringServer::HandleRequest(
         writer.PutI32(rec.item);
         writer.PutF32(rec.score);
       }
+      append_trace(writer);
       return finish(ServeVerbStat::kTopK, true, writer.bytes());
     }
     case WireVerb::kHealth: {
+      Stamp(&ctx->parse_us);
       WireWriter writer;
       writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
       writer.PutU8(1);
@@ -314,9 +397,25 @@ std::vector<char> ScoringServer::HandleRequest(
       return finish(ServeVerbStat::kHealth, true, writer.bytes());
     }
     case WireVerb::kStats: {
+      Stamp(&ctx->parse_us);
+      // ToJson() is the stable pre-§17 wire format; the daemon-scoped
+      // fields (start generation, monotonic uptime, exemplar config) are
+      // spliced in as a trailing "daemon" section so every older field
+      // keeps its exact bytes.
+      std::string json = metrics_->ToJson();  // ends "...}\n}\n"
+      json.erase(json.size() - 3);            // keep "...}", drop "\n}\n"
+      json += StrFormat(
+          ",\n  \"daemon\": {\"start_generation\": %lld, "
+          "\"uptime_us\": %lld, \"slow_threshold_us\": %lld, "
+          "\"events_recorded\": %lld, \"slow_events\": %lld}\n}\n",
+          static_cast<long long>(start_generation_),
+          static_cast<long long>(obs::NowMicros() - start_us_),
+          static_cast<long long>(event_log_->slow_threshold_us()),
+          static_cast<long long>(event_log_->recorded()),
+          static_cast<long long>(event_log_->slow_recorded()));
       WireWriter writer;
       writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
-      writer.PutString(metrics_->ToJson());
+      writer.PutString(json);
       return finish(ServeVerbStat::kStats, true, writer.bytes());
     }
     case WireVerb::kReload: {
@@ -326,6 +425,7 @@ std::vector<char> ScoringServer::HandleRequest(
                       ErrorResponse(WireStatus::kBadRequest,
                                     "truncated reload request"));
       }
+      Stamp(&ctx->parse_us);
       Result<int64_t> generation = stores_->Reload(path.value());
       if (!generation.ok()) {
         // The failed swap is a no-op for traffic: report the error but
@@ -338,6 +438,20 @@ std::vector<char> ScoringServer::HandleRequest(
       writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
       writer.PutU32(static_cast<uint32_t>(generation.value()));
       return finish(ServeVerbStat::kReload, true, writer.bytes());
+    }
+    case WireVerb::kMetrics: {
+      Stamp(&ctx->parse_us);
+      WireWriter writer;
+      writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
+      writer.PutString(metrics_->registry().DumpPrometheus());
+      return finish(ServeVerbStat::kMetrics, true, writer.bytes());
+    }
+    case WireVerb::kTraceDump: {
+      Stamp(&ctx->parse_us);
+      WireWriter writer;
+      writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
+      writer.PutString(event_log_->DumpJsonl());
+      return finish(ServeVerbStat::kTraceDump, true, writer.bytes());
     }
   }
   return ErrorResponse(WireStatus::kBadRequest, "unknown verb");

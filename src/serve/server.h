@@ -9,8 +9,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "serve/batcher.h"
 #include "serve/index/cluster_tree.h"
+#include "serve/request_context.h"
 #include "serve/serve_metrics.h"
 #include "serve/store_manager.h"
 #include "util/mutex.h"
@@ -38,6 +40,15 @@ struct ServerConfig {
   /// cluster-tree index. <= 0 serves every such request with the exact
   /// linear scan instead.
   int32_t topk_beam = kDefaultTopKBeam;
+
+  /// Requests whose end-to-end duration reaches this are always captured
+  /// as slow exemplars in the event log (DESIGN.md §17); <= 0 disables
+  /// exemplar capture.
+  int64_t slow_threshold_us = obs::EventLog::kDefaultSlowThresholdUs;
+
+  /// Event log the server records per-request events into; nullptr means
+  /// obs::EventLog::Global() (tests pass a private log for isolation).
+  obs::EventLog* event_log = nullptr;
 
   BatcherConfig batcher;
 };
@@ -82,11 +93,21 @@ class ScoringServer {
   void ServeConnection(int fd);
 
   /// \brief Decodes one request frame and builds the response payload.
-  std::vector<char> HandleRequest(const std::vector<char>& payload);
+  /// `ctx` carries the request's trace state: the verb / request ID /
+  /// parse-to-forward stamps are filled here (and by the layers below),
+  /// reply_flushed by ServeConnection after the frame is sent.
+  std::vector<char> HandleRequest(const std::vector<char>& payload,
+                                  RequestContext* ctx);
 
   StoreManager* const stores_;
   ServeMetrics* const metrics_;
   const ServerConfig config_;
+  // hignn-lint: allow(guard-annotation) immutable after Start(): ordered by thread spawn/join
+  obs::EventLog* event_log_ = nullptr;
+  // hignn-lint: allow(guard-annotation) immutable after Start(): ordered by thread spawn/join
+  int64_t start_us_ = 0;  ///< obs::NowMicros() at Start
+  // hignn-lint: allow(guard-annotation) immutable after Start(): ordered by thread spawn/join
+  int64_t start_generation_ = 0;  ///< store generation at Start
 
   // Written once during Start() before any thread is spawned, then
   // immutable until Stop() (which runs after every thread has joined) —

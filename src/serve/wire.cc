@@ -24,6 +24,12 @@ void WireWriter::PutU32(uint32_t value) {
   }
 }
 
+void WireWriter::PutU64(uint64_t value) {
+  for (int b = 0; b < 8; ++b) {
+    bytes_.push_back(static_cast<char>((value >> (8 * b)) & 0xffu));
+  }
+}
+
 void WireWriter::PutF32(float value) {
   uint32_t bits = 0;
   std::memcpy(&bits, &value, sizeof(bits));
@@ -55,9 +61,27 @@ Result<uint32_t> WireReader::TakeU32() {
   return value;
 }
 
+Result<uint64_t> WireReader::TakeU64() {
+  if (pos_ + 8 > size_) {
+    return Status::InvalidArgument("truncated frame payload");
+  }
+  uint64_t value = 0;
+  for (int b = 0; b < 8; ++b) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + b]))
+             << (8 * b);
+  }
+  pos_ += 8;
+  return value;
+}
+
 Result<int32_t> WireReader::TakeI32() {
   HIGNN_ASSIGN_OR_RETURN(const uint32_t bits, TakeU32());
   return static_cast<int32_t>(bits);
+}
+
+Result<int64_t> WireReader::TakeI64() {
+  HIGNN_ASSIGN_OR_RETURN(const uint64_t bits, TakeU64());
+  return static_cast<int64_t>(bits);
 }
 
 Result<float> WireReader::TakeF32() {
@@ -75,6 +99,18 @@ Result<std::string> WireReader::TakeString() {
   std::string value(data_ + pos_, length);
   pos_ += length;
   return value;
+}
+
+Result<uint64_t> TakeOptionalRequestId(WireReader& reader) {
+  if (reader.AtEnd()) return static_cast<uint64_t>(0);
+  if (reader.remaining() != 9) {
+    return Status::InvalidArgument("malformed request-id trailer");
+  }
+  HIGNN_ASSIGN_OR_RETURN(const uint8_t tag, reader.TakeU8());
+  if (tag != kRequestIdTag) {
+    return Status::InvalidArgument("unexpected trailer tag");
+  }
+  return reader.TakeU64();
 }
 
 namespace {

@@ -37,6 +37,24 @@ namespace hignn {
 ///           response u32 new store generation. A reload that fails
 ///                    validation answers kInternal and the previous
 ///                    generation keeps serving untouched.
+///   kMetrics   request  empty
+///              response u32-prefixed Prometheus text exposition of the
+///                       daemon's MetricsRegistry (DESIGN.md §17)
+///   kTraceDump request  empty
+///              response u32-prefixed JSONL dump of the daemon's
+///                       structured event log (obs::EventLog)
+///
+/// Request-ID tag (DESIGN.md §17): any request body may carry an optional
+/// trailing `u8 kRequestIdTag, u64 id` (9 bytes). Servers that predate
+/// the tag ignore trailing bytes, so new clients interop with old
+/// daemons; old clients simply omit it and parse as "untraced"
+/// (request_id 0) — the same compat scheme as kTopK's trailing beam.
+/// When a kScore/kTopK request carried a tag, the kOk response appends a
+/// trailing trace: `u8 kRequestIdTag, u64 id, 8 x i64 phase stamps`
+/// (lifecycle order per obs::EventPhase; -1 = phase not reached;
+/// reply_flushed is -1 on the wire because the reply is not yet flushed
+/// while being built). Old clients stop after the scores and never see
+/// the trailer.
 ///
 /// Floats travel as their IEEE-754 bit pattern in a u32, so a score is
 /// bit-exact across the wire — the parity tests compare for equality,
@@ -47,7 +65,13 @@ enum class WireVerb : uint8_t {
   kHealth = 3,
   kStats = 4,
   kReload = 5,
+  kMetrics = 6,
+  kTraceDump = 7,
 };
+
+/// \brief Tag byte introducing the optional request-ID trailer. Chosen
+/// printable ('R') so a hex dump of a tagged frame reads naturally.
+inline constexpr uint8_t kRequestIdTag = 0x52;
 
 /// \brief Response status on the wire.
 enum class WireStatus : uint8_t {
@@ -66,7 +90,9 @@ class WireWriter {
  public:
   void PutU8(uint8_t value) { bytes_.push_back(static_cast<char>(value)); }
   void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
   void PutI32(int32_t value) { PutU32(static_cast<uint32_t>(value)); }
+  void PutI64(int64_t value) { PutU64(static_cast<uint64_t>(value)); }
   void PutF32(float value);
   /// \brief u32 length prefix + raw bytes.
   void PutString(const std::string& value);
@@ -87,17 +113,28 @@ class WireReader {
 
   Result<uint8_t> TakeU8();
   Result<uint32_t> TakeU32();
+  Result<uint64_t> TakeU64();
   Result<int32_t> TakeI32();
+  Result<int64_t> TakeI64();
   Result<float> TakeF32();
   Result<std::string> TakeString();
 
   bool AtEnd() const { return pos_ == size_; }
+  /// \brief Unconsumed bytes — how parsers discriminate the optional
+  /// trailing fields (kTopK beam, request-ID tag) by length.
+  size_t remaining() const { return size_ - pos_; }
 
  private:
   const char* data_;
   size_t size_;
   size_t pos_ = 0;
 };
+
+/// \brief Consumes the optional trailing request-ID tag: returns 0 when
+/// the reader is at end (an untraced legacy frame), the tagged ID when
+/// exactly `u8 kRequestIdTag, u64 id` remains, and InvalidArgument for
+/// anything else (wrong tag byte or a malformed trailer length).
+Result<uint64_t> TakeOptionalRequestId(WireReader& reader);
 
 /// \brief Writes one length-prefixed frame to a connected socket,
 /// looping over partial sends. Peer resets (ECONNRESET / EPIPE / a send

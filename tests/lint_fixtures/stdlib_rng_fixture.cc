@@ -1,0 +1,18 @@
+// hignn_lint fixture: rule nondet-source, stdlib RNG engines. Never
+// compiled — scanned by hignn_lint in lint_test.cc, which asserts the
+// exact line numbers below.
+#include <random>
+
+unsigned Engines(unsigned seed) {
+  std::mt19937 gen32(seed);  // line 7: stdlib engine
+  std::mt19937_64 gen64(seed);  // line 8: the 64-bit engine, one finding
+  std::minstd_rand lcg(seed);  // line 9: stdlib engine
+  std::default_random_engine fallback(seed);  // line 10: stdlib engine
+  return static_cast<unsigned>(gen32() + gen64() + lcg() + fallback());
+}
+
+unsigned NotViolations(unsigned seed) {
+  unsigned mt19937_lookalike = seed;  // joined word: fine
+  unsigned operand = seed;  // 'rand' inside 'operand': fine
+  return mt19937_lookalike + operand;
+}

@@ -129,6 +129,28 @@ TEST(LintTest, NondetSourceFiresOnEntropyClockAndNow) {
             "checked 1 files: 4 violation(s)\n");
 }
 
+TEST(LintTest, StdlibRngEnginesFireAsSecondSeedUniverses) {
+  const LintRun run = RunOnFixtures("stdlib_rng_fixture.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string advice =
+      "' bypasses the audited seed path; draw from a util/rng.h Rng "
+      "instead\n";
+  EXPECT_EQ(run.output,
+            "stdlib_rng_fixture.cc:7: [nondet-source] stdlib RNG engine "
+            "'std::mt19937" + advice +
+            "stdlib_rng_fixture.cc:8: [nondet-source] stdlib RNG engine "
+            "'std::mt19937_64" + advice +
+            "stdlib_rng_fixture.cc:9: [nondet-source] stdlib RNG engine "
+            "'std::minstd_rand" + advice +
+            "stdlib_rng_fixture.cc:10: [nondet-source] stdlib RNG engine "
+            "'std::default_random_engine" + advice +
+            "allowed: none\n"
+            "checked 1 files: 4 violation(s)\n");
+  // The joined words on lines 15-16 stay silent.
+  EXPECT_EQ(run.output.find("stdlib_rng_fixture.cc:15"), std::string::npos);
+  EXPECT_EQ(run.output.find("stdlib_rng_fixture.cc:16"), std::string::npos);
+}
+
 TEST(LintTest, WallClockTokensFireOutsideTheObsScope) {
   const LintRun run = RunOnFixtures("wallclock_fixture.cc");
   EXPECT_EQ(run.exit_code, 1);
@@ -365,10 +387,10 @@ TEST(LintTest, DirectoryScanAggregatesAndSortsAcrossFiles) {
   EXPECT_EQ(run.exit_code, 1);
   // 4 + 3 + 4 + 3 + 3 + 1 + 6 + 2 + 2 + 1 + 1 pinned violations across
   // the eleven original violating fixtures plus 6 + 2 + 2 from the
-  // lock-discipline, guard-annotation and unchecked-status fixtures; the
-  // allowed fixture contributes 5 tallied suppressions and each new
-  // fixture one more.
-  EXPECT_NE(run.output.find("checked 16 files: 40 violation(s)\n"),
+  // lock-discipline, guard-annotation and unchecked-status fixtures and
+  // 4 from the stdlib-RNG fixture; the allowed fixture contributes 5
+  // tallied suppressions and each new fixture one more.
+  EXPECT_NE(run.output.find("checked 17 files: 44 violation(s)\n"),
             std::string::npos);
   // Diagnostics are sorted by path, so the float-reduction fixture's
   // single finding leads the report.

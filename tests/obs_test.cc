@@ -18,6 +18,7 @@
 
 #include "core/hignn.h"
 #include "data/synthetic.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
@@ -66,6 +67,12 @@ TEST(ObsMetricsTest, HistogramBucketBoundariesArePrevBoundInclusive) {
   histogram.Record(25.0);   // overflow
   EXPECT_EQ(histogram.count(), 5);
   EXPECT_EQ(histogram.SnapshotCounts(), (std::vector<int64_t>{2, 2, 1}));
+  // Exact extremes and the explicit overflow count ride alongside the
+  // bucketized view — the parts bucket flooring loses.
+  EXPECT_EQ(histogram.overflow(), 1);
+  EXPECT_DOUBLE_EQ(histogram.observed_min(), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.observed_max(), 25.0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 75.0);
   // Overflow-bucket percentiles floor to the last finite bound.
   EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 20.0);
   // The free function over an explicit snapshot agrees with the member.
@@ -173,7 +180,8 @@ TEST(ObsMetricsTest, DumpJsonIsByteStableAndSorted) {
       "  },\n"
       "  \"histograms\": {\n"
       "    \"c.hist\": {\"count\": 4, \"p50\": 10.0, \"p95\": 20.0, "
-      "\"p99\": 20.0, \"buckets\": {\"bounds\": [10, 20], "
+      "\"p99\": 20.0, \"min\": 5, \"max\": 25, \"overflow\": 1, "
+      "\"buckets\": {\"bounds\": [10, 20], "
       "\"counts\": [2, 1, 1]}}\n"
       "  },\n"
       "  \"series\": {\n"
@@ -189,6 +197,147 @@ TEST(ObsMetricsTest, DumpJsonIsByteStableAndSorted) {
             "b.gauge\t0.5\n"
             "c.hist\tcount=4 p50=10.0 p95=20.0 p99=20.0\n"
             "d.series\tpoints=2\n");
+}
+
+TEST(ObsMetricsTest, DumpPrometheusIsSortedCumulativeAndSanitized) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("serve.requests.score").Add(3);
+  registry.GetGauge("serve.index.beam").Set(32);
+  obs::Histogram& histogram =
+      registry.GetHistogram("serve.latency_us", {10.0, 20.0});
+  histogram.Record(5.0);
+  histogram.Record(15.0);
+  histogram.Record(25.0);
+  // Series are deliberately omitted from the exposition format.
+  registry.GetSeries("loss").Append(1.0);
+
+  EXPECT_EQ(registry.DumpPrometheus(),
+            "# TYPE hignn_serve_requests_score counter\n"
+            "hignn_serve_requests_score 3\n"
+            "# TYPE hignn_serve_index_beam gauge\n"
+            "hignn_serve_index_beam 32\n"
+            "# TYPE hignn_serve_latency_us histogram\n"
+            "hignn_serve_latency_us_bucket{le=\"10\"} 1\n"
+            "hignn_serve_latency_us_bucket{le=\"20\"} 2\n"
+            "hignn_serve_latency_us_bucket{le=\"+Inf\"} 3\n"
+            "hignn_serve_latency_us_sum 45\n"
+            "hignn_serve_latency_us_count 3\n");
+  EXPECT_EQ(registry.DumpPrometheus(), registry.DumpPrometheus());
+}
+
+obs::Event TracedEvent(uint64_t request_id, int64_t start_us,
+                       int64_t duration_us) {
+  obs::Event event;
+  event.request_id = request_id;
+  event.verb = 1;
+  event.stamps[obs::kPhaseAccept] = start_us;
+  event.stamps[obs::kPhaseParse] = start_us + 1;
+  event.stamps[obs::kPhaseReplyFlushed] = start_us + duration_us;
+  return event;
+}
+
+TEST(ObsEventLogTest, GoldenJsonlLineAndDurationSemantics) {
+  obs::EventLog log(/*capacity=*/4, /*exemplar_capacity=*/2);
+  log.set_slow_threshold_us(100);
+  obs::Event event;
+  event.request_id = 0xABCDEF0123456789ull;
+  event.verb = 2;
+  event.ok = false;
+  event.stamps[obs::kPhaseAccept] = 1000;
+  event.stamps[obs::kPhaseParse] = 1010;
+  event.stamps[obs::kPhaseIndexDescent] = 1200;
+  event.stamps[obs::kPhaseReplyFlushed] = 1250;
+  EXPECT_EQ(event.DurationUs(), 250);
+  log.Record(event);
+  EXPECT_EQ(log.recorded(), 1);
+  EXPECT_EQ(log.slow_recorded(), 1);  // 250 >= 100
+  EXPECT_EQ(log.DumpJsonl(),
+            "{\"seq\": 0, \"request_id\": \"abcdef0123456789\", "
+            "\"verb\": 2, \"ok\": false, \"slow\": true, "
+            "\"duration_us\": 250, \"accept_us\": 1000, "
+            "\"parse_us\": 1010, \"enqueue_us\": -1, "
+            "\"batch_close_us\": -1, \"rows_assembled_us\": -1, "
+            "\"forward_done_us\": -1, \"index_descent_us\": 1200, "
+            "\"reply_flushed_us\": 1250}\n");
+  // Determinism: the same history dumps the same bytes.
+  EXPECT_EQ(log.DumpJsonl(), log.DumpJsonl());
+}
+
+TEST(ObsEventLogTest, RingEvictsFastEventsButExemplarsKeepSlowOnes) {
+  obs::EventLog log(/*capacity=*/4, /*exemplar_capacity=*/2);
+  log.set_slow_threshold_us(1000);
+  // One slow event, then a burst of fast ones that laps the main ring.
+  log.Record(TracedEvent(0x51, /*start_us=*/0, /*duration_us=*/5000));
+  for (int i = 0; i < 8; ++i) {
+    log.Record(TracedEvent(0x100 + i, 10000 + i * 10, /*duration_us=*/5));
+  }
+  EXPECT_EQ(log.recorded(), 9);
+  EXPECT_EQ(log.slow_recorded(), 1);
+  const std::string jsonl = log.DumpJsonl();
+  // The slow exemplar survived eviction; the earliest fast events did not.
+  EXPECT_NE(jsonl.find("\"request_id\": \"0000000000000051\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"slow\": true"), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"request_id\": \"0000000000000100\""),
+            std::string::npos);
+  // 4 ring slots + 1 surviving exemplar = 5 lines.
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 5u);
+}
+
+TEST(ObsEventLogTest, ExemplarStillInRingIsNotDuplicated) {
+  obs::EventLog log(/*capacity=*/4, /*exemplar_capacity=*/2);
+  log.set_slow_threshold_us(1000);
+  log.Record(TracedEvent(0x51, 0, /*duration_us=*/5000));
+  const std::string jsonl = log.DumpJsonl();
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1u);  // present in both rings, dumped once
+}
+
+TEST(ObsEventLogTest, DisabledThresholdAndCollectionSuppressCapture) {
+  EnabledGuard guard;
+  obs::EventLog log(/*capacity=*/4, /*exemplar_capacity=*/2);
+  log.set_slow_threshold_us(0);  // <= 0 disables exemplar capture
+  log.Record(TracedEvent(0x1, 0, /*duration_us=*/999999));
+  EXPECT_EQ(log.recorded(), 1);
+  EXPECT_EQ(log.slow_recorded(), 0);
+
+  obs::SetEnabled(false);
+  log.Record(TracedEvent(0x2, 0, /*duration_us=*/50));
+  obs::SetEnabled(true);
+  EXPECT_EQ(log.recorded(), 1);  // the disabled record was a no-op
+
+  log.Reset();
+  EXPECT_EQ(log.recorded(), 0);
+  EXPECT_EQ(log.DumpJsonl(), "");
+}
+
+TEST(ObsEventLogTest, ConcurrentRecordersLoseNoEvents) {
+  obs::EventLog log(/*capacity=*/128, /*exemplar_capacity=*/16);
+  log.set_slow_threshold_us(50);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Every 100th event is slow.
+        log.Record(TracedEvent(
+            static_cast<uint64_t>(t) << 32 | static_cast<uint64_t>(i),
+            i * 10, i % 100 == 0 ? 500 : 5));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(log.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(log.slow_recorded(), kThreads * (kPerThread / 100));
+  // The dump stays parseable and bounded after the hammer.
+  const std::string jsonl = log.DumpJsonl();
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n' ? 1 : 0;
+  EXPECT_LE(lines, 128u + 16u);
 }
 
 TEST(ObsTraceTest, GoldenTraceJsonWithZeroedTimestamps) {

@@ -14,6 +14,7 @@
 // reloads under ThreadSanitizer.
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -23,11 +24,13 @@
 
 #include "core/hignn.h"
 #include "data/synthetic.h"
+#include "obs/event_log.h"
 #include "predict/cvr_model.h"
 #include "predict/features.h"
 #include "serve/client.h"
 #include "serve/embedding_store.h"
 #include "serve/engine.h"
+#include "serve/request_id.h"
 #include "serve/serve_metrics.h"
 #include "serve/server.h"
 #include "serve/store_manager.h"
@@ -295,6 +298,80 @@ TEST_F(ServeChaosFixture, ClientRetriesThroughDroppedConnection) {
   EXPECT_EQ(scores.size(), pairs_.size());
   EXPECT_GE(client.retries_attempted(), 1);
   server->Stop();
+}
+
+// ------------------------------------------ tracing under chaos (§17) --
+
+// Slow-exemplar capture keeps working while the frame layer is failing
+// and the store hot-reloads between traced requests: every logical call
+// that ultimately succeeds lands in the private event log as a slow
+// exemplar (threshold 1us) under its deterministic request ID, and the
+// scores stay bitwise-identical throughout — tracing observes the chaos,
+// it never changes the outcome.
+TEST_F(ServeChaosFixture, ExemplarCaptureSurvivesFrameFaultsAndReload) {
+  ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
+  obs::EventLog log(/*capacity=*/64, /*exemplar_capacity=*/16);
+  ServerConfig server_config;
+  server_config.event_log = &log;
+  server_config.slow_threshold_us = 1;  // every request is an exemplar
+  auto server = std::move(
+      ScoringServer::Start(stores.get(), &metrics, server_config)
+          .ValueOrDie());
+
+  const std::vector<float> expected =
+      stores->Current()->engine->ScoreBatch(pairs_).ValueOrDie();
+
+  ClientConfig config;
+  config.retry.max_attempts = 4;
+  config.retry.initial_backoff_ms = 1;
+  config.request_id_seed = 0xC4A05;
+  auto client =
+      std::move(ScoringClient::Connect("127.0.0.1", server->port(), config)
+                    .ValueOrDie());
+
+  // Leg 1: the tagged request frame dies on the wire. The retry re-sends
+  // the identical bytes — same request ID — and must still be captured.
+  fault::Configure("serve.frame.send=fail@1");
+  const std::vector<float> first = client.Score(pairs_).ValueOrDie();
+  EXPECT_EQ(client.retries_attempted(), 1);
+  const uint64_t first_id = RequestIdGenerator::Derive(0xC4A05, 0);
+  EXPECT_EQ(client.last_trace().request_id, first_id);
+
+  // Leg 2: a hot-reload swaps the generation between the traced calls.
+  fault::Configure("");
+  ASSERT_EQ(client.Reload().ValueOrDie(), 2);
+
+  // Leg 3: a recv fault kills a frame mid-flight (whichever side hits the
+  // site first); the client reconnects and the retried call still traces.
+  fault::Configure("serve.frame.recv=fail@1");
+  const std::vector<float> second = client.Score(pairs_).ValueOrDie();
+  EXPECT_GE(client.retries_attempted(), 2);
+  const uint64_t second_id = RequestIdGenerator::Derive(0xC4A05, 1);
+  EXPECT_EQ(client.last_trace().request_id, second_id);
+  fault::Configure("");
+
+  ASSERT_EQ(first.size(), expected.size());
+  ASSERT_EQ(second.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(first[i], expected[i]) << "pair " << i;
+    ASSERT_EQ(second[i], expected[i]) << "pair " << i;
+  }
+  server->Stop();
+
+  // Both logical calls survived into the exemplar ring despite the frame
+  // faults and the generation swap in between.
+  EXPECT_GE(log.slow_recorded(), 2);
+  const std::string jsonl = log.DumpJsonl();
+  for (const uint64_t id : {first_id, second_id}) {
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(id));
+    EXPECT_NE(jsonl.find(hex), std::string::npos)
+        << "request " << hex << " missing from event log:\n" << jsonl;
+  }
+  EXPECT_NE(jsonl.find("\"slow\": true"), std::string::npos) << jsonl;
 }
 
 // The headline test: concurrent scoring clients ride through a burst of

@@ -13,19 +13,27 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "core/hignn.h"
 #include "data/synthetic.h"
+#include "obs/event_log.h"
 #include "predict/cvr_model.h"
 #include "predict/features.h"
 #include "serve/batcher.h"
 #include "serve/client.h"
 #include "serve/embedding_store.h"
 #include "serve/engine.h"
+#include "serve/request_id.h"
 #include "serve/serve_metrics.h"
 #include "serve/server.h"
 #include "serve/store_manager.h"
+#include "serve/wire.h"
 #include "util/status.h"
 
 namespace hignn {
@@ -389,6 +397,299 @@ TEST_F(ServeFixture, TcpOverloadShedsWithFastFailure) {
   EXPECT_EQ(shed.status().code(), StatusCode::kFailedPrecondition);
   EXPECT_GE(metrics.shed_total(), 1);
   EXPECT_TRUE(client.Score(TestPairs(4)).ok());  // recovered immediately
+  server->Stop();
+}
+
+// ------------------------------------------------- request tracing (§17) --
+
+// Speaks the raw wire protocol so the compat matrix can send frames no
+// current client emits (legacy bodies, malformed trailers).
+class RawWireClient {
+ public:
+  explicit RawWireClient(int32_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~RawWireClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// One frame out, one frame back; returns the raw response payload
+  /// (status byte included).
+  std::vector<char> RoundTrip(const std::vector<char>& frame) {
+    EXPECT_TRUE(SendFrame(fd_, frame).ok());
+    auto response = RecvFrame(fd_);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? response.value() : std::vector<char>{};
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(RequestIdTest, StreamIsDeterministicNonZeroAndSeedScoped) {
+  RequestIdGenerator a(0xFEED);
+  RequestIdGenerator b(0xFEED);
+  RequestIdGenerator other(0xBEEF);
+  for (uint64_t n = 0; n < 100; ++n) {
+    const uint64_t id = a.Next();
+    EXPECT_EQ(id, b.Next());                            // same seed, same stream
+    EXPECT_EQ(id, RequestIdGenerator::Derive(0xFEED, n));  // pure function
+    EXPECT_NE(id, 0u);                                  // 0 is "untraced"
+    EXPECT_NE(id, other.Next());                        // seeds partition IDs
+  }
+}
+
+TEST_F(ServeFixture, TracedScoreEchoesStampsAndLandsInTheEventLog) {
+  ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
+  obs::EventLog log(/*capacity=*/64, /*exemplar_capacity=*/8);
+  ServerConfig config;
+  config.event_log = &log;
+  auto server =
+      std::move(
+      ScoringServer::Start(stores.get(), &metrics, config).ValueOrDie());
+
+  const std::vector<ScoreRequest> pairs = TestPairs(8);
+  const std::vector<float> expected = OfflineScores(pairs);
+
+  ClientConfig traced_config;
+  traced_config.request_id_seed = 0xFEED;
+  auto traced =
+      std::move(ScoringClient::Connect("127.0.0.1", server->port(),
+                                       traced_config)
+                    .ValueOrDie());
+
+  // Tracing must not perturb a single bit of the scores (§11).
+  const std::vector<float> actual = traced.Score(pairs).ValueOrDie();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(actual[i], expected[i]) << "pair " << i;
+  }
+
+  // The echoed trailer carries the predicted ID and ordered stamps.
+  const RequestContext& trace = traced.last_trace();
+  EXPECT_EQ(trace.request_id, RequestIdGenerator::Derive(0xFEED, 0));
+  EXPECT_GE(trace.accept_us, 0);
+  EXPECT_GE(trace.parse_us, trace.accept_us);
+  EXPECT_GE(trace.enqueue_us, trace.parse_us);
+  EXPECT_GE(trace.batch_close_us, trace.enqueue_us);
+  EXPECT_GE(trace.rows_assembled_us, trace.batch_close_us);
+  EXPECT_GE(trace.forward_done_us, trace.rows_assembled_us);
+  EXPECT_EQ(trace.index_descent_us, -1);  // a score never descends the tree
+  EXPECT_EQ(trace.reply_flushed_us, -1);  // unknowable before the flush
+
+  // A beamed topk descends the index instead of closing a batch.
+  EXPECT_TRUE(traced.TopK(3, 5).ok());
+  const RequestContext& topk_trace = traced.last_trace();
+  EXPECT_EQ(topk_trace.request_id, RequestIdGenerator::Derive(0xFEED, 1));
+  EXPECT_GE(topk_trace.index_descent_us, topk_trace.parse_us);
+  EXPECT_GE(topk_trace.rows_assembled_us, topk_trace.index_descent_us);
+  EXPECT_EQ(topk_trace.enqueue_us, -1);
+  EXPECT_EQ(topk_trace.batch_close_us, -1);
+
+  server->Stop();  // joins handlers: every event is recorded by now
+
+  EXPECT_EQ(log.recorded(), 2);
+  const std::string jsonl = log.DumpJsonl();
+  char id_hex[32];
+  std::snprintf(id_hex, sizeof(id_hex), "%016llx",
+                static_cast<unsigned long long>(trace.request_id));
+  EXPECT_NE(jsonl.find(std::string("\"request_id\": \"") + id_hex + "\""),
+            std::string::npos)
+      << jsonl;
+  // The phase histograms saw both requests.
+  EXPECT_GE(metrics.registry()
+                .GetHistogram("serve.phase.parse_us", {})
+                .count(),
+            2);
+  EXPECT_GE(metrics.registry()
+                .GetHistogram("serve.phase.forward_us", {})
+                .count(),
+            2);
+}
+
+TEST_F(ServeFixture, UntracedLegacyFramesStillParseAndLogAsUntraced) {
+  ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
+  obs::EventLog log(/*capacity=*/64, /*exemplar_capacity=*/8);
+  ServerConfig config;
+  config.event_log = &log;
+  auto server =
+      std::move(
+      ScoringServer::Start(stores.get(), &metrics, config).ValueOrDie());
+
+  // The stock client (seed 0) IS the legacy client: no trailer bytes.
+  auto legacy =
+      std::move(ScoringClient::Connect("127.0.0.1", server->port())
+                    .ValueOrDie());
+  EXPECT_TRUE(legacy.Score(TestPairs(4)).ok());
+  EXPECT_EQ(legacy.last_trace().request_id, 0u);
+
+  // Old-style kTopK with the 8-byte (user, k) body — no beam, no tag.
+  RawWireClient raw(server->port());
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(WireVerb::kTopK));
+  writer.PutI32(3);
+  writer.PutI32(5);
+  std::vector<char> response = raw.RoundTrip(writer.bytes());
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(static_cast<WireStatus>(response[0]), WireStatus::kOk);
+
+  server->Stop();
+  // Both requests recorded as untraced, stamps intact.
+  EXPECT_EQ(log.recorded(), 2);
+  EXPECT_NE(log.DumpJsonl().find("\"request_id\": \"0000000000000000\""),
+            std::string::npos);
+}
+
+TEST_F(ServeFixture, TopKTrailingFieldMatrixDisambiguatesByLength) {
+  ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
+  auto server =
+      std::move(ScoringServer::Start(stores.get(), &metrics, ServerConfig())
+                    .ValueOrDie());
+  RawWireClient raw(server->port());
+
+  const uint64_t id = RequestIdGenerator::Derive(0xFEED, 0);
+  constexpr size_t kTrailerBytes = 1 + 8 + 8 * 8;
+  struct Case {
+    bool beam;
+    bool tag;
+  };
+  for (const Case& c :
+       {Case{false, false}, Case{true, false}, Case{false, true},
+        Case{true, true}}) {
+    SCOPED_TRACE(testing::Message()
+                 << "beam=" << c.beam << " tag=" << c.tag);
+    WireWriter writer;
+    writer.PutU8(static_cast<uint8_t>(WireVerb::kTopK));
+    writer.PutI32(3);
+    writer.PutI32(5);
+    if (c.beam) writer.PutI32(0);  // 0 = server default
+    if (c.tag) {
+      writer.PutU8(kRequestIdTag);
+      writer.PutU64(id);
+    }
+    std::vector<char> response = raw.RoundTrip(writer.bytes());
+    ASSERT_FALSE(response.empty());
+    ASSERT_EQ(static_cast<WireStatus>(response[0]), WireStatus::kOk);
+    WireReader reader(response);
+    ASSERT_TRUE(reader.TakeU8().ok());  // status
+    const uint32_t count = reader.TakeU32().ValueOrDie();
+    for (uint32_t r = 0; r < count; ++r) {
+      ASSERT_TRUE(reader.TakeI32().ok());
+      ASSERT_TRUE(reader.TakeF32().ok());
+    }
+    // The reply trailer appears exactly when the request was tagged.
+    EXPECT_EQ(reader.remaining(), c.tag ? kTrailerBytes : 0u);
+    if (c.tag) {
+      EXPECT_EQ(reader.TakeU8().ValueOrDie(), kRequestIdTag);
+      EXPECT_EQ(reader.TakeU64().ValueOrDie(), id);
+    }
+  }
+  server->Stop();
+}
+
+TEST_F(ServeFixture, MalformedRequestIdTrailersAreBadRequests) {
+  ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
+  auto server =
+      std::move(ScoringServer::Start(stores.get(), &metrics, ServerConfig())
+                    .ValueOrDie());
+  RawWireClient raw(server->port());
+
+  // Truncated trailer: 5 stray bytes after the pairs (not 0, not 9).
+  WireWriter truncated;
+  truncated.PutU8(static_cast<uint8_t>(WireVerb::kScore));
+  truncated.PutU32(1);
+  truncated.PutI32(3);
+  truncated.PutI32(7);
+  truncated.PutU8(kRequestIdTag);
+  truncated.PutU32(0xDEAD);
+  std::vector<char> response = raw.RoundTrip(truncated.bytes());
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(static_cast<WireStatus>(response[0]), WireStatus::kBadRequest);
+
+  // Right length, wrong tag byte.
+  WireWriter wrong_tag;
+  wrong_tag.PutU8(static_cast<uint8_t>(WireVerb::kScore));
+  wrong_tag.PutU32(1);
+  wrong_tag.PutI32(3);
+  wrong_tag.PutI32(7);
+  wrong_tag.PutU8(0x99);
+  wrong_tag.PutU64(42);
+  response = raw.RoundTrip(wrong_tag.bytes());
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(static_cast<WireStatus>(response[0]), WireStatus::kBadRequest);
+
+  // The connection survives protocol rejections; a clean frame works.
+  WireWriter clean;
+  clean.PutU8(static_cast<uint8_t>(WireVerb::kHealth));
+  response = raw.RoundTrip(clean.bytes());
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(static_cast<WireStatus>(response[0]), WireStatus::kOk);
+  server->Stop();
+}
+
+TEST_F(ServeFixture, StatsCarriesTheDaemonSectionAndMetricsVerbsServe) {
+  ServeMetrics metrics;
+  auto stores =
+      std::move(StoreManager::Open(store_path_, &metrics).ValueOrDie());
+  ServerConfig config;
+  config.slow_threshold_us = 1234;
+  auto server =
+      std::move(
+      ScoringServer::Start(stores.get(), &metrics, config).ValueOrDie());
+
+  ClientConfig traced_config;
+  traced_config.request_id_seed = 0x5EED;
+  auto client =
+      std::move(ScoringClient::Connect("127.0.0.1", server->port(),
+                                       traced_config)
+                    .ValueOrDie());
+  EXPECT_TRUE(client.Score(TestPairs(4)).ok());
+
+  const std::string json = client.Stats().ValueOrDie();
+  EXPECT_NE(json.find("\"daemon\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"start_generation\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"slow_threshold_us\": 1234"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"uptime_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"events_recorded\""), std::string::npos) << json;
+
+  // Prometheus exposition straight off the shared registry.
+  const std::string prom = client.Metrics().ValueOrDie();
+  EXPECT_NE(prom.find("# TYPE hignn_serve_requests_score counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("hignn_serve_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE hignn_serve_phase_forward_us histogram"),
+            std::string::npos)
+      << prom;
+
+  // trace-dump returns the JSONL view of the global event log; this
+  // server records into the global log (config.event_log defaulted), so
+  // the traced request's ID must appear.
+  const std::string jsonl = client.TraceDump().ValueOrDie();
+  char id_hex[32];
+  std::snprintf(id_hex, sizeof(id_hex), "%016llx",
+                static_cast<unsigned long long>(
+                    RequestIdGenerator::Derive(0x5EED, 0)));
+  EXPECT_NE(jsonl.find(id_hex), std::string::npos) << jsonl;
   server->Stop();
 }
 

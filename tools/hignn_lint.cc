@@ -129,10 +129,12 @@ const std::vector<RuleInfo>& Rules() {
        {"src/util/io.cc", "src/util/io.h"},
        {"src/serve/"}},
       {"nondet-source",
-       "no rand()/std::random_device/time()/::now(), and no WallTimer/"
-       "steady_clock wall-clock reads outside the telemetry layer; "
-       "randomness via util/rng.h, timing via src/obs/ (observation-only)",
-       {"src/util/rng.h", "src/util/rng.cc", "src/util/timer.h"},
+       "no rand()/std::random_device/std::mt19937-family engines/time()/"
+       "::now(), and no WallTimer/steady_clock wall-clock reads outside "
+       "the telemetry layer; randomness via util/rng.h (request IDs via "
+       "serve/request_id.h), timing via src/obs/ (observation-only)",
+       {"src/util/rng.h", "src/util/rng.cc", "src/util/timer.h",
+        "src/serve/request_id.h", "src/serve/request_id.cc"},
        {"src/obs/", "bench/", "examples/"}},
       {"naked-thread",
        "no std::thread/std::async/#pragma omp; concurrency only via "
@@ -773,6 +775,19 @@ class FileLinter {
                std::string("'") + fn +
                    "()' is a nondeterministic source; use util/rng.h for "
                    "randomness and util/timer.h for timing");
+    }
+    // Stdlib RNG engines: deterministic in isolation, but every seeded
+    // stream in the tree must flow through util/rng.h (or the serving
+    // path's request_id.h) so the reproducibility story has exactly one
+    // audited entry point per domain — a stray std::mt19937 is a second
+    // seed universe reviewers won't find.
+    for (const char* engine :
+         {"mt19937", "mt19937_64", "minstd_rand", "default_random_engine",
+          "ranlux24", "ranlux48"}) {
+      FlagWord(engine, "nondet-source",
+               std::string("stdlib RNG engine 'std::") + engine +
+                   "' bypasses the audited seed path; draw from a "
+                   "util/rng.h Rng instead");
     }
     const std::string& code = file_.code;
     // Any clock's ::now().

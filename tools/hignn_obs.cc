@@ -1,0 +1,294 @@
+// hignn_obs — offline analyzer for the serving path's observability
+// artifacts (DESIGN.md §17).
+//
+// Joins the per-request event log (`hignn_serve serve --events-out`, or
+// the `trace-dump` client verb piped to a file) with an optional Chrome
+// trace (`--trace-out`) and prints:
+//
+//   * a per-phase latency table (count / p50 / p95 / p99 / max) over the
+//     same six phase deltas the server's serve.phase.* histograms record,
+//   * one line per slow exemplar naming its dominant phase — the single
+//     place the request spent most of its time, which is the attribution
+//     operators act on,
+//   * when a Chrome trace is given, the top spans by total duration so
+//     the request-level and span-level views can be eyeballed together.
+//
+//   hignn_obs analyze --events /tmp/events.jsonl [--trace /tmp/trace.json]
+//       [--top 10]
+//
+// Output is plain text with stable column headers so CI can grep it.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+
+namespace hignn {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: hignn_obs analyze --events EVENTS.jsonl
+    [--trace TRACE.json]  (Chrome trace from hignn_serve --trace-out)
+    [--top 10]            (spans to show from the Chrome trace)
+
+Reads the per-request event log the scoring server dumps (--events-out,
+or the trace-dump wire verb) and attributes latency to serving phases.
+)");
+  return 2;
+}
+
+/// One parsed event-log line; mirrors obs::Event without depending on it
+/// (the analyzer must keep reading logs from older/newer builds whose
+/// struct layout drifted — the JSONL keys are the contract, not the ABI).
+struct LoggedEvent {
+  std::string request_id;
+  int64_t duration_us = 0;
+  bool slow = false;
+  bool ok = false;
+  int64_t accept_us = -1;
+  int64_t parse_us = -1;
+  int64_t enqueue_us = -1;
+  int64_t batch_close_us = -1;
+  int64_t rows_assembled_us = -1;
+  int64_t forward_done_us = -1;
+  int64_t index_descent_us = -1;
+  int64_t reply_flushed_us = -1;
+};
+
+/// Finds `"key": <value>` in a JSON object line and returns the raw value
+/// token (quotes stripped). The event log and Chrome trace are emitted by
+/// our own fixed-format writers, so a scanner is sufficient — no general
+/// JSON parser needed (or available).
+bool ExtractField(const std::string& line, const std::string& key,
+                  std::string* out) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  size_t begin = pos + needle.size();
+  if (begin >= line.size()) return false;
+  size_t end;
+  if (line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+  } else {
+    end = line.find_first_of(",}", begin);
+  }
+  if (end == std::string::npos || end < begin) return false;
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+int64_t ExtractI64(const std::string& line, const std::string& key,
+                   int64_t fallback) {
+  std::string raw;
+  if (!ExtractField(line, key, &raw)) return fallback;
+  return static_cast<int64_t>(std::strtoll(raw.c_str(), nullptr, 10));
+}
+
+bool ExtractBool(const std::string& line, const std::string& key) {
+  std::string raw;
+  return ExtractField(line, key, &raw) && raw == "true";
+}
+
+/// Nearest-rank percentile over a sorted ascending sample.
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = std::ceil(p * static_cast<double>(sorted.size()));
+  const size_t index = static_cast<size_t>(
+      std::max<double>(1.0, std::min(rank, static_cast<double>(sorted.size()))));
+  return sorted[index - 1];
+}
+
+/// The six phase deltas, paired exactly like ServeMetrics::RecordPhases —
+/// a phase exists only when both boundary stamps are present, and the
+/// assemble/reply phases start wherever the verb's path last stamped.
+struct PhaseDeltas {
+  static constexpr int kNumPhases = 6;
+  static const char* Name(int phase) {
+    static const char* const kNames[kNumPhases] = {
+        "parse", "queue_wait", "index", "assemble", "forward", "reply"};
+    return kNames[phase];
+  }
+  /// Delta for `phase` in microseconds, or -1 when the event never
+  /// crossed that phase.
+  static int64_t Of(const LoggedEvent& e, int phase) {
+    const auto delta = [](int64_t end, int64_t begin) {
+      return (begin >= 0 && end >= begin) ? end - begin : int64_t{-1};
+    };
+    switch (phase) {
+      case 0:
+        return delta(e.parse_us, e.accept_us);
+      case 1:
+        return delta(e.batch_close_us, e.enqueue_us);
+      case 2:
+        return delta(e.index_descent_us, e.parse_us);
+      case 3:
+        return delta(e.rows_assembled_us,
+                     e.batch_close_us >= 0
+                         ? e.batch_close_us
+                         : e.index_descent_us >= 0 ? e.index_descent_us
+                                                   : e.parse_us);
+      case 4:
+        return delta(e.forward_done_us, e.rows_assembled_us);
+      case 5:
+        return delta(e.reply_flushed_us,
+                     e.forward_done_us >= 0 ? e.forward_done_us : e.parse_us);
+      default:
+        return -1;
+    }
+  }
+};
+
+int RunAnalyze(const CommandLine& cl) {
+  const std::string events_path = cl.GetString("events");
+  if (events_path.empty()) return Usage();
+  auto top = cl.GetInt("top", 10);
+  if (!top.ok()) {
+    std::fprintf(stderr, "error: %s\n", top.status().ToString().c_str());
+    return 1;
+  }
+
+  std::ifstream in(events_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", events_path.c_str());
+    return 1;
+  }
+  std::vector<LoggedEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.find("\"request_id\"") == std::string::npos) {
+      continue;
+    }
+    LoggedEvent event;
+    ExtractField(line, "request_id", &event.request_id);
+    event.duration_us = ExtractI64(line, "duration_us", 0);
+    event.slow = ExtractBool(line, "slow");
+    event.ok = ExtractBool(line, "ok");
+    event.accept_us = ExtractI64(line, "accept_us", -1);
+    event.parse_us = ExtractI64(line, "parse_us", -1);
+    event.enqueue_us = ExtractI64(line, "enqueue_us", -1);
+    event.batch_close_us = ExtractI64(line, "batch_close_us", -1);
+    event.rows_assembled_us = ExtractI64(line, "rows_assembled_us", -1);
+    event.forward_done_us = ExtractI64(line, "forward_done_us", -1);
+    event.index_descent_us = ExtractI64(line, "index_descent_us", -1);
+    event.reply_flushed_us = ExtractI64(line, "reply_flushed_us", -1);
+    events.push_back(event);
+  }
+
+  int64_t slow_count = 0;
+  int64_t traced_count = 0;
+  for (const LoggedEvent& event : events) {
+    if (event.slow) ++slow_count;
+    if (event.request_id != "0000000000000000") ++traced_count;
+  }
+  std::printf("hignn_obs: %zu events (%lld slow, %lld traced) from %s\n",
+              events.size(), static_cast<long long>(slow_count),
+              static_cast<long long>(traced_count), events_path.c_str());
+
+  std::printf("phase latency percentiles (us):\n");
+  std::printf("  %-12s %8s %10s %10s %10s %10s\n", "phase", "count", "p50",
+              "p95", "p99", "max");
+  for (int phase = 0; phase < PhaseDeltas::kNumPhases; ++phase) {
+    std::vector<int64_t> samples;
+    for (const LoggedEvent& event : events) {
+      const int64_t delta = PhaseDeltas::Of(event, phase);
+      if (delta >= 0) samples.push_back(delta);
+    }
+    std::sort(samples.begin(), samples.end());
+    std::printf("  %-12s %8zu %10lld %10lld %10lld %10lld\n",
+                PhaseDeltas::Name(phase), samples.size(),
+                static_cast<long long>(Percentile(samples, 0.50)),
+                static_cast<long long>(Percentile(samples, 0.95)),
+                static_cast<long long>(Percentile(samples, 0.99)),
+                static_cast<long long>(
+                    samples.empty() ? 0 : samples.back()));
+  }
+
+  // Slow exemplars: name the single phase that dominated each one. A
+  // request with no phase deltas at all (a health probe that somehow
+  // tripped the threshold) is attributed to "unknown".
+  std::printf("slow exemplars: %lld\n", static_cast<long long>(slow_count));
+  for (const LoggedEvent& event : events) {
+    if (!event.slow) continue;
+    int dominant = -1;
+    int64_t dominant_us = -1;
+    for (int phase = 0; phase < PhaseDeltas::kNumPhases; ++phase) {
+      const int64_t delta = PhaseDeltas::Of(event, phase);
+      if (delta > dominant_us) {
+        dominant_us = delta;
+        dominant = phase;
+      }
+    }
+    std::printf("  request %s duration_us=%lld dominant=%s dominant_us=%lld\n",
+                event.request_id.c_str(),
+                static_cast<long long>(event.duration_us),
+                dominant >= 0 ? PhaseDeltas::Name(dominant) : "unknown",
+                static_cast<long long>(dominant >= 0 ? dominant_us : 0));
+  }
+
+  const std::string trace_path = cl.GetString("trace");
+  if (!trace_path.empty()) {
+    std::ifstream trace_in(trace_path);
+    if (!trace_in) {
+      std::fprintf(stderr, "error: cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    // One span per line (the writer emits them that way); aggregate
+    // count and total duration per span name.
+    struct SpanAgg {
+      int64_t count = 0;
+      int64_t total_us = 0;
+    };
+    std::map<std::string, SpanAgg> spans;
+    while (std::getline(trace_in, line)) {
+      std::string name;
+      if (!ExtractField(line, "name", &name)) continue;
+      SpanAgg& agg = spans[name];
+      agg.count += 1;
+      agg.total_us += ExtractI64(line, "dur", 0);
+    }
+    std::vector<std::pair<std::string, SpanAgg>> ranked(spans.begin(),
+                                                        spans.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second.total_us != b.second.total_us) {
+                  return a.second.total_us > b.second.total_us;
+                }
+                return a.first < b.first;
+              });
+    std::printf("trace spans (top %lld by total duration):\n",
+                static_cast<long long>(top.value()));
+    std::printf("  %-28s %8s %12s\n", "span", "count", "total_us");
+    const size_t limit =
+        std::min(ranked.size(), static_cast<size_t>(
+                                    std::max<int64_t>(0, top.value())));
+    for (size_t i = 0; i < limit; ++i) {
+      std::printf("  %-28s %8lld %12lld\n", ranked[i].first.c_str(),
+                  static_cast<long long>(ranked[i].second.count),
+                  static_cast<long long>(ranked[i].second.total_us));
+    }
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv);
+  if (!cl.ok()) {
+    std::fprintf(stderr, "error: %s\n", cl.status().ToString().c_str());
+    return 1;
+  }
+  if (cl.value().command() == "analyze") return RunAnalyze(cl.value());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hignn
+
+int main(int argc, char** argv) { return hignn::Run(argc, argv); }

@@ -21,6 +21,8 @@
 //   hignn_serve topk   --port $(cat /tmp/port) --user 3 --k 5
 //   hignn_serve health --port $(cat /tmp/port)
 //   hignn_serve stats  --port $(cat /tmp/port)
+//   hignn_serve metrics --port $(cat /tmp/port)        # Prometheus text
+//   hignn_serve trace-dump --port $(cat /tmp/port)     # event-log JSONL
 //   hignn_serve reload --port $(cat /tmp/port) [--store NEW.hgnnstore]
 //
 // Client verbs take retry flags (--retries N --backoff-ms B
@@ -35,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/client.h"
@@ -80,6 +83,10 @@ commands:
            [--metrics-out FILE]   (dump metrics JSON on shutdown)
            [--trace-out FILE]     (dump Chrome trace_event JSON on
                                    shutdown; open in chrome://tracing)
+           [--events-out FILE]    (dump the per-request event log as
+                                   JSONL on shutdown; feed to hignn_obs)
+           [--slow-us 50000]      (requests at least this slow are always
+                                   kept as exemplars; <= 0 disables)
            [--obs-off]            (disable telemetry collection;
                                    scores are identical either way)
   score    score one (user, item) pair
@@ -92,6 +99,10 @@ commands:
            --port P [--host 127.0.0.1]
   stats    print the server's metrics JSON
            --port P [--host 127.0.0.1]
+  metrics  print the server's metrics in Prometheus text format
+           --port P [--host 127.0.0.1]
+  trace-dump  print the server's per-request event log as JSONL
+           --port P [--host 127.0.0.1]
   reload   hot-swap the serving store with zero downtime
            --port P [--host 127.0.0.1] [--store NEW.hgnnstore]
            (no --store = re-open the path the server is serving from)
@@ -103,6 +114,9 @@ client retry flags (score/topk/health/stats/reload):
   [--retry-budget-ms 2000] total backoff sleep budget per call
   [--connect-timeout-ms 2000]  non-blocking connect deadline
   [--io-timeout-ms 2000]       per-call socket send/recv timeout
+  [--request-id-seed 0]        non-zero tags score/topk frames with
+                               deterministic request IDs and prints the
+                               server's echoed phase stamps to stderr
 )");
   return 2;
 }
@@ -117,10 +131,11 @@ int RunServe(const CommandLine& cl) {
   auto max_queue = cl.GetInt("max-queue", 4096);
   auto recv_timeout_ms = cl.GetInt("recv-timeout-ms", 200);
   auto topk_beam = cl.GetInt("topk-beam", kDefaultTopKBeam);
+  auto slow_us = cl.GetInt("slow-us", obs::EventLog::kDefaultSlowThresholdUs);
   for (const Status& status :
        {port.status(), threads.status(), max_batch.status(),
         max_delay_us.status(), max_queue.status(),
-        recv_timeout_ms.status(), topk_beam.status()}) {
+        recv_timeout_ms.status(), topk_beam.status(), slow_us.status()}) {
     if (!status.ok()) return Fail(status);
   }
 
@@ -139,6 +154,7 @@ int RunServe(const CommandLine& cl) {
   config.num_threads = static_cast<int32_t>(threads.value());
   config.recv_timeout_ms = static_cast<int32_t>(recv_timeout_ms.value());
   config.topk_beam = static_cast<int32_t>(topk_beam.value());
+  config.slow_threshold_us = slow_us.value();
   config.batcher.max_batch = static_cast<int32_t>(max_batch.value());
   config.batcher.max_delay_us = static_cast<int32_t>(max_delay_us.value());
   config.batcher.max_queue_rows = static_cast<int32_t>(max_queue.value());
@@ -210,6 +226,14 @@ int RunServe(const CommandLine& cl) {
     }
     std::printf("trace written to %s\n", trace_out.c_str());
   }
+  const std::string events_out = cl.GetString("events-out");
+  if (!events_out.empty()) {
+    if (Status status = obs::EventLog::Global().WriteJsonl(events_out);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("events written to %s\n", events_out.c_str());
+  }
   return 0;
 }
 
@@ -224,12 +248,15 @@ Result<ScoringClient> ConnectFlag(const CommandLine& cl) {
   auto retry_budget_ms = cl.GetInt("retry-budget-ms", 2000);
   auto connect_timeout_ms = cl.GetInt("connect-timeout-ms", 2000);
   auto io_timeout_ms = cl.GetInt("io-timeout-ms", 2000);
+  auto request_id_seed = cl.GetInt("request-id-seed", 0);
   for (const Status& status :
        {retries.status(), backoff_ms.status(), retry_budget_ms.status(),
-        connect_timeout_ms.status(), io_timeout_ms.status()}) {
+        connect_timeout_ms.status(), io_timeout_ms.status(),
+        request_id_seed.status()}) {
     if (!status.ok()) return status;
   }
   ClientConfig config;
+  config.request_id_seed = static_cast<uint64_t>(request_id_seed.value());
   config.connect_timeout_ms = static_cast<int32_t>(connect_timeout_ms.value());
   config.send_timeout_ms = static_cast<int32_t>(io_timeout_ms.value());
   config.recv_timeout_ms = static_cast<int32_t>(io_timeout_ms.value());
@@ -239,6 +266,26 @@ Result<ScoringClient> ConnectFlag(const CommandLine& cl) {
       static_cast<int32_t>(retry_budget_ms.value());
   return ScoringClient::Connect(cl.GetString("host", "127.0.0.1"),
                                 static_cast<int32_t>(port.value()), config);
+}
+
+// When the caller opted into tracing (--request-id-seed), prints the
+// server's echoed phase stamps to stderr so the tab-separated stdout
+// stays machine-parsable.
+void PrintTrace(const ScoringClient& client) {
+  const RequestContext& trace = client.last_trace();
+  if (trace.request_id == 0) return;
+  std::fprintf(stderr,
+               "trace %016llx accept=%lld parse=%lld enqueue=%lld "
+               "batch_close=%lld rows_assembled=%lld forward_done=%lld "
+               "index_descent=%lld\n",
+               static_cast<unsigned long long>(trace.request_id),
+               static_cast<long long>(trace.accept_us),
+               static_cast<long long>(trace.parse_us),
+               static_cast<long long>(trace.enqueue_us),
+               static_cast<long long>(trace.batch_close_us),
+               static_cast<long long>(trace.rows_assembled_us),
+               static_cast<long long>(trace.forward_done_us),
+               static_cast<long long>(trace.index_descent_us));
 }
 
 int RunScore(const CommandLine& cl) {
@@ -256,6 +303,7 @@ int RunScore(const CommandLine& cl) {
   if (!scores.ok()) return Fail(scores.status());
   std::printf("%d\t%d\t%.9g\n", request.user, request.item,
               scores.value().front());
+  PrintTrace(client.value());
   return 0;
 }
 
@@ -276,6 +324,7 @@ int RunTopK(const CommandLine& cl) {
   for (const Recommendation& rec : top.value()) {
     std::printf("%d\t%.9g\n", rec.item, rec.score);
   }
+  PrintTrace(client.value());
   return 0;
 }
 
@@ -298,6 +347,24 @@ int RunStats(const CommandLine& cl) {
   return 0;
 }
 
+int RunMetrics(const CommandLine& cl) {
+  auto client = ConnectFlag(cl);
+  if (!client.ok()) return Fail(client.status());
+  auto text = client.value().Metrics();
+  if (!text.ok()) return Fail(text.status());
+  std::printf("%s", text.value().c_str());
+  return 0;
+}
+
+int RunTraceDump(const CommandLine& cl) {
+  auto client = ConnectFlag(cl);
+  if (!client.ok()) return Fail(client.status());
+  auto jsonl = client.value().TraceDump();
+  if (!jsonl.ok()) return Fail(jsonl.status());
+  std::printf("%s", jsonl.value().c_str());
+  return 0;
+}
+
 int RunReload(const CommandLine& cl) {
   auto client = ConnectFlag(cl);
   if (!client.ok()) return Fail(client.status());
@@ -317,6 +384,8 @@ int Run(int argc, char** argv) {
   if (command == "topk") return RunTopK(cl.value());
   if (command == "health") return RunHealth(cl.value());
   if (command == "stats") return RunStats(cl.value());
+  if (command == "metrics") return RunMetrics(cl.value());
+  if (command == "trace-dump") return RunTraceDump(cl.value());
   if (command == "reload") return RunReload(cl.value());
   return Usage();
 }
